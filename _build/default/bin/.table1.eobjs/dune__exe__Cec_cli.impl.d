@@ -1,0 +1,1 @@
+bin/cec_cli.ml: Aig Arg Array Cmd Cmdliner Format Printf Stp_sweep Sweep Term

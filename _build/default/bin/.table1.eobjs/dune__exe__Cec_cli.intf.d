@@ -1,0 +1,1 @@
+bin/cec_cli.mli:

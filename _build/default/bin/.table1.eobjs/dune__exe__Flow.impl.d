@@ -1,0 +1,1 @@
+bin/flow.ml: Aig Arg Cmd Cmdliner Filename Format Gen Printf Stp_sweep Sweep Synth Term

@@ -1,0 +1,1 @@
+bin/reasoner.ml: Arg Cmd Cmdliner Format List Printf Stp Stp_sweep String Term

@@ -1,0 +1,1 @@
+bin/sat_cli.ml: Arg Buffer Cmd Cmdliner Format Fun Printf Sat Stp_sweep Term

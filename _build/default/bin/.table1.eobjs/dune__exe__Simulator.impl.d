@@ -1,0 +1,1 @@
+bin/simulator.ml: Aig Arg Array Cmd Cmdliner Filename Format Gen Int64 Klut Printf Report Sim Stp_sweep Term

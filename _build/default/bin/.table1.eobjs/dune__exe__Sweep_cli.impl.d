@@ -1,0 +1,1 @@
+bin/sweep_cli.ml: Aig Arg Cmd Cmdliner Filename Format Gen Printf Stp_sweep Sweep Term

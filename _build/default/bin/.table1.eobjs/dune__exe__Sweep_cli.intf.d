@@ -1,0 +1,1 @@
+bin/sweep_cli.mli:

@@ -1,0 +1,1 @@
+bin/table1.ml: Aig Arg Cmd Cmdliner Gen Klut List Printf Report Sim Stp_sweep Term

@@ -1,0 +1,1 @@
+bin/table2.ml: Aig Arg Cmd Cmdliner Float Gen List Printf Report Stp_sweep Sweep Term

@@ -1,0 +1,1 @@
+bin/table2.mli:

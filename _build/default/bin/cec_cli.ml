@@ -1,0 +1,36 @@
+(* Combinational equivalence checking CLI (the role '&cec' plays in the
+   paper's experimental validation).
+
+     dune exec bin/cec_cli.exe -- a.aag b.aag
+*)
+
+open Stp_sweep
+
+let run a b =
+  let net_a = Aig.Aiger.read_file a and net_b = Aig.Aiger.read_file b in
+  Printf.printf "%s: %s\n" a (Format.asprintf "%a" Aig.Network.pp_stats net_a);
+  Printf.printf "%s: %s\n" b (Format.asprintf "%a" Aig.Network.pp_stats net_b);
+  match Sweep.Cec.check net_a net_b with
+  | Sweep.Cec.Equivalent ->
+    print_endline "equivalent";
+    exit 0
+  | Sweep.Cec.Different { po; counterexample } ->
+    Printf.printf "DIFFERENT at output %d\n" po;
+    print_string "counterexample:";
+    Array.iter (fun bit -> print_string (if bit then " 1" else " 0")) counterexample;
+    print_newline ();
+    exit 1
+  | Sweep.Cec.Undetermined po ->
+    Printf.printf "undetermined at output %d\n" po;
+    exit 2
+
+open Cmdliner
+
+let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.aag")
+let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.aag")
+
+let cmd =
+  Cmd.v (Cmd.info "cec" ~doc:"Combinational equivalence check of two AIGER files")
+    Term.(const run $ file_a $ file_b)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,84 @@
+(* Full optimization flow CLI: STP sweep -> exact rewrite -> balance,
+   with CEC verification and per-stage statistics.
+
+     dune exec bin/flow.exe -- -c oski2b1i --verify
+     dune exec bin/flow.exe -- --aig design.aag -o out.aag
+*)
+
+open Stp_sweep
+
+let load ~circuit ~file =
+  match (circuit, file) with
+  | Some name, None -> (
+    (name, try Gen.Suites.hwmcc_by_name name
+     with Not_found -> Gen.Suites.epfl_by_name name))
+  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
+  | _ ->
+    prerr_endline "exactly one of --circuit or --aig is required";
+    exit 2
+
+let run circuit file engine verify output no_rewrite no_balance () =
+  let name, net = load ~circuit ~file in
+  let show stage n =
+    Printf.printf "%-14s %s\n%!" stage (Format.asprintf "%a" Aig.Network.pp_stats n)
+  in
+  show name net;
+  let swept, stats =
+    match engine with
+    | `Stp -> Sweep.Stp_sweep.sweep net
+    | `Fraig -> Sweep.Fraig.sweep net
+  in
+  show "sweep" swept;
+  Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  let rewritten =
+    if no_rewrite then swept
+    else begin
+      let r, st = Synth.Rewrite.rewrite swept in
+      show "rewrite" r;
+      Printf.printf "  applied=%d classes=%d\n" st.Synth.Rewrite.applied
+        st.Synth.Rewrite.classes_synthesized;
+      r
+    end
+  in
+  let final =
+    if no_balance then rewritten
+    else begin
+      let b, _ = Aig.Balance.balance rewritten in
+      show "balance" b;
+      b
+    end
+  in
+  if verify then begin
+    match Sweep.Cec.check net final with
+    | Sweep.Cec.Equivalent -> print_endline "cec: equivalent"
+    | Sweep.Cec.Different { po; _ } ->
+      Printf.printf "cec: DIFFERENT at output %d\n" po;
+      exit 1
+    | Sweep.Cec.Undetermined po ->
+      Printf.printf "cec: undetermined at output %d\n" po
+  end;
+  match output with
+  | Some path ->
+    Aig.Aiger.write_file path final;
+    Printf.printf "wrote: %s\n" path
+  | None -> ()
+
+open Cmdliner
+
+let circuit = Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~doc:"Named benchmark.")
+let file = Arg.(value & opt (some file) None & info [ "aig" ] ~doc:"ASCII AIGER file.")
+let engine =
+  Arg.(value & opt (enum [ ("stp", `Stp); ("fraig", `Fraig) ]) `Stp
+       & info [ "engine"; "e" ] ~doc:"Sweeping engine.")
+let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
+let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output AIGER path.")
+let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
+let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balance stage.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
+    Term.(const (fun a b c d e f g -> run a b c d e f g ())
+          $ circuit $ file $ engine $ verify $ output $ no_rewrite $ no_balance)
+
+let () = exit (Cmd.eval cmd)

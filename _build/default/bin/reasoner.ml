@@ -1,0 +1,78 @@
+(* STP reasoning CLI: parse a Boolean expression, print its canonical
+   logic matrix (Property 3), enumerate models, or prove an identity.
+
+     dune exec bin/reasoner.exe -- "(a <-> !b) & (b <-> !c)"
+     dune exec bin/reasoner.exe -- --equiv "a -> b" "!a | b"
+     dune exec bin/reasoner.exe -- --models "a ^ b ^ c"
+     dune exec bin/reasoner.exe -- --algebraic "a & (b | !a)"
+*)
+
+open Stp_sweep
+
+let show_canonical ~algebraic text =
+  let e = Stp.Expr.of_string text in
+  Format.printf "Phi = %a@." Stp.Expr.pp e;
+  let dense, order =
+    if algebraic then Stp.Canonical.of_expr_algebraic e
+    else
+      let m, order = Stp.Canonical.of_expr e in
+      (Stp.Logic_matrix.to_matrix m, order)
+  in
+  Format.printf "variable order (leading factor first): %s@."
+    (String.concat " " order);
+  Format.printf "M_Phi:@.%a@." Stp.Matrix.pp dense;
+  Format.printf "tautology: %b   satisfiable: %b@."
+    (Stp.Reasoning.is_tautology e)
+    (Stp.Reasoning.is_satisfiable e)
+
+let show_models text =
+  let e = Stp.Expr.of_string text in
+  let models = Stp.Reasoning.satisfying_assignments e in
+  Format.printf "%d model(s)@." (List.length models);
+  List.iter
+    (fun model ->
+      Format.printf "  %s@."
+        (String.concat ", "
+           (List.map (fun (v, b) -> Printf.sprintf "%s=%d" v (if b then 1 else 0)) model)))
+    models
+
+let show_equiv a b =
+  let ea = Stp.Expr.of_string a and eb = Stp.Expr.of_string b in
+  if Stp.Reasoning.equivalent ea eb then
+    Format.printf "equivalent: %a  <=>  %a@." Stp.Expr.pp ea Stp.Expr.pp eb
+  else begin
+    Format.printf "NOT equivalent.@.";
+    (* Print one distinguishing assignment. *)
+    let diff = Stp.Expr.Xor (ea, eb) in
+    match Stp.Reasoning.satisfying_assignments diff with
+    | model :: _ ->
+      Format.printf "witness: %s@."
+        (String.concat ", "
+           (List.map (fun (v, b) -> Printf.sprintf "%s=%d" v (if b then 1 else 0)) model))
+    | [] -> assert false
+  end
+
+open Cmdliner
+
+let exprs = Arg.(value & pos_all string [] & info [] ~docv:"EXPR")
+let models = Arg.(value & flag & info [ "models" ] ~doc:"Enumerate satisfying assignments.")
+let equiv = Arg.(value & flag & info [ "equiv" ] ~doc:"Prove/refute equivalence of two expressions.")
+let algebraic =
+  Arg.(value & flag & info [ "algebraic" ]
+       ~doc:"Use the dense swap-matrix normalization instead of the fast path.")
+
+let run exprs models_f equiv_f algebraic_f =
+  match (exprs, models_f, equiv_f) with
+  | [ a; b ], _, true -> show_equiv a b
+  | [ e ], true, false -> show_models e
+  | [ e ], false, false -> show_canonical ~algebraic:algebraic_f e
+  | _ ->
+    prerr_endline "usage: reasoner EXPR | --models EXPR | --equiv EXPR EXPR";
+    exit 2
+
+let cmd =
+  Cmd.v
+    (Cmd.info "reasoner" ~doc:"STP canonical forms and Boolean reasoning")
+    Term.(const run $ exprs $ models $ equiv $ algebraic)
+
+let () = exit (Cmd.eval cmd)

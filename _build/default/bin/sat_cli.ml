@@ -1,0 +1,54 @@
+(* DIMACS front-end for the CDCL solver.
+
+     dune exec bin/sat_cli.exe -- problem.cnf
+*)
+
+open Stp_sweep
+
+let run path conflict_limit =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let solver = Sat.Solver.create () in
+  (try Sat.Dimacs.load solver text
+   with Sat.Dimacs.Parse_error msg ->
+     Printf.eprintf "parse error: %s\n" msg;
+     exit 2);
+  match Sat.Solver.solve ?conflict_limit solver with
+  | Sat.Solver.Sat ->
+    print_endline "s SATISFIABLE";
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "v";
+    for v = 0 to Sat.Solver.num_vars solver - 1 do
+      let value =
+        match Sat.Solver.var_value solver v with
+        | Some true -> v + 1
+        | Some false | None -> -(v + 1)
+      in
+      Buffer.add_string buf (Printf.sprintf " %d" value)
+    done;
+    Buffer.add_string buf " 0";
+    print_endline (Buffer.contents buf);
+    Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+    exit 10
+  | Sat.Solver.Unsat ->
+    print_endline "s UNSATISFIABLE";
+    Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+    exit 20
+  | Sat.Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 0
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf")
+let limit = Arg.(value & opt (some int) None & info [ "conflicts" ] ~doc:"Conflict budget.")
+
+let cmd =
+  Cmd.v (Cmd.info "sat" ~doc:"CDCL solver on a DIMACS file")
+    Term.(const run $ file $ limit)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,80 @@
+(* The 'simulator' command, after ALSO's: simulate a circuit (a named
+   generated benchmark or an ASCII-AIGER file) with a chosen engine and
+   report runtime plus a signature digest. *)
+
+open Stp_sweep
+
+let load ~circuit ~file =
+  match (circuit, file) with
+  | Some name, None -> (
+    (name, try Gen.Suites.epfl_by_name name
+     with Not_found -> Gen.Suites.hwmcc_by_name name))
+  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
+  | _ ->
+    prerr_endline "exactly one of --circuit or --aig is required";
+    exit 2
+
+let digest tbl =
+  (* Cheap order-dependent fold so runs are comparable across engines. *)
+  Array.fold_left
+    (fun acc s -> Array.fold_left (fun acc w -> (acc * 31) + w land 0xFFFF) acc s)
+    17 tbl
+
+let run circuit file engine num_patterns k mode seed () =
+  let name, aig = load ~circuit ~file in
+  let pats =
+    Sim.Patterns.random ~seed:(Int64.of_int seed)
+      ~num_pis:(Aig.Network.num_pis aig) ~num_patterns
+  in
+  Printf.printf "circuit %s: %s\n" name
+    (Format.asprintf "%a" Aig.Network.pp_stats aig);
+  match mode with
+  | `Aig ->
+    let t, tbl =
+      Report.time (fun () ->
+          match engine with
+          | `Stp -> Sim.Stp_sim.simulate_aig aig pats
+          | `Bitwise -> Sim.Bitwise.simulate_aig aig pats)
+    in
+    Printf.printf "aig sim: %d patterns, %.3fs, digest %08x\n" num_patterns t
+      (digest tbl land 0xFFFFFFFF)
+  | `Lut ->
+    let lut = Klut.Mapper.map ~k aig in
+    Printf.printf "mapped: %s\n" (Format.asprintf "%a" Klut.Network.pp_stats lut);
+    let t, tbl =
+      Report.time (fun () ->
+          match engine with
+          | `Stp -> Sim.Stp_sim.simulate_klut lut pats
+          | `Bitwise -> Sim.Bitwise.simulate_klut lut pats)
+    in
+    Printf.printf "%d-lut sim: %d patterns, %.3fs, digest %08x\n" k
+      num_patterns t
+      (digest tbl land 0xFFFFFFFF)
+
+open Cmdliner
+
+let circuit =
+  Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~doc:"Named generated benchmark.")
+
+let file = Arg.(value & opt (some file) None & info [ "aig" ] ~doc:"ASCII AIGER file.")
+
+let engine =
+  Arg.(value & opt (enum [ ("stp", `Stp); ("bitwise", `Bitwise) ]) `Stp
+       & info [ "engine"; "e" ] ~doc:"Simulation engine.")
+
+let patterns = Arg.(value & opt int 10_000 & info [ "patterns"; "p" ] ~doc:"Pattern count.")
+let k = Arg.(value & opt int 6 & info [ "k" ] ~doc:"LUT size for --mode lut.")
+
+let mode =
+  Arg.(value & opt (enum [ ("aig", `Aig); ("lut", `Lut) ]) `Lut
+       & info [ "mode"; "m" ] ~doc:"Simulate the AIG directly or its k-LUT mapping.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Pattern seed.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "simulator" ~doc:"Simulate a circuit with the STP or bitwise engine")
+    Term.(const (fun a b c d e f g -> run a b c d e f g ())
+          $ circuit $ file $ engine $ patterns $ k $ mode $ seed)
+
+let () = exit (Cmd.eval cmd)

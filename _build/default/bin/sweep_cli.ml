@@ -1,0 +1,64 @@
+(* The 'sweep' command: SAT-sweep a circuit with the baseline or STP
+   engine, print statistics, optionally verify with CEC and write the
+   swept network back out as ASCII AIGER. *)
+
+open Stp_sweep
+
+let load ~circuit ~file =
+  match (circuit, file) with
+  | Some name, None -> (
+    (name, try Gen.Suites.hwmcc_by_name name
+     with Not_found -> Gen.Suites.epfl_by_name name))
+  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
+  | _ ->
+    prerr_endline "exactly one of --circuit or --aig is required";
+    exit 2
+
+let run circuit file engine verify output () =
+  let name, net = load ~circuit ~file in
+  Printf.printf "circuit %s: %s\n" name
+    (Format.asprintf "%a" Aig.Network.pp_stats net);
+  let swept, stats =
+    match engine with
+    | `Stp -> Sweep.Stp_sweep.sweep net
+    | `Fraig -> Sweep.Fraig.sweep net
+  in
+  Printf.printf "swept:   %s\n" (Format.asprintf "%a" Aig.Network.pp_stats swept);
+  Printf.printf "stats:   %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  if verify then begin
+    match Sweep.Cec.check net swept with
+    | Sweep.Cec.Equivalent -> print_endline "cec:     equivalent"
+    | Sweep.Cec.Different { po; _ } ->
+      Printf.printf "cec:     DIFFERENT at output %d\n" po;
+      exit 1
+    | Sweep.Cec.Undetermined po ->
+      Printf.printf "cec:     undetermined at output %d\n" po
+  end;
+  match output with
+  | Some path ->
+    Aig.Aiger.write_file path swept;
+    Printf.printf "wrote:   %s\n" path
+  | None -> ()
+
+open Cmdliner
+
+let circuit =
+  Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~doc:"Named generated benchmark.")
+
+let file = Arg.(value & opt (some file) None & info [ "aig" ] ~doc:"ASCII AIGER file.")
+
+let engine =
+  Arg.(value & opt (enum [ ("stp", `Stp); ("fraig", `Fraig) ]) `Stp
+       & info [ "engine"; "e" ] ~doc:"Sweeping engine.")
+
+let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write the swept AIG here.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
+    Term.(const (fun a b c d e -> run a b c d e ()) $ circuit $ file $ engine $ verify $ output)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,92 @@
+(* Regenerates Table I: circuit simulation runtime on the EPFL-family
+   benchmarks. For each circuit we time four engines on one shared
+   pattern set:
+
+     T_A  - AIG simulation, bitwise baseline vs STP engine
+     T_L  - 6-LUT simulation, per-bit baseline (what an off-the-shelf
+            bitwise simulator does to k-LUTs) vs STP matrix pass
+
+   The paper uses 10^6 random patterns on a 3.2 GHz M1; we default to
+   10^4 (override with --patterns) so the whole table takes minutes.
+   Both engines always see identical patterns, so the ratios ("x"
+   columns) are directly comparable with the paper's. *)
+
+open Stp_sweep
+
+let run ~num_patterns ~names () =
+  let suite =
+    match names with
+    | [] -> Gen.Suites.epfl ()
+    | names -> List.map (fun n -> (n, Gen.Suites.epfl_by_name n)) names
+  in
+  Printf.printf
+    "Table I: circuit simulation, %d random patterns per benchmark\n\n"
+    num_patterns;
+  let rows = ref [] in
+  let ratios_ta = ref [] and ratios_tl = ref [] in
+  List.iter
+    (fun (name, aig) ->
+      let lut = Klut.Mapper.map ~k:6 aig in
+      let pats =
+        Sim.Patterns.random ~seed:0xEB5L ~num_pis:(Aig.Network.num_pis aig)
+          ~num_patterns
+      in
+      let t_a_bitwise =
+        Report.time_repeat (fun () -> ignore (Sim.Bitwise.simulate_aig aig pats))
+      in
+      let t_a_stp =
+        Report.time_repeat (fun () -> ignore (Sim.Stp_sim.simulate_aig aig pats))
+      in
+      let t_l_bitwise =
+        Report.time_repeat (fun () -> ignore (Sim.Bitwise.simulate_klut lut pats))
+      in
+      let t_l_stp =
+        Report.time_repeat (fun () -> ignore (Sim.Stp_sim.simulate_klut lut pats))
+      in
+      (* Cross-check while we are here: engines must agree bit-exactly. *)
+      let ref_sig = Sim.Bitwise.simulate_klut lut pats in
+      let stp_sig = Sim.Stp_sim.simulate_klut lut pats in
+      if ref_sig <> stp_sig then
+        failwith (name ^ ": engines disagree — benchmark invalid");
+      let xa = t_a_bitwise /. t_a_stp and xl = t_l_bitwise /. t_l_stp in
+      ratios_ta := xa :: !ratios_ta;
+      ratios_tl := xl :: !ratios_tl;
+      rows :=
+        [
+          name;
+          string_of_int (Aig.Network.num_ands aig);
+          string_of_int (Klut.Network.num_luts lut);
+          Report.fmt_time t_a_bitwise;
+          Report.fmt_time t_l_bitwise;
+          Report.fmt_time t_a_stp;
+          Report.fmt_ratio xa;
+          Report.fmt_time t_l_stp;
+          Report.fmt_ratio xl;
+        ]
+        :: !rows)
+    suite;
+  let header =
+    [
+      "Benchmark"; "ands"; "luts"; "base T_A(s)"; "base T_L(s)"; "STP T_A(s)";
+      "x"; "STP T_L(s)"; "x";
+    ]
+  in
+  print_string (Report.render_table ~header (List.rev !rows));
+  Printf.printf "\nGeo. mean speedup  T_A: %.2fx   T_L: %.2fx\n"
+    (Report.geomean !ratios_ta) (Report.geomean !ratios_tl);
+  Printf.printf "(paper: T_A 0.99x, T_L 7.18x)\n"
+
+open Cmdliner
+
+let patterns =
+  Arg.(value & opt int 10_000 & info [ "patterns"; "p" ] ~doc:"Random patterns to simulate.")
+
+let names =
+  Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmarks (default: all twenty).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (simulation runtime)")
+    Term.(const (fun p n -> run ~num_patterns:p ~names:n ()) $ patterns $ names)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/equivalence_checking.ml: Aig Array Format Gen Sim Stp_sweep Sweep

@@ -1,0 +1,1 @@
+examples/liar_puzzle.ml: Format List Stp Stp_sweep String

@@ -1,0 +1,1 @@
+examples/liar_puzzle.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Array Format Klut Sim Stp_sweep Sweep

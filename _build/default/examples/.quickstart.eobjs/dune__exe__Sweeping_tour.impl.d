@@ -1,0 +1,1 @@
+examples/sweeping_tour.ml: Aig Array Format Gen List Sim Stp_sweep Sweep

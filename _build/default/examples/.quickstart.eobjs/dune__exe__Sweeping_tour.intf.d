@@ -1,0 +1,1 @@
+examples/sweeping_tour.mli:

@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Aig Format Gen Stp_sweep Sweep Synth

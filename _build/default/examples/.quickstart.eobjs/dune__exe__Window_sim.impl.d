@@ -1,0 +1,1 @@
+examples/window_sim.ml: Array Format Klut List Sim Stp_sweep String Tt

@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Array Buffer Fun List Lit Network Printf String

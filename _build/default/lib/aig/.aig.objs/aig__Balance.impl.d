@@ -1,0 +1,1 @@
+lib/aig/balance.ml: Array List Lit Network

@@ -1,0 +1,1 @@
+lib/aig/cone.ml: Array List Lit Network Sutil

@@ -1,0 +1,1 @@
+lib/aig/lit.ml: Format

@@ -1,0 +1,1 @@
+lib/aig/network.ml: Array Format Hashtbl Lit Sutil

@@ -1,0 +1,1 @@
+lib/aig/network.mli: Format Lit

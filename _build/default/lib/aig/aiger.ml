@@ -1,0 +1,141 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let read_gen ~allow_latches text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = 'c'))
+  in
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest ->
+    let ints_of_line line =
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some v -> v
+             | None -> fail "not an integer: %s" s)
+    in
+    let m, i, l, o, a =
+      match String.split_on_char ' ' (String.trim header) with
+      | [ "aag"; m; i; l; o; a ] ->
+        let p s = match int_of_string_opt s with
+          | Some v -> v
+          | None -> fail "bad header field %s" s
+        in
+        (p m, p i, p l, p o, p a)
+      | _ -> fail "bad header: %s" header
+    in
+    if l <> 0 && not allow_latches then fail "latches are not supported";
+    let expected_lines = i + l + o + a in
+    let body = List.filteri (fun idx _ -> idx < expected_lines) rest in
+    if List.length body < expected_lines then fail "truncated file";
+    let net = Network.create ~capacity:(m + 1) () in
+    (* node_of_var.(v) = our node id for AIGER variable v *)
+    let node_of_var = Array.make (m + 1) (-1) in
+    node_of_var.(0) <- 0;
+    (* node_of_var entries: -1 undefined; >= 0 a plain node id; <= -2 a
+       definition that structural hashing collapsed to the literal
+       [-(entry + 2)]. *)
+    let tr lit =
+      let v = lit lsr 1 in
+      if v > m then fail "literal %d out of range" lit;
+      let n = node_of_var.(v) in
+      if n = -1 then fail "forward or undefined reference to variable %d" v
+      else if n <= -2 then Lit.xor_compl (-(n + 2)) (lit land 1 = 1)
+      else Lit.of_node n (lit land 1 = 1)
+    in
+    let rec take k xs = if k = 0 then ([], xs) else
+      match xs with
+      | [] -> fail "truncated"
+      | x :: rest -> let a, b = take (k - 1) rest in (x :: a, b)
+    in
+    let inputs, rest1 = take i body in
+    let latches, rest2 = take l rest1 in
+    let outputs, ands = take o rest2 in
+    let define_pi lit =
+      if lit land 1 = 1 || lit = 0 then fail "bad input literal %d" lit;
+      if node_of_var.(lit lsr 1) <> -1 then fail "redefinition of %d" lit;
+      node_of_var.(lit lsr 1) <- Lit.node (Network.add_pi net)
+    in
+    List.iter
+      (fun line ->
+        match ints_of_line line with
+        | [ lit ] -> define_pi lit
+        | _ -> fail "bad input line: %s" line)
+      inputs;
+    (* Latch outputs become extra PIs; next-state literals are collected
+       and emitted as extra POs after the real ones. *)
+    let next_states =
+      List.map
+        (fun line ->
+          match ints_of_line line with
+          | [ q; next ] ->
+            define_pi q;
+            next
+          | _ -> fail "bad latch line: %s" line)
+        latches
+    in
+    List.iter
+      (fun line ->
+        match ints_of_line line with
+        | [ out; f0; f1 ] ->
+          if out land 1 = 1 || out = 0 then fail "bad AND literal %d" out;
+          let lit = Network.add_and net (tr f0) (tr f1) in
+          (* Structural hashing may simplify; record whatever literal the
+             definition resolves to. A complemented result is legal. *)
+          if node_of_var.(out lsr 1) >= 0 then fail "redefinition of %d" out;
+          if Lit.is_compl lit then node_of_var.(out lsr 1) <- -2 - lit
+          else node_of_var.(out lsr 1) <- Lit.node lit
+        | _ -> fail "bad AND line: %s" line)
+      ands;
+    List.iter
+      (fun line ->
+        match ints_of_line line with
+        | [ lit ] -> ignore (Network.add_po net (tr lit))
+        | _ -> fail "bad output line: %s" line)
+      outputs;
+    List.iter (fun next -> ignore (Network.add_po net (tr next))) next_states;
+    (net, l)
+
+let read text = fst (read_gen ~allow_latches:false text)
+let read_sequential text = read_gen ~allow_latches:true text
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read (really_input_string ic (in_channel_length ic)))
+
+let read_sequential_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read_sequential (really_input_string ic (in_channel_length ic)))
+
+let write net =
+  let buf = Buffer.create 4096 in
+  let m = Network.num_nodes net - 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m (Network.num_pis net)
+       (Network.num_pos net) (Network.num_ands net));
+  for i = 0 to Network.num_pis net - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (Lit.of_node (Network.pi_node net i) false))
+  done;
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" (l : Lit.t)))
+    (Network.pos net);
+  Network.iter_ands net (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n"
+           (Lit.of_node n false)
+           (Network.fanin0 net n) (Network.fanin1 net n)));
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (write net))

@@ -1,0 +1,30 @@
+(** ASCII AIGER ([aag]) reading and writing.
+
+    Combinational subset: the latch section must be empty when reading and
+    is never produced when writing. Literal numbering follows the AIGER
+    convention, which coincides with {!Lit.t} once node ids are assigned
+    in file order. *)
+
+exception Parse_error of string
+
+val read : string -> Network.t
+(** Parses an [aag] document from a string. Raises {!Parse_error} on
+    malformed input, latches, or forward references. *)
+
+val read_file : string -> Network.t
+
+val read_sequential : string -> Network.t * int
+(** Like {!read} but accepts latches by cutting the sequential loop the
+    way combinational sweeping tools do: each latch's output becomes an
+    extra PI (after the real PIs) and each latch's next-state input an
+    extra PO (after the real POs). Returns the network and the latch
+    count. This is how the HWMCC'15 model-checking circuits are consumed
+    by a combinational SAT sweeper. *)
+
+val read_sequential_file : string -> Network.t * int
+
+val write : Network.t -> string
+(** Serializes; nodes keep their ids (the network is already dense and
+    topologically ordered). *)
+
+val write_file : string -> Network.t -> unit

@@ -1,0 +1,88 @@
+
+
+(* Collect the leaves of the maximal AND tree rooted at [nd]: descend
+   through positive AND edges whose node has a single fanout (so the
+   collapse duplicates nothing). *)
+let collect_leaves net nd =
+  let leaves = ref [] in
+  let rec go l root =
+    let n = Lit.node l in
+    if
+      (not (Lit.is_compl l))
+      && Network.is_and net n
+      && (root || Network.fanout_count net n = 1)
+    then begin
+      go (Network.fanin0 net n) false;
+      go (Network.fanin1 net n) false
+    end
+    else leaves := l :: !leaves
+  in
+  go (Lit.of_node nd false) true;
+  !leaves
+
+let balance net =
+  let n = Network.num_nodes net in
+  let fresh = Network.create ~capacity:n () in
+  let map = Array.make n (-1) in
+  map.(0) <- Lit.false_;
+  let tr l =
+    let m = map.(Lit.node l) in
+    assert (m >= 0);
+    Lit.xor_compl m (Lit.is_compl l)
+  in
+  (* Nodes inside collapsed trees never get their own translation unless
+     some other fanout needs them; translate on demand. *)
+  let rec translate nd =
+    if map.(nd) >= 0 then map.(nd)
+    else begin
+      assert (Network.is_and net nd);
+      let leaves = collect_leaves net nd in
+      let translated =
+        List.map
+          (fun l -> Lit.xor_compl (translate (Lit.node l)) (Lit.is_compl l))
+          leaves
+      in
+      (* Balanced n-ary AND: repeatedly pair the two shallowest
+         operands (Huffman-style on level). *)
+      let by_level =
+        List.sort
+          (fun a b ->
+            compare (Network.level fresh (Lit.node a)) (Network.level fresh (Lit.node b)))
+          translated
+      in
+      let rec reduce = function
+        | [] -> Lit.true_
+        | [ x ] -> x
+        | x :: y :: rest ->
+          let one = Network.add_and fresh x y in
+          (* Re-insert keeping the level order. *)
+          let rec insert l = function
+            | [] -> [ l ]
+            | h :: t ->
+              if Network.level fresh (Lit.node l) <= Network.level fresh (Lit.node h)
+              then l :: h :: t
+              else h :: insert l t
+          in
+          reduce (insert one rest)
+      in
+      let result = reduce by_level in
+      map.(nd) <- result;
+      result
+    end
+  in
+  for i = 0 to Network.num_pis net - 1 do
+    map.(Network.pi_node net i) <- Network.add_pi fresh
+  done;
+  Array.iter
+    (fun l -> ignore (translate (Lit.node l)))
+    (Network.pos net);
+  Array.iter (fun l -> ignore (Network.add_po fresh (tr l))) (Network.pos net);
+  let cleaned, trans = Network.cleanup fresh in
+  let final =
+    Array.map (fun m -> if m < 0 then -1
+                else
+                  let t = trans.(Lit.node m) in
+                  if t < 0 then -1 else Lit.xor_compl t (Lit.is_compl m))
+      map
+  in
+  (cleaned, final)

@@ -1,0 +1,12 @@
+(** AND-tree balancing (ABC's [balance] pass).
+
+    Collapses maximal single-polarity AND trees into n-ary conjunctions
+    and rebuilds them as balanced trees, pairing the shallowest operands
+    first. Functionally exact; never increases depth, typically reduces
+    it substantially on chained arithmetic. Used in the examples and in
+    tests as a second source of structurally-different-but-equivalent
+    networks for the sweepers to reconverge. *)
+
+val balance : Network.t -> Network.t * Lit.t array
+(** Returns the balanced network and the old-node -> new-literal map
+    ([-1] for dropped nodes). PIs keep their indices. *)

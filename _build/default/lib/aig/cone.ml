@@ -1,0 +1,67 @@
+module Vec = Sutil.Vec
+
+let tfi_mark t roots =
+  let mark = Array.make (Network.num_nodes t) false in
+  let stack = Vec.create () in
+  let push n =
+    if n > 0 && not mark.(n) then begin
+      mark.(n) <- true;
+      Vec.push stack n
+    end
+  in
+  List.iter push roots;
+  while Vec.length stack > 0 do
+    let n = Vec.pop stack in
+    if Network.is_and t n then begin
+      push (Lit.node (Network.fanin0 t n));
+      push (Lit.node (Network.fanin1 t n))
+    end
+  done;
+  mark
+
+let tfi t roots =
+  let mark = tfi_mark t roots in
+  let out = ref [] in
+  for n = Array.length mark - 1 downto 1 do
+    if mark.(n) then out := n :: !out
+  done;
+  !out
+
+let tfi_bounded t roots ~limit =
+  let mark = Array.make (Network.num_nodes t) false in
+  let stack = Vec.create () in
+  let count = ref 0 in
+  let truncated = ref false in
+  let push n =
+    if n > 0 && not mark.(n) then
+      if !count >= limit then truncated := true
+      else begin
+        mark.(n) <- true;
+        incr count;
+        Vec.push stack n
+      end
+  in
+  List.iter push roots;
+  while Vec.length stack > 0 do
+    let n = Vec.pop stack in
+    if Network.is_and t n then begin
+      push (Lit.node (Network.fanin0 t n));
+      push (Lit.node (Network.fanin1 t n))
+    end
+  done;
+  let out = ref [] in
+  for n = Array.length mark - 1 downto 1 do
+    if mark.(n) then out := n :: !out
+  done;
+  (!out, !truncated)
+
+let leaves t roots =
+  let mark = tfi_mark t roots in
+  let out = ref [] in
+  for n = Array.length mark - 1 downto 1 do
+    if mark.(n) && Network.is_pi t n then out := n :: !out
+  done;
+  !out
+
+let cone_size t root =
+  List.length (List.filter (Network.is_and t) (tfi t [ root ]))

@@ -1,0 +1,24 @@
+(** Transitive fanin (TFI) cones.
+
+    The sweepers bound their driver search by TFI membership (the paper
+    caps the comparable nodes within the TFI at [n = 1000]), and the
+    SAT encoder works cone-by-cone; both use these traversals. *)
+
+val tfi : Network.t -> int list -> int list
+(** [tfi t roots] is every node (including the roots, excluding the
+    constant node) in the transitive fanin of [roots], in ascending —
+    hence topological — order. *)
+
+val tfi_bounded : Network.t -> int list -> limit:int -> int list * bool
+(** Like {!tfi} but stops collecting once [limit] nodes are gathered.
+    Returns the nodes found (ascending) and whether the cone was
+    truncated. *)
+
+val tfi_mark : Network.t -> int list -> bool array
+(** Membership array of length [num_nodes]: [true] for TFI members. *)
+
+val leaves : Network.t -> int list -> int list
+(** PIs feeding the cone of [roots], ascending node order. *)
+
+val cone_size : Network.t -> int -> int
+(** Number of AND nodes in the TFI of one node. *)

@@ -1,0 +1,15 @@
+type t = int
+
+let of_node n c = (n lsl 1) lor (if c then 1 else 0)
+let node l = l lsr 1
+let is_compl l = l land 1 = 1
+let not_ l = l lxor 1
+let xor_compl l c = if c then l lxor 1 else l
+let regular l = l land lnot 1
+let false_ = 0
+let true_ = 1
+let is_const l = l lsr 1 = 0
+
+let pp ppf l =
+  if is_compl l then Format.fprintf ppf "!%d" (node l)
+  else Format.fprintf ppf "%d" (node l)

@@ -1,0 +1,28 @@
+(** AIG literals.
+
+    A literal encodes a node reference plus a complement flag in one int:
+    [lit = 2 * node + (1 if complemented)] — the AIGER / ABC convention.
+    Node 0 is the constant-false node, so literal 0 is constant false and
+    literal 1 constant true. *)
+
+type t = int
+
+val of_node : int -> bool -> t
+(** [of_node n c] refers to node [n], complemented iff [c]. *)
+
+val node : t -> int
+val is_compl : t -> bool
+
+val not_ : t -> t
+val xor_compl : t -> bool -> t
+(** [xor_compl l c] complements [l] iff [c]. *)
+
+val regular : t -> t
+(** The positive-polarity literal of the same node. *)
+
+val false_ : t
+val true_ : t
+val is_const : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints node with polarity, e.g. [!7] or [7]. *)

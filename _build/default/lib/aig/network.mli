@@ -1,0 +1,101 @@
+(** And-Inverter Graphs.
+
+    Nodes are dense integers in creation order, which is also a valid
+    topological order (fanins always precede their fanouts). Node 0 is the
+    constant-false node; primary inputs and AND nodes follow in any
+    interleaving. Edges are {!Lit.t} values, so inverters are free.
+
+    [add_and] performs constant folding, unit rules, and structural
+    hashing: two calls with the same (canonically ordered) fanin pair
+    return the same node. Networks are append-only — simplification
+    produces a new network (see {!rebuild} and the sweepers), which keeps
+    every index array in the simulators and sweepers trivially valid. *)
+
+type t
+
+type node_kind = Const | Pi of int  (** PI index *) | And
+
+val create : ?capacity:int -> unit -> t
+
+(** {1 Construction} *)
+
+val add_pi : t -> Lit.t
+(** A fresh primary input, returned as a positive literal. *)
+
+val add_and : t -> Lit.t -> Lit.t -> Lit.t
+val add_or : t -> Lit.t -> Lit.t -> Lit.t
+val add_xor : t -> Lit.t -> Lit.t -> Lit.t
+(** XOR costs 3 AND nodes. *)
+
+val add_mux : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t
+(** [add_mux t s a b] is [if s then a else b]. *)
+
+val add_maj : t -> Lit.t -> Lit.t -> Lit.t -> Lit.t
+(** Majority of three. *)
+
+val add_po : t -> Lit.t -> int
+(** Registers a primary output; returns its index. *)
+
+(** {1 Structure} *)
+
+val num_nodes : t -> int
+(** Total nodes including the constant node. Valid node ids are
+    [0 .. num_nodes - 1]. *)
+
+val num_pis : t -> int
+val num_pos : t -> int
+val num_ands : t -> int
+
+val kind : t -> int -> node_kind
+val is_and : t -> int -> bool
+val is_pi : t -> int -> bool
+
+val fanin0 : t -> int -> Lit.t
+(** Fanin of an AND node. Raises [Invalid_argument] for non-AND nodes. *)
+
+val fanin1 : t -> int -> Lit.t
+
+val pi_node : t -> int -> int
+(** [pi_node t i] is the node id of PI [i]. *)
+
+val po : t -> int -> Lit.t
+(** Driver literal of output [i]. *)
+
+val pos : t -> Lit.t array
+
+val level : t -> int -> int
+(** Logic depth: 0 for constants and PIs. *)
+
+val depth : t -> int
+(** Maximum level over all PO drivers. *)
+
+val fanout_count : t -> int -> int
+(** Number of AND fanin slots plus PO slots referring to the node. *)
+
+val iter_ands : t -> (int -> unit) -> unit
+(** All AND nodes in topological order. *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+(** All nodes (constant, PIs, ANDs) in topological order. *)
+
+val find_and : t -> Lit.t -> Lit.t -> Lit.t option
+(** Structural-hash lookup without creating: the literal an [add_and]
+    call would return if the node (or a simplification) already exists. *)
+
+(** {1 Whole-network operations} *)
+
+val rebuild : ?map:Lit.t array -> t -> t * Lit.t array
+(** [rebuild ~map t] copies [t] into a fresh network while applying node
+    replacements and dropping logic no longer reachable from the POs.
+    [map.(n)] is a replacement literal {e in the old network} whose node
+    must precede [n] topologically, or [-1] to keep [n]; chains of
+    replacements are followed. Omitting [map] performs a plain dead-node
+    cleanup. Returns the new network and the old-node -> new-literal
+    translation ([-1] for dropped nodes). PIs are always kept, preserving
+    PI indices. *)
+
+val cleanup : t -> t * Lit.t array
+(** [rebuild] without replacements: drops dead nodes. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [pi/po/and/level] summary. *)

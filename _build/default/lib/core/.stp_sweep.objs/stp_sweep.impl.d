@@ -1,0 +1,1 @@
+lib/core/stp_sweep.ml: Aig Gen Klut Report Sat Sim Stp Sutil Sweep Synth Tt

@@ -1,0 +1,1 @@
+lib/core/report.ml: Float List Printf Stdlib String Sys

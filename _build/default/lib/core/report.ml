@@ -1,0 +1,47 @@
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
+let time_repeat ?(min_time = 0.2) f =
+  let t0 = Sys.time () in
+  let rec go runs =
+    f ();
+    let elapsed = Sys.time () -. t0 in
+    if elapsed >= min_time then elapsed /. float_of_int runs else go (runs + 1)
+  in
+  go 1
+
+let geomean xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+    let eps = 1e-9 in
+    let log_sum =
+      List.fold_left (fun acc x -> acc +. log (Float.max x eps)) 0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let render_table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init cols width in
+  let render_row row =
+    String.concat "  "
+      (List.map2
+         (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+         row widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+  ^ "\n"
+
+let fmt_time t = Printf.sprintf "%.3f" t
+let fmt_ratio r = Printf.sprintf "%.2f" r

@@ -1,0 +1,22 @@
+(** Small helpers shared by the table harnesses and benches: CPU timing,
+    geometric means, and fixed-width table rendering. *)
+
+val time : (unit -> 'a) -> float * 'a
+(** CPU seconds spent in the thunk. *)
+
+val time_repeat : ?min_time:float -> (unit -> unit) -> float
+(** Runs the thunk enough times to accumulate [min_time] CPU seconds
+    (default 0.2) and returns the per-run mean — stabilizes short
+    measurements. *)
+
+val geomean : float list -> float
+(** Geometric mean; zero entries are clamped to a small epsilon so a
+    single zero row cannot zero the whole summary. *)
+
+val render_table : header:string list -> string list list -> string
+(** Pads columns, separates with two spaces, underlines the header. *)
+
+val fmt_time : float -> string
+(** Seconds with three decimals. *)
+
+val fmt_ratio : float -> string

@@ -1,0 +1,1 @@
+lib/gen/arith.ml: Aig Array List Stdlib

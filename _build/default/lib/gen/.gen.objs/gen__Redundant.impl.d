@@ -1,0 +1,1 @@
+lib/gen/redundant.ml: Aig Array List Sutil

@@ -1,0 +1,1 @@
+lib/gen/suites.ml: Aig Arith Control Int64 List Redundant

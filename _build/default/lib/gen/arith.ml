@@ -1,0 +1,359 @@
+module A = Aig.Network
+module L = Aig.Lit
+
+(* ---- bit-vector building blocks ---- *)
+
+let pis net w = Array.init w (fun _ -> A.add_pi net)
+let pos net v = Array.iter (fun l -> ignore (A.add_po net l)) v
+
+let full_adder net a b c =
+  let sum = A.add_xor net (A.add_xor net a b) c in
+  let carry = A.add_maj net a b c in
+  (sum, carry)
+
+(* Ripple addition; returns (sum bits, carry out). *)
+let add_vec net a b cin =
+  let w = Array.length a in
+  let sum = Array.make w L.false_ in
+  let c = ref cin in
+  for i = 0 to w - 1 do
+    let s, c' = full_adder net a.(i) b.(i) !c in
+    sum.(i) <- s;
+    c := c'
+  done;
+  (sum, !c)
+
+(* a - b as a + ~b + 1; carry out = no borrow (a >= b). *)
+let sub_vec net a b =
+  let nb = Array.map L.not_ b in
+  let diff, carry = add_vec net a nb L.true_ in
+  (diff, carry)
+
+let mux_vec net s a b = Array.map2 (fun x y -> A.add_mux net s x y) a b
+
+let zero_vec w = Array.make w L.false_
+
+let resize v w =
+  if Array.length v >= w then Array.sub v 0 w
+  else Array.append v (zero_vec (w - Array.length v))
+
+(* Unsigned comparison a >= b via subtraction carry. *)
+let ge_vec net a b =
+  let _, carry = sub_vec net a b in
+  carry
+
+(* Array multiplication with ripple rows; result has |a|+|b| bits. *)
+let mul_vec net a b =
+  let wa = Array.length a and wb = Array.length b in
+  let acc = ref (zero_vec (wa + wb)) in
+  for j = 0 to wb - 1 do
+    let partial =
+      Array.init (wa + wb) (fun i ->
+          if i >= j && i - j < wa then A.add_and net a.(i - j) b.(j)
+          else L.false_)
+    in
+    let sum, _ = add_vec net !acc partial L.false_ in
+    acc := sum
+  done;
+  !acc
+
+(* ---- public builders ---- *)
+
+let ripple_adder ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  let sum, carry = add_vec net a b L.false_ in
+  pos net sum;
+  ignore (A.add_po net carry);
+  net
+
+let carry_lookahead_adder ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  let p = Array.init width (fun i -> A.add_xor net a.(i) b.(i)) in
+  let g = Array.init width (fun i -> A.add_and net a.(i) b.(i)) in
+  (* Block-of-4 lookahead: expand each carry as a sum of products over
+     its block, rippling between blocks. *)
+  let c = Array.make (width + 1) L.false_ in
+  let i = ref 0 in
+  while !i < width do
+    let block_end = min (!i + 4) width in
+    for k = !i to block_end - 1 do
+      (* c_{k+1} = g_k | p_k g_{k-1} | ... | p_k..p_{i+1} g_i
+                       | p_k..p_i c_i, products within the block. *)
+      let terms = ref [] in
+      let prod = ref L.true_ in
+      for j = k downto !i do
+        if j = k then terms := g.(j) :: !terms
+        else begin
+          (* prod currently = p_k..p_{j+1} *)
+          terms := A.add_and net !prod g.(j) :: !terms
+        end;
+        prod := A.add_and net !prod p.(j)
+      done;
+      terms := A.add_and net !prod c.(!i) :: !terms;
+      c.(k + 1) <- List.fold_left (A.add_or net) L.false_ !terms
+    done;
+    i := block_end
+  done;
+  let sum = Array.init width (fun k -> A.add_xor net p.(k) c.(k)) in
+  pos net sum;
+  ignore (A.add_po net c.(width));
+  net
+
+let kogge_stone_adder ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  (* Parallel prefix over (generate, propagate) pairs with the operator
+     (g, p) o (g', p') = (g | p & g', p & p'). *)
+  let g = ref (Array.init width (fun i -> A.add_and net a.(i) b.(i))) in
+  let p = ref (Array.init width (fun i -> A.add_xor net a.(i) b.(i))) in
+  let p_orig = !p in
+  let dist = ref 1 in
+  while !dist < width do
+    let g' = Array.copy !g and p' = Array.copy !p in
+    for i = !dist to width - 1 do
+      g'.(i) <- A.add_or net !g.(i) (A.add_and net !p.(i) !g.(i - !dist));
+      p'.(i) <- A.add_and net !p.(i) !p.(i - !dist)
+    done;
+    g := g';
+    p := p';
+    dist := 2 * !dist
+  done;
+  (* Carry into position i is the prefix generate of i-1. *)
+  let sum =
+    Array.init width (fun i ->
+        if i = 0 then p_orig.(0)
+        else A.add_xor net p_orig.(i) !g.(i - 1))
+  in
+  pos net sum;
+  ignore (A.add_po net !g.(width - 1));
+  net
+
+let subtractor ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  let diff, carry = sub_vec net a b in
+  pos net diff;
+  ignore (A.add_po net (L.not_ carry));
+  net
+
+let multiplier ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  pos net (mul_vec net a b);
+  net
+
+let square ~width =
+  let net = A.create () in
+  let a = pis net width in
+  pos net (mul_vec net a a);
+  net
+
+let wallace_multiplier ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  let out_w = 2 * width in
+  (* Partial-product bits bucketed by output column. *)
+  let columns = Array.make out_w [] in
+  for i = 0 to width - 1 do
+    for j = 0 to width - 1 do
+      columns.(i + j) <- A.add_and net a.(i) b.(j) :: columns.(i + j)
+    done
+  done;
+  (* 3:2 compression until every column holds at most two bits. *)
+  let pending = ref true in
+  while !pending do
+    pending := false;
+    for c = 0 to out_w - 1 do
+      if List.length columns.(c) > 2 then begin
+        pending := true;
+        match columns.(c) with
+        | x :: y :: z :: rest ->
+          let s = A.add_xor net (A.add_xor net x y) z in
+          let cy = A.add_maj net x y z in
+          columns.(c) <- s :: rest;
+          if c + 1 < out_w then columns.(c + 1) <- cy :: columns.(c + 1)
+        | _ -> assert false
+      end
+    done
+  done;
+  (* Final carry-propagate addition of the two remaining rows. *)
+  let row k =
+    Array.init out_w (fun c ->
+        match List.nth_opt columns.(c) k with Some l -> l | None -> L.false_)
+  in
+  let sum, _ = add_vec net (row 0) (row 1) L.false_ in
+  pos net sum;
+  net
+
+let divider ~width =
+  let net = A.create () in
+  let d = pis net width and v = pis net width in
+  let rw = width + 1 in
+  let v_ext = resize v rw in
+  let r = ref (zero_vec rw) in
+  let q = Array.make width L.false_ in
+  for i = width - 1 downto 0 do
+    (* r = (r << 1) | d_i *)
+    let shifted =
+      Array.init rw (fun k -> if k = 0 then d.(i) else !r.(k - 1))
+    in
+    let diff, no_borrow = sub_vec net shifted v_ext in
+    q.(i) <- no_borrow;
+    r := mux_vec net no_borrow diff shifted
+  done;
+  pos net q;
+  pos net (Array.sub !r 0 width);
+  net
+
+let sqrt ~width =
+  if width mod 2 <> 0 then invalid_arg "Arith.sqrt: width must be even";
+  let net = A.create () in
+  let d = pis net width in
+  let half = width / 2 in
+  let rw = width + 2 in
+  let rem = ref (zero_vec rw) in
+  let root = ref (zero_vec half) in
+  for step = half - 1 downto 0 do
+    (* rem = (rem << 2) | d[2*step+1 .. 2*step] *)
+    let shifted =
+      Array.init rw (fun k ->
+          if k = 0 then d.(2 * step)
+          else if k = 1 then d.((2 * step) + 1)
+          else !rem.(k - 2))
+    in
+    (* trial = (root << 2) | 1 *)
+    let trial =
+      Array.init rw (fun k ->
+          if k = 0 then L.true_
+          else if k = 1 then L.false_
+          else if k - 2 < half then !root.(k - 2)
+          else L.false_)
+    in
+    let diff, fits = sub_vec net shifted trial in
+    rem := mux_vec net fits diff shifted;
+    (* root = (root << 1) | fits *)
+    root := Array.init half (fun k -> if k = 0 then fits else !root.(k - 1))
+  done;
+  pos net !root;
+  net
+
+let barrel_shifter ~width =
+  let log =
+    let rec go w acc = if w <= 1 then acc else go (w lsr 1) (acc + 1) in
+    go width 0
+  in
+  if 1 lsl log <> width then
+    invalid_arg "Arith.barrel_shifter: width must be a power of two";
+  let net = A.create () in
+  let x = pis net width and amt = pis net log in
+  let v = ref x in
+  for k = 0 to log - 1 do
+    let sh = 1 lsl k in
+    let shifted =
+      Array.init width (fun i -> if i < sh then L.false_ else !v.(i - sh))
+    in
+    v := mux_vec net amt.(k) shifted !v
+  done;
+  pos net !v;
+  net
+
+let max ~width ~operands =
+  if operands < 2 then invalid_arg "Arith.max: at least two operands";
+  let net = A.create () in
+  let ops = Array.init operands (fun _ -> pis net width) in
+  let max2 a b =
+    let a_ge = ge_vec net a b in
+    mux_vec net a_ge a b
+  in
+  let rec tree = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: b :: rest -> max2 a b :: pair rest
+        | tail -> tail
+      in
+      tree (pair xs)
+  in
+  pos net (tree (Array.to_list ops));
+  net
+
+(* highest-set-bit one-hot: bit i set iff x_i and no higher bit. *)
+let highest_onehot net x =
+  let w = Array.length x in
+  let suffix_or = Array.make (w + 1) L.false_ in
+  for i = w - 1 downto 0 do
+    suffix_or.(i) <- A.add_or net x.(i) suffix_or.(i + 1)
+  done;
+  Array.init w (fun i -> A.add_and net x.(i) (L.not_ suffix_or.(i + 1)))
+
+let encode_position net onehot out_bits =
+  Array.init out_bits (fun b ->
+      let terms = ref L.false_ in
+      Array.iteri
+        (fun i h -> if (i lsr b) land 1 = 1 then terms := A.add_or net !terms h)
+        onehot;
+      !terms)
+
+let bits_for n =
+  let rec go k acc = if k <= 1 then acc else go ((k + 1) / 2) (acc + 1) in
+  go n 0
+
+let log2_floor ~width =
+  let net = A.create () in
+  let x = pis net width in
+  let oh = highest_onehot net x in
+  let out = encode_position net oh (Stdlib.max 1 (bits_for width)) in
+  pos net out;
+  (* zero-input flag *)
+  let any = Array.fold_left (A.add_or net) L.false_ x in
+  ignore (A.add_po net (L.not_ any));
+  net
+
+let int2float ~width =
+  let net = A.create () in
+  let x = pis net width in
+  let oh = highest_onehot net x in
+  let exponent = encode_position net oh (Stdlib.max 1 (bits_for width)) in
+  (* Mantissa: the 8 bits below the leading one, selected by the
+     one-hot position. *)
+  let mantissa =
+    Array.init 8 (fun j ->
+        let terms = ref L.false_ in
+        Array.iteri
+          (fun i h ->
+            let src = i - 1 - j in
+            if src >= 0 then terms := A.add_or net !terms (A.add_and net h x.(src)))
+          oh;
+        !terms)
+  in
+  pos net exponent;
+  pos net mantissa;
+  net
+
+let hyp ~width =
+  let net = A.create () in
+  let a = pis net width and b = pis net width in
+  let aa = mul_vec net a a in
+  let bb = mul_vec net b b in
+  let sum, carry = add_vec net aa bb L.false_ in
+  pos net sum;
+  ignore (A.add_po net carry);
+  net
+
+let sin_poly ~width =
+  let net = A.create () in
+  let x = pis net width in
+  let trunc v = resize v width in
+  let x2 = trunc (mul_vec net x x) in
+  let x3 = trunc (mul_vec net x2 x) in
+  let x5 = trunc (mul_vec net x3 (trunc (mul_vec net x x))) in
+  let shr v k =
+    Array.init width (fun i -> if i + k < width then v.(i + k) else L.false_)
+  in
+  let t1, _ = add_vec net x (shr x3 3) L.false_ in
+  let t2, _ = add_vec net t1 (shr x5 6) L.false_ in
+  pos net t2;
+  net

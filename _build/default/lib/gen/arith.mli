@@ -1,0 +1,61 @@
+(** Arithmetic circuit generators (the EPFL suite's arithmetic family).
+
+    All builders return a self-contained AIG. Multi-bit buses are little
+    endian: PI order is operand A bits 0..w-1, then operand B, etc.; PO
+    order likewise. Every builder is deterministic. *)
+
+val ripple_adder : width:int -> Aig.Network.t
+(** [2w] PIs, [w+1] POs (sum, carry out). *)
+
+val carry_lookahead_adder : width:int -> Aig.Network.t
+(** Same function as {!ripple_adder}, different structure — block-wise
+    generate/propagate. Useful for equivalence workloads. *)
+
+val kogge_stone_adder : width:int -> Aig.Network.t
+(** Same function again, parallel-prefix structure: logarithmic depth,
+    the third structurally distinct adder for CEC and sweeping tests. *)
+
+val wallace_multiplier : width:int -> Aig.Network.t
+(** Same function as {!multiplier}, built as a Wallace tree (3:2
+    compressor reduction) instead of ripple rows. *)
+
+val subtractor : width:int -> Aig.Network.t
+(** [a - b] two's complement; [w+1] POs (difference, borrow). *)
+
+val multiplier : width:int -> Aig.Network.t
+(** Array multiplier, [2w] PIs, [2w] POs. *)
+
+val square : width:int -> Aig.Network.t
+(** [w] PIs, [2w] POs — the multiplier with both operands tied. *)
+
+val divider : width:int -> Aig.Network.t
+(** Restoring array divider: [2w] PIs (dividend, divisor), [2w] POs
+    (quotient, remainder). Division by zero yields quotient all-ones. *)
+
+val sqrt : width:int -> Aig.Network.t
+(** Restoring square root; [width] even. [w] PIs, [w/2] POs. *)
+
+val barrel_shifter : width:int -> Aig.Network.t
+(** Logical left shifter: [w + log2 w] PIs (value, amount), [w] POs.
+    [width] must be a power of two. *)
+
+val max : width:int -> operands:int -> Aig.Network.t
+(** Maximum of [operands] unsigned words via a comparator/mux tree.
+    [operands * width] PIs, [width] POs. *)
+
+val log2_floor : width:int -> Aig.Network.t
+(** Floor of log2 (priority position of the highest set bit): [w] PIs,
+    [ceil log2 w] POs plus a "zero input" flag PO. *)
+
+val int2float : width:int -> Aig.Network.t
+(** Toy normalizer: leading-one position (exponent) and the [8] bits
+    after it (mantissa), like the EPFL int2float kernel. *)
+
+val hyp : width:int -> Aig.Network.t
+(** Hypotenuse-style kernel: [a*a + b*b] over [2w] PIs — a deep
+    multiply-accumulate chain like the EPFL [hyp]. *)
+
+val sin_poly : width:int -> Aig.Network.t
+(** Odd-polynomial kernel [x - x^3/8 + x^5/64] in fixed point — a
+    multiplier-rich datapath standing in for the EPFL [sin]. [w] PIs,
+    [w] POs. *)

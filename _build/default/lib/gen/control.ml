@@ -1,0 +1,268 @@
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+let pis net w = Array.init w (fun _ -> A.add_pi net)
+let pos net v = Array.iter (fun l -> ignore (A.add_po net l)) v
+
+let bits_for n =
+  let rec go k acc = if k <= 1 then acc else go ((k + 1) / 2) (acc + 1) in
+  Stdlib.max 1 (go n 0)
+
+let decoder ~bits =
+  let net = A.create () in
+  let sel = pis net bits in
+  for v = 0 to (1 lsl bits) - 1 do
+    let term =
+      Array.to_list sel
+      |> List.mapi (fun i s -> if (v lsr i) land 1 = 1 then s else L.not_ s)
+      |> List.fold_left (A.add_and net) L.true_
+    in
+    ignore (A.add_po net term)
+  done;
+  net
+
+let priority_encoder ~width =
+  let net = A.create () in
+  let req = pis net width in
+  (* lowest set bit one-hot *)
+  let prefix_or = Array.make (width + 1) L.false_ in
+  for i = 1 to width do
+    prefix_or.(i) <- A.add_or net prefix_or.(i - 1) req.(i - 1)
+  done;
+  let oh = Array.init width (fun i -> A.add_and net req.(i) (L.not_ prefix_or.(i))) in
+  let out =
+    Array.init (bits_for width) (fun b ->
+        let acc = ref L.false_ in
+        Array.iteri (fun i h -> if (i lsr b) land 1 = 1 then acc := A.add_or net !acc h) oh;
+        !acc)
+  in
+  pos net out;
+  ignore (A.add_po net prefix_or.(width));
+  net
+
+let arbiter ~clients =
+  let net = A.create () in
+  let req = pis net clients in
+  let ptr = pis net (bits_for clients) in
+  (* ptr_is.(k): the rotation pointer equals k (decoder over the pointer
+     PIs; out-of-range codes grant nothing). *)
+  let ptr_is =
+    Array.init clients (fun k ->
+        Array.to_list ptr
+        |> List.mapi (fun b s -> if (k lsr b) land 1 = 1 then s else L.not_ s)
+        |> List.fold_left (A.add_and net) L.true_)
+  in
+  (* grant_i = exists rotation k where ptr=k and i is the first requester
+     in the order k, k+1, ..., i. *)
+  let grants = Array.make clients L.false_ in
+  for k = 0 to clients - 1 do
+    let blocked = ref L.false_ in
+    for d = 0 to clients - 1 do
+      let i = (k + d) mod clients in
+      let fires = A.add_and net req.(i) (L.not_ !blocked) in
+      grants.(i) <- A.add_or net grants.(i) (A.add_and net ptr_is.(k) fires);
+      blocked := A.add_or net !blocked req.(i)
+    done
+  done;
+  pos net grants;
+  net
+
+let popcount net bits =
+  (* Sum single-bit inputs into a binary count with full adders. *)
+  let rec reduce = function
+    | [] -> [ L.false_ ]
+    | [ x ] -> [ x ]
+    | xs ->
+      (* Group into threes: each (a,b,c) -> sum + 2*carry. *)
+      let rec group sums carries = function
+        | a :: b :: c :: rest ->
+          let s = A.add_xor net (A.add_xor net a b) c in
+          let cy = A.add_maj net a b c in
+          group (s :: sums) (cy :: carries) rest
+        | [ a; b ] ->
+          let s = A.add_xor net a b in
+          let cy = A.add_and net a b in
+          (s :: sums, cy :: carries)
+        | [ a ] -> (a :: sums, carries)
+        | [] -> (sums, carries)
+      in
+      let sums, carries = group [] [] xs in
+      let low = reduce sums in
+      let high = reduce carries in
+      (* result = low + 2*high, ripple *)
+      let w = 1 + Stdlib.max (List.length low) (List.length high + 1) in
+      let get l i =
+        if i < 0 then L.false_
+        else match List.nth_opt l i with Some x -> x | None -> L.false_
+      in
+      let out = Array.make w L.false_ in
+      let carry = ref L.false_ in
+      for i = 0 to w - 1 do
+        let a = get low i and b = get high (i - 1) in
+        let s = A.add_xor net (A.add_xor net a b) !carry in
+        out.(i) <- s;
+        carry := A.add_maj net a b !carry
+      done;
+      Array.to_list out
+  in
+  reduce bits
+
+let voter ~inputs =
+  if inputs mod 2 = 0 then invalid_arg "Control.voter: inputs must be odd";
+  let net = A.create () in
+  let xs = pis net inputs in
+  let count = popcount net (Array.to_list xs) in
+  (* majority <=> count >= (inputs+1)/2: compare against the constant. *)
+  let threshold = (inputs + 1) / 2 in
+  let w = List.length count in
+  let const_bits = Array.init w (fun i -> (threshold lsr i) land 1 = 1) in
+  (* count >= threshold via ripple borrow of threshold - count. *)
+  let ge = ref L.true_ in
+  List.iteri
+    (fun i c ->
+      let t = const_bits.(i) in
+      (* ge' = (c > t) | (c = t) & ge = standard msb-first fold; build
+         lsb-first instead: ge_{i+1} over bits 0..i. *)
+      let c_gt = if t then L.false_ else c in
+      let c_eq = if t then c else L.not_ c in
+      ge := A.add_or net c_gt (A.add_and net c_eq !ge))
+    count;
+  ignore (A.add_po net !ge);
+  net
+
+let parity ~width =
+  let net = A.create () in
+  let xs = pis net width in
+  let out = Array.fold_left (A.add_xor net) L.false_ xs in
+  ignore (A.add_po net out);
+  net
+
+let mux_tree ~select_bits =
+  let net = A.create () in
+  let data = pis net (1 lsl select_bits) in
+  let sel = pis net select_bits in
+  let v = ref (Array.to_list data) in
+  for k = 0 to select_bits - 1 do
+    let rec pair = function
+      | a :: b :: rest -> A.add_mux net sel.(k) b a :: pair rest
+      | tail -> tail
+    in
+    v := pair !v
+  done;
+  (match !v with
+   | [ out ] -> ignore (A.add_po net out)
+   | _ -> assert false);
+  net
+
+let crossbar ~ports ~width =
+  let net = A.create () in
+  let buses = Array.init ports (fun _ -> pis net width) in
+  let selbits = bits_for ports in
+  let sels = Array.init ports (fun _ -> pis net selbits) in
+  for o = 0 to ports - 1 do
+    let out =
+      Array.init width (fun b ->
+          let acc = ref L.false_ in
+          for i = 0 to ports - 1 do
+            let is_i =
+              Array.to_list sels.(o)
+              |> List.mapi (fun k s -> if (i lsr k) land 1 = 1 then s else L.not_ s)
+              |> List.fold_left (A.add_and net) L.true_
+            in
+            acc := A.add_or net !acc (A.add_and net is_i buses.(i).(b))
+          done;
+          !acc)
+    in
+    pos net out
+  done;
+  net
+
+(* Fold every signal with no fanout into the outputs so generated
+   circuits are fully live, like real netlists: dead cones would
+   otherwise dominate the gate count and vanish at the first cleanup. *)
+let fold_dangling net rng pos_drivers =
+  let dangling = ref [] in
+  A.iter_ands net (fun nd ->
+      if A.fanout_count net nd = 0 then
+        dangling := L.of_node nd false :: !dangling);
+  match (!dangling, pos_drivers) with
+  | [], _ | _, [] -> pos_drivers
+  | _ ->
+    let drivers = Array.of_list pos_drivers in
+    List.iter
+      (fun l ->
+        let slot = Rng.int rng (Array.length drivers) in
+        drivers.(slot) <- A.add_xor net drivers.(slot) l)
+      !dangling;
+    Array.to_list drivers
+
+let random_logic ~seed ~pis:num_pis ~gates ~pos:num_pos =
+  let rng = Rng.create seed in
+  let net = A.create () in
+  let inputs = pis net num_pis in
+  let signals = ref (Array.to_list inputs) in
+  let count = ref (List.length !signals) in
+  let pick () =
+    let l = List.nth !signals (Rng.int rng !count) in
+    L.xor_compl l (Rng.bool rng)
+  in
+  for _ = 1 to gates do
+    let l =
+      match Rng.int rng 8 with
+      | 0 | 1 | 2 -> A.add_and net (pick ()) (pick ())
+      | 3 | 4 -> A.add_or net (pick ()) (pick ())
+      | 5 | 6 -> A.add_xor net (pick ()) (pick ())
+      | _ -> A.add_mux net (pick ()) (pick ()) (pick ())
+    in
+    if not (L.is_const l) then begin
+      signals := l :: !signals;
+      incr count
+    end
+  done;
+  let drivers = List.init num_pos (fun _ -> pick ()) in
+  (* Repeated folding: folding can itself leave new dangling nodes only
+     at the drivers, which are about to become POs. *)
+  let drivers = fold_dangling net rng drivers in
+  List.iter (fun l -> ignore (A.add_po net l)) drivers;
+  net
+
+let fsm_next_state ~seed ~state_bits ~input_bits ~complexity =
+  let rng = Rng.create seed in
+  let net = A.create () in
+  let state = pis net state_bits in
+  let inputs = pis net input_bits in
+  let base = Array.append state inputs in
+  let next =
+    Array.init state_bits (fun _ ->
+        (* A random cone mixing state and input bits. *)
+        let signals = ref (Array.to_list base) in
+        let count = ref (Array.length base) in
+        let pick () =
+          let l = List.nth !signals (Rng.int rng !count) in
+          L.xor_compl l (Rng.bool rng)
+        in
+        for _ = 1 to complexity do
+          let l =
+            match Rng.int rng 4 with
+            | 0 | 1 -> A.add_and net (pick ()) (pick ())
+            | 2 -> A.add_or net (pick ()) (pick ())
+            | _ -> A.add_xor net (pick ()) (pick ())
+          in
+          if not (L.is_const l) then begin
+            signals := l :: !signals;
+            incr count
+          end
+        done;
+        pick ())
+  in
+  (* A couple of flag cones over the next-state bits, with all dangling
+     intermediate logic folded in (next-state cones only sample their
+     random signals). *)
+  let all_flag = Array.fold_left (A.add_and net) L.true_ next in
+  let parity_flag = Array.fold_left (A.add_xor net) L.false_ next in
+  let drivers =
+    fold_dangling net rng (Array.to_list next @ [ all_flag; parity_flag ])
+  in
+  List.iter (fun l -> ignore (A.add_po net l)) drivers;
+  net

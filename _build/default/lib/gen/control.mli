@@ -1,0 +1,43 @@
+(** Random-logic and control circuit generators (the EPFL suite's control
+    family and the HWMCC-style next-state cones).
+
+    Everything is deterministic in its parameters; circuits carrying a
+    [seed] use the shared splitmix64 stream. *)
+
+val decoder : bits:int -> Aig.Network.t
+(** Full binary decoder: [bits] PIs, [2^bits] one-hot POs. *)
+
+val priority_encoder : width:int -> Aig.Network.t
+(** Position of the lowest set request bit, plus a valid flag. *)
+
+val arbiter : clients:int -> Aig.Network.t
+(** Fixed-priority arbiter replicated over all rotations (a combinational
+    stand-in for a round-robin arbiter): [clients] request PIs +
+    [ceil log2 clients] pointer PIs; [clients] grant POs. *)
+
+val voter : inputs:int -> Aig.Network.t
+(** Majority vote of [inputs] (odd) single-bit inputs via a population
+    counter and threshold compare. *)
+
+val parity : width:int -> Aig.Network.t
+(** XOR tree. *)
+
+val mux_tree : select_bits:int -> Aig.Network.t
+(** [2^s] data PIs + [s] select PIs, one PO. *)
+
+val crossbar : ports:int -> width:int -> Aig.Network.t
+(** Router-style crossbar: [ports] data buses, per-output select fields,
+    fully muxed. *)
+
+val random_logic :
+  seed:int64 -> pis:int -> gates:int -> pos:int -> Aig.Network.t
+(** A random DAG of AND/OR/XOR/MUX over random earlier signals — the
+    stand-in for cavlc/ctrl/i2c/mem_ctrl-style control blocks. Gate count
+    is approximate (structural hashing may fold some). *)
+
+val fsm_next_state :
+  seed:int64 -> state_bits:int -> input_bits:int -> complexity:int ->
+  Aig.Network.t
+(** Next-state and output cones of a random Mealy machine: the HWMCC-like
+    shape — state and input PIs, state' and flag POs, built from
+    [complexity] random gates per state bit. *)

@@ -1,0 +1,74 @@
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+(* Flatten the conjunction tree under a positive AND literal, stopping at
+   complemented edges, PIs, and a depth bound. *)
+let rec flatten net lit depth acc =
+  if L.is_compl lit || depth = 0 || not (A.is_and net (L.node lit)) then
+    lit :: acc
+  else
+    let n = L.node lit in
+    flatten net (A.fanin0 net n) (depth - 1)
+      (flatten net (A.fanin1 net n) (depth - 1) acc)
+
+(* x = x & (f0 | f1): adds an OR node and a fresh top AND containing the
+   original — always structurally distinct, always equivalent. *)
+let strengthen net m =
+  let n = L.node m in
+  let f0 = A.fanin0 net n and f1 = A.fanin1 net n in
+  A.add_and net m (A.add_or net f0 f1)
+
+let inject ~seed ~fraction net =
+  if fraction < 0. || fraction > 1. then invalid_arg "Redundant.inject";
+  let rng = Rng.create seed in
+  let fresh = A.create ~capacity:(2 * A.num_nodes net) () in
+  let map = Array.make (A.num_nodes net) (-1) in
+  let dup = Array.make (A.num_nodes net) (-1) in
+  (* 0 = dup unused so far, 1 = dup used once (orig next), 2 = free *)
+  let dup_state = Array.make (A.num_nodes net) 0 in
+  map.(0) <- L.false_;
+  let tr l =
+    let nd = L.node l in
+    let target =
+      if dup.(nd) >= 0 then begin
+        match dup_state.(nd) with
+        | 0 ->
+          dup_state.(nd) <- 1;
+          dup.(nd)
+        | 1 ->
+          dup_state.(nd) <- 2;
+          map.(nd)
+        | _ -> if Rng.bool rng then dup.(nd) else map.(nd)
+      end
+      else map.(nd)
+    in
+    L.xor_compl target (L.is_compl l)
+  in
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi _ -> map.(nd) <- A.add_pi fresh
+      | A.And ->
+        let m = A.add_and fresh (tr (A.fanin0 net nd)) (tr (A.fanin1 net nd)) in
+        map.(nd) <- m;
+        (* Only plain AND results are eligible (folds and hash hits keep
+           their existing duplicates, if any). *)
+        if
+          (not (L.is_compl m))
+          && (not (L.is_const m))
+          && A.is_and fresh (L.node m)
+          && Rng.float rng < fraction
+        then begin
+          let leaves = flatten fresh m 3 [] in
+          let candidate =
+            if List.length leaves >= 3 then
+              (* Re-associate the conjunction in reversed leaf order. *)
+              List.fold_left (A.add_and fresh) L.true_ (List.rev leaves)
+            else m
+          in
+          let d = if candidate <> m then candidate else strengthen fresh m in
+          if d <> m then dup.(nd) <- d
+        end);
+  Array.iter (fun l -> ignore (A.add_po fresh (tr l))) (A.pos net);
+  fresh

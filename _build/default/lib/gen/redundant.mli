@@ -1,0 +1,19 @@
+(** Redundancy injection — the workload that makes SAT-sweeping earn its
+    keep.
+
+    Real HWMCC/IWLS circuits contain many functionally equivalent but
+    structurally distinct internal nodes (synthesis artifacts, retimed
+    copies, speculation). The benchmark files are not available in this
+    container, so this module manufactures that property: it rewrites a
+    fraction of the AND nodes into structurally different but equivalent
+    implementations (re-associated conjunction trees, strengthened
+    [x = x & (a | b)] forms) and routes a random share of each node's
+    fanout through the duplicate. Structural hashing cannot reconverge
+    the copies; simulation + SAT can — exactly the paper's Table II
+    setting. *)
+
+val inject :
+  seed:int64 -> fraction:float -> Aig.Network.t -> Aig.Network.t
+(** [inject ~seed ~fraction net] — [fraction] of eligible AND nodes (in
+    [0,1]) get a duplicate implementation. The result is functionally
+    equivalent to [net] (same PI/PO interface) and strictly larger. *)

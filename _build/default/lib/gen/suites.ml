@@ -1,0 +1,94 @@
+module A = Aig.Network
+
+(* Table I's EPFL families. Widths are chosen so each circuit lands in
+   the hundreds-to-thousands of AND gates: large enough that simulation
+   time is meaningful, small enough that the whole table regenerates in
+   minutes. *)
+let epfl_builders : (string * (unit -> A.t)) list =
+  [
+    ("adder", fun () -> Arith.ripple_adder ~width:128);
+    ("bar", fun () -> Arith.barrel_shifter ~width:64);
+    ("div", fun () -> Arith.divider ~width:24);
+    ("hyp", fun () -> Arith.hyp ~width:24);
+    ("log2", fun () -> Arith.log2_floor ~width:256);
+    ("max", fun () -> Arith.max ~width:32 ~operands:4);
+    ("multiplier", fun () -> Arith.multiplier ~width:24);
+    ("sin", fun () -> Arith.sin_poly ~width:16);
+    ("sqrt", fun () -> Arith.sqrt ~width:32);
+    ("square", fun () -> Arith.square ~width:24);
+    ("arbiter", fun () -> Control.arbiter ~clients:24);
+    ("cavlc", fun () -> Control.random_logic ~seed:0xCA71CL ~pis:10 ~gates:700 ~pos:11);
+    ("ctrl", fun () -> Control.random_logic ~seed:0xC791L ~pis:7 ~gates:180 ~pos:25);
+    ("dec", fun () -> Control.decoder ~bits:8);
+    ("i2c", fun () -> Control.random_logic ~seed:0x12CL ~pis:18 ~gates:1300 ~pos:14);
+    ("int2float", fun () -> Arith.int2float ~width:64);
+    ("mem_ctrl", fun () -> Control.random_logic ~seed:0x3E3L ~pis:48 ~gates:9000 ~pos:22);
+    ("priority", fun () -> Control.priority_encoder ~width:128);
+    ("router", fun () -> Control.crossbar ~ports:4 ~width:8);
+    ("voter", fun () -> Control.voter ~inputs:127);
+  ]
+
+(* Table II's HWMCC'15 / IWLS'05 rows: a base circuit of the right
+   flavour (next-state logic for the 6s*/beem*/oski* model-checking rows,
+   larger control/datapath mixes for b18/b19/leon2) with injected
+   redundancy so the sweepers have genuine merge opportunities. *)
+let hwmcc_builders : (string * (unit -> A.t)) list =
+  let fsm name seed state_bits input_bits complexity fraction =
+    ( name,
+      fun () ->
+        Redundant.inject ~seed:(Int64.of_int (seed * 7919)) ~fraction
+          (Control.fsm_next_state ~seed:(Int64.of_int seed) ~state_bits
+             ~input_bits ~complexity) )
+  in
+  let mix name seed pis gates pos fraction =
+    ( name,
+      fun () ->
+        Redundant.inject ~seed:(Int64.of_int (seed * 104729)) ~fraction
+          (Control.random_logic ~seed:(Int64.of_int seed) ~pis ~gates ~pos) )
+  in
+  let datapath name seed width fraction =
+    (* Restoring dividers: compare-subtract chains whose intermediate
+       nodes toggle rarely under random patterns, so candidate classes
+       stay fat until refined — the workload where exhaustive windows
+       pay off. *)
+    ( name,
+      fun () ->
+        Redundant.inject ~seed:(Int64.of_int (seed * 31337)) ~fraction
+          (Arith.divider ~width) )
+  in
+  [
+    fsm "6s100" 100 64 48 60 0.25;
+    fsm "6s20" 20 24 16 50 0.30;
+    fsm "6s203b41" 203 56 40 45 0.20;
+    fsm "6s281b35" 281 72 48 70 0.25;
+    fsm "6s342rb122" 342 48 40 40 0.20;
+    fsm "6s350rb46" 350 80 56 60 0.22;
+    fsm "6s382r" 382 64 48 55 0.28;
+    fsm "6s392r" 392 60 44 50 0.24;
+    mix "beemfwt4b1" 441 24 900 16 0.30;
+    mix "beemfwt5b3" 553 28 1800 20 0.30;
+    mix "oski15a07b0s" 157 30 2200 18 0.25;
+    mix "oski2b1i" 221 34 3400 22 0.25;
+    datapath "b18" 18 12 0.20;
+    datapath "b19" 19 14 0.20;
+    mix "leon2" 777 56 7000 40 0.18;
+  ]
+
+(* Builders can leave dead logic behind (e.g. truncated multiplier
+   halves); benchmarks must count only live gates. *)
+let clean net = fst (A.cleanup net)
+
+let build builders = List.map (fun (name, f) -> (name, clean (f ()))) builders
+
+let epfl () = build epfl_builders
+let hwmcc () = build hwmcc_builders
+
+let by_name builders name =
+  match List.assoc_opt name builders with
+  | Some f -> clean (f ())
+  | None -> raise Not_found
+
+let epfl_by_name = by_name epfl_builders
+let hwmcc_by_name = by_name hwmcc_builders
+let names_epfl = List.map fst epfl_builders
+let names_hwmcc = List.map fst hwmcc_builders

@@ -1,0 +1,23 @@
+(** Named benchmark suites mirroring the paper's tables.
+
+    The EPFL, HWMCC'15 and IWLS'05 benchmark files are not available in
+    this environment; these are procedurally generated circuits of the
+    same structural families, keyed by the paper's names so the harness
+    prints recognizable rows. Sizes are scaled to what a container run
+    completes in minutes; DESIGN.md and EXPERIMENTS.md document the
+    substitution. Every function is deterministic. *)
+
+val epfl : unit -> (string * Aig.Network.t) list
+(** The twenty Table I rows: ten arithmetic, ten random/control. *)
+
+val epfl_by_name : string -> Aig.Network.t
+(** Raises [Not_found] for unknown names. *)
+
+val hwmcc : unit -> (string * Aig.Network.t) list
+(** The fifteen Table II rows: redundancy-injected circuits in the
+    HWMCC'15 / IWLS'05 style. *)
+
+val hwmcc_by_name : string -> Aig.Network.t
+
+val names_epfl : string list
+val names_hwmcc : string list

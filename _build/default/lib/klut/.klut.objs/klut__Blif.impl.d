@@ -1,0 +1,1 @@
+lib/klut/blif.ml: Array Buffer Fun Hashtbl List Network Printf Str_replace String Tt

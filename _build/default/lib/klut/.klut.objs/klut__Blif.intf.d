@@ -1,0 +1,1 @@
+lib/klut/blif.mli: Network

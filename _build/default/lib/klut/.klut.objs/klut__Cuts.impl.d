@@ -1,0 +1,1 @@
+lib/klut/cuts.ml: Aig Array Hashtbl List Tt

@@ -1,0 +1,1 @@
+lib/klut/cuts.mli: Aig Tt

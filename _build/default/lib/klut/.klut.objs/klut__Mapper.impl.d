@@ -1,0 +1,1 @@
+lib/klut/mapper.ml: Aig Array Cuts List Network Tt

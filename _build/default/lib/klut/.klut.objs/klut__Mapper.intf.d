@@ -1,0 +1,1 @@
+lib/klut/mapper.mli: Aig Network

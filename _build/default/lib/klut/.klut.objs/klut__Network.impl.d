@@ -1,0 +1,1 @@
+lib/klut/network.ml: Array Format Sutil Tt

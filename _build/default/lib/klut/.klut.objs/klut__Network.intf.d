@@ -1,0 +1,1 @@
+lib/klut/network.mli: Format Tt

@@ -1,0 +1,1 @@
+lib/klut/str_replace.ml: Buffer String

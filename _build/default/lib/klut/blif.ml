@@ -1,0 +1,202 @@
+module K = Network
+module T = Tt.Truth_table
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---- writing ---- *)
+
+let write net =
+  let buf = Buffer.create 4096 in
+  let name n =
+    if K.is_pi net n then Printf.sprintf "pi%d" (K.pi_index net n)
+    else Printf.sprintf "n%d" n
+  in
+  Buffer.add_string buf ".model klut\n";
+  Buffer.add_string buf ".inputs";
+  for i = 0 to K.num_pis net - 1 do
+    Buffer.add_string buf (Printf.sprintf " pi%d" i)
+  done;
+  Buffer.add_string buf "\n.outputs";
+  for o = 0 to K.num_pos net - 1 do
+    Buffer.add_string buf (Printf.sprintf " po%d" o)
+  done;
+  Buffer.add_char buf '\n';
+  K.iter_luts net (fun nd ->
+      let fanins = K.fanins net nd in
+      let f = K.func net nd in
+      Buffer.add_string buf ".names";
+      Array.iter (fun fi -> Buffer.add_string buf (" " ^ name fi)) fanins;
+      Buffer.add_string buf (" " ^ name nd);
+      Buffer.add_char buf '\n';
+      (* On-set rows, one minterm per line (no cover minimization). *)
+      let k = Array.length fanins in
+      for i = 0 to (1 lsl k) - 1 do
+        if T.get f i then begin
+          for j = 0 to k - 1 do
+            Buffer.add_char buf (if (i lsr j) land 1 = 1 then '1' else '0')
+          done;
+          Buffer.add_string buf " 1\n"
+        end
+      done);
+  for o = 0 to K.num_pos net - 1 do
+    let nd, compl = K.po net o in
+    (* Output buffer/inverter as a 1-input .names. *)
+    Buffer.add_string buf (Printf.sprintf ".names %s po%d\n" (name nd) o);
+    Buffer.add_string buf (if compl then "0 1\n" else "1 1\n")
+  done;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path net =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (write net))
+
+(* ---- reading ---- *)
+
+type cover_row = { mask : string; value : bool }
+
+let tt_of_cover k rows =
+  (* Rows are in on-set or off-set form; BLIF requires uniform output
+     values within one block. *)
+  match rows with
+  | [] -> T.const0 k
+  | { value = v0; _ } :: _ ->
+    if not (List.for_all (fun r -> r.value = v0) rows) then
+      fail "mixed on-set and off-set rows in one .names block";
+    let covered = ref (T.const0 k) in
+    List.iter
+      (fun { mask; _ } ->
+        if String.length mask <> k then fail "cover row width mismatch";
+        let cube = ref (T.const1 k) in
+        String.iteri
+          (fun j c ->
+            match c with
+            | '1' -> cube := T.and_ !cube (T.nth_var k j)
+            | '0' -> cube := T.and_ !cube (T.not_ (T.nth_var k j))
+            | '-' -> ()
+            | _ -> fail "bad cover character %C" c)
+          mask;
+        covered := T.or_ !covered !cube)
+      rows;
+    if v0 then !covered else T.not_ !covered
+
+(* A .names block with no input columns defines a constant. *)
+let constant_block rows =
+  match rows with
+  | [] -> false
+  | [ { mask = ""; value } ] -> value
+  | _ -> fail "bad constant .names block"
+
+let read text =
+  (* Join continuation lines, strip comments. *)
+  let text = Str_replace.join_continuations text in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '#' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let net = K.create () in
+  let signals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let outputs = ref [] in
+  let pending : (string list * string * cover_row list) option ref = ref None in
+  let flush_pending () =
+    match !pending with
+    | None -> ()
+    | Some (inputs, out, rows_rev) ->
+      pending := None;
+      let rows = List.rev rows_rev in
+      let node =
+        match inputs with
+        | [] ->
+          (* constant *)
+          let v = constant_block rows in
+          let k = K.add_lut net [||] (if v then T.const1 0 else T.const0 0) in
+          k
+        | _ ->
+          let fanins =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   match Hashtbl.find_opt signals s with
+                   | Some n -> n
+                   | None -> fail "undefined signal %s" s)
+                 inputs)
+          in
+          K.add_lut net fanins (tt_of_cover (Array.length fanins) rows)
+      in
+      Hashtbl.replace signals out node
+  in
+  let words l =
+    String.split_on_char ' ' l
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  List.iter
+    (fun line ->
+      match words line with
+      | ".model" :: _ -> ()
+      | ".inputs" :: names ->
+        flush_pending ();
+        List.iter
+          (fun s ->
+            if Hashtbl.mem signals s then fail "duplicate input %s" s;
+            Hashtbl.replace signals s (K.add_pi net))
+          names
+      | ".outputs" :: names ->
+        flush_pending ();
+        outputs := !outputs @ names
+      | ".names" :: rest ->
+        flush_pending ();
+        (match List.rev rest with
+         | out :: inputs_rev -> pending := Some (List.rev inputs_rev, out, [])
+         | [] -> fail ".names without signals")
+      | [ ".end" ] -> flush_pending ()
+      | (".latch" | ".subckt" | ".gate") :: _ ->
+        fail "unsupported construct: %s" line
+      | [ single ] when !pending <> None ->
+        (* constant block row: just an output value *)
+        (match !pending with
+         | Some (inputs, out, rows) ->
+           let value =
+             match single with
+             | "1" -> true
+             | "0" -> false
+             | _ -> fail "bad cover row: %s" line
+           in
+           pending := Some (inputs, out, { mask = ""; value } :: rows)
+         | None -> assert false)
+      | [ mask; v ] when !pending <> None ->
+        (match !pending with
+         | Some (inputs, out, rows) ->
+           let value =
+             match v with
+             | "1" -> true
+             | "0" -> false
+             | _ -> fail "bad cover output: %s" line
+           in
+           pending := Some (inputs, out, { mask; value } :: rows)
+         | None -> assert false)
+      | _ -> fail "unrecognized line: %s" line)
+    lines;
+  flush_pending ();
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt signals s with
+      | Some n -> ignore (K.add_po net n false)
+      | None -> fail "undefined output %s" s)
+    !outputs;
+  net
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,20 @@
+(** BLIF reading and writing for k-LUT networks.
+
+    The Berkeley Logic Interchange Format is the lingua franca for LUT
+    netlists. The writer emits one [.names] block per LUT (cover rows in
+    on-set form); the reader accepts the combinational single-model
+    subset: [.model]/[.inputs]/[.outputs]/[.names]/[.end], with cover
+    rows over inputs in {0,1,-} and output value 1 or 0 (off-set covers
+    are complemented into on-set functions). Signals must be defined
+    before use; latches and subcircuits are rejected. *)
+
+exception Parse_error of string
+
+val write : Network.t -> string
+(** Signals are named [n<i>] for internal nodes, [pi<i>] / [po<i>] at
+    the boundary. *)
+
+val write_file : string -> Network.t -> unit
+
+val read : string -> Network.t
+val read_file : string -> Network.t

@@ -1,0 +1,141 @@
+module A = Aig.Network
+module L = Aig.Lit
+module T = Tt.Truth_table
+
+type cut = { leaves : int array; sign : int }
+
+let leaves c = c.leaves
+
+let signature leaves =
+  Array.fold_left (fun s n -> s lor (1 lsl (n mod 63))) 0 leaves
+
+let cut_of_leaves leaves = { leaves; sign = signature leaves }
+
+(* Merge two ascending leaf arrays; None if the union exceeds k. *)
+let merge k a b =
+  let la = Array.length a.leaves and lb = Array.length b.leaves in
+  let out = Array.make (la + lb) 0 in
+  let rec go i j o =
+    if i < la && j < lb then begin
+      let x = a.leaves.(i) and y = b.leaves.(j) in
+      if x = y then begin
+        out.(o) <- x;
+        go (i + 1) (j + 1) (o + 1)
+      end
+      else if x < y then begin
+        out.(o) <- x;
+        go (i + 1) j (o + 1)
+      end
+      else begin
+        out.(o) <- y;
+        go i (j + 1) (o + 1)
+      end
+    end
+    else begin
+      let rem_src, rem_i, rem_len =
+        if i < la then (a.leaves, i, la) else (b.leaves, j, lb)
+      in
+      let o = ref o in
+      for p = rem_i to rem_len - 1 do
+        out.(!o) <- rem_src.(p);
+        incr o
+      done;
+      !o
+    end
+  in
+  let len = go 0 0 0 in
+  if len > k then None else Some (cut_of_leaves (Array.sub out 0 len))
+
+let subset a b =
+  (* whether a's leaves are a subset of b's (both ascending) *)
+  a.sign land lnot b.sign = 0
+  &&
+  let la = Array.length a.leaves and lb = Array.length b.leaves in
+  let rec go i j =
+    if i >= la then true
+    else if j >= lb then false
+    else if a.leaves.(i) = b.leaves.(j) then go (i + 1) (j + 1)
+    else if a.leaves.(i) > b.leaves.(j) then go i (j + 1)
+    else false
+  in
+  la <= lb && go 0 0
+
+let equal_cut a b = a.sign = b.sign && a.leaves = b.leaves
+
+let enumerate net ~k ?(max_cuts = 12) () =
+  if k < 2 then invalid_arg "Cuts.enumerate: k must be at least 2";
+  let n = A.num_nodes net in
+  let cuts = Array.make n [] in
+  cuts.(0) <- [ cut_of_leaves [||] ];
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi _ -> cuts.(nd) <- [ cut_of_leaves [| nd |] ]
+      | A.And ->
+        let c0 = cuts.(L.node (A.fanin0 net nd)) in
+        let c1 = cuts.(L.node (A.fanin1 net nd)) in
+        let merged = ref [] in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                match merge k a b with
+                | None -> ()
+                | Some c ->
+                  (* Drop dominated cuts: keep c only if no kept cut is a
+                     subset of it; remove kept cuts it dominates. *)
+                  if not (List.exists (fun d -> subset d c) !merged) then
+                    merged :=
+                      c :: List.filter (fun d -> not (subset c d)) !merged)
+              c1)
+          c0;
+        let by_size =
+          List.sort
+            (fun a b -> compare (Array.length a.leaves) (Array.length b.leaves))
+            !merged
+        in
+        let rec take n = function
+          | [] -> []
+          | _ when n = 0 -> []
+          | x :: rest -> x :: take (n - 1) rest
+        in
+        let kept = take (max_cuts - 1) by_size in
+        let trivial = cut_of_leaves [| nd |] in
+        cuts.(nd) <-
+          trivial :: List.filter (fun c -> not (equal_cut c trivial)) kept);
+  cuts
+
+let cone_nodes net root cut =
+  let on_boundary n = Array.exists (( = ) n) cut.leaves in
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n) then begin
+      Hashtbl.add visited n ();
+      if (not (on_boundary n)) && A.is_and net n then begin
+        visit (L.node (A.fanin0 net n));
+        visit (L.node (A.fanin1 net n));
+        out := n :: !out
+      end
+    end
+  in
+  visit root;
+  List.rev !out
+
+let cut_function net root cut =
+  let k = Array.length cut.leaves in
+  let table = Hashtbl.create 16 in
+  Array.iteri (fun i leaf -> Hashtbl.replace table leaf (T.nth_var k i)) cut.leaves;
+  Hashtbl.replace table 0 (T.const0 k);
+  let nodes = cone_nodes net root cut in
+  List.iter
+    (fun nd ->
+      let f l =
+        let t = Hashtbl.find table (L.node l) in
+        if L.is_compl l then T.not_ t else t
+      in
+      Hashtbl.replace table nd (T.and_ (f (A.fanin0 net nd)) (f (A.fanin1 net nd))))
+    nodes;
+  match Hashtbl.find_opt table root with
+  | Some t -> t
+  | None -> invalid_arg "Cuts.cut_function: leaves do not cover the root"

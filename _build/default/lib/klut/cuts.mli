@@ -1,0 +1,28 @@
+(** k-feasible cut enumeration on AIGs.
+
+    A cut of node [n] is a set of nodes (leaves) such that every path from
+    the PIs to [n] passes through a leaf; it is k-feasible when it has at
+    most [k] leaves. Cuts are enumerated bottom-up by merging fanin cuts,
+    with a per-node priority bound to keep the sets small — the standard
+    technology-mapping algorithm the paper's cut-based simulation reuses. *)
+
+type cut = private {
+  leaves : int array; (** ascending node ids *)
+  sign : int; (** 63-bit Bloom signature for fast subset tests *)
+}
+
+val leaves : cut -> int array
+
+val enumerate : Aig.Network.t -> k:int -> ?max_cuts:int -> unit -> cut list array
+(** [enumerate net ~k ()] computes, for every node id, its k-feasible
+    cuts: the trivial cut [{n}] first, then up to [max_cuts - 1] merged
+    cuts (default 12). Constant node gets the empty cut only. *)
+
+val cut_function : Aig.Network.t -> int -> cut -> Tt.Truth_table.t
+(** Truth table of the node in terms of the cut leaves: leaf at position
+    [i] of [leaves] is table variable [i]. The cut must be a valid cut of
+    the node. *)
+
+val cone_nodes : Aig.Network.t -> int -> cut -> int list
+(** AND nodes strictly inside the cut cone (root included, leaves
+    excluded), topological order. *)

@@ -1,0 +1,224 @@
+module A = Aig.Network
+module L = Aig.Lit
+module T = Tt.Truth_table
+
+let map ?(k = 6) ?(area_recovery = true) net =
+  let n = A.num_nodes net in
+  let cuts = Cuts.enumerate net ~k () in
+  (* Pass 1: minimize mapped depth, breaking ties on leaf count. *)
+  let arrival = Array.make n 0 in
+  let best = Array.make n None in
+  let candidates_of nd =
+    List.filter (fun c -> Cuts.leaves c <> [| nd |]) cuts.(nd)
+  in
+  let cut_depth c =
+    Array.fold_left (fun acc leaf -> max acc arrival.(leaf)) 0 (Cuts.leaves c)
+    + 1
+  in
+  A.iter_ands net (fun nd ->
+      match candidates_of nd with
+      | [] -> invalid_arg "Mapper.map: node without a usable cut"
+      | first :: rest ->
+        let cost c = (cut_depth c, Array.length (Cuts.leaves c)) in
+        let bc, (bd, _) =
+          List.fold_left
+            (fun (bc, (bd, bl)) c ->
+              let d, l = cost c in
+              if d < bd || (d = bd && l < bl) then (c, (d, l)) else (bc, (bd, bl)))
+            (first, cost first) rest
+        in
+        arrival.(nd) <- bd;
+        best.(nd) <- Some bc);
+  (* Cover computation used after each pass. *)
+  let needed = Array.make n false in
+  let compute_cover () =
+    Array.fill needed 0 n false;
+    let stack = ref [] in
+    let require nd =
+      if nd > 0 && A.is_and net nd && not needed.(nd) then begin
+        needed.(nd) <- true;
+        stack := nd :: !stack
+      end
+    in
+    Array.iter (fun l -> require (L.node l)) (A.pos net);
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | nd :: rest ->
+        stack := rest;
+        (match best.(nd) with
+         | None -> assert false
+         | Some c -> Array.iter require (Cuts.leaves c));
+        drain ()
+    in
+    drain ()
+  in
+  compute_cover ();
+  (* Passes 2..3: area recovery. Where slack allows, re-pick cuts to
+     minimize area flow — estimated LUT area divided by fanout so shared
+     logic is priced fairly — without increasing the mapped depth. *)
+  if area_recovery then begin
+    (* Snapshot the depth-oriented solution: area flow is a heuristic
+       and can lose; keep whichever cover is smaller. *)
+    let cover_size () =
+      let c = ref 0 in
+      Array.iter (fun b -> if b then incr c) needed;
+      !c
+    in
+    let best_before = Array.copy best in
+    let size_before = cover_size () in
+    let max_required =
+      Array.fold_left
+        (fun acc l -> max acc arrival.(L.node l))
+        0 (A.pos net)
+    in
+    for _pass = 1 to 2 do
+      (* Required times over the current cover. *)
+      let required = Array.make n max_int in
+      Array.iter
+        (fun l ->
+          let nd = L.node l in
+          if A.is_and net nd then required.(nd) <- max_required)
+        (A.pos net);
+      for nd = n - 1 downto 1 do
+        if needed.(nd) && required.(nd) < max_int then
+          match best.(nd) with
+          | Some c ->
+            Array.iter
+              (fun leaf ->
+                if A.is_and net leaf then
+                  required.(leaf) <- min required.(leaf) (required.(nd) - 1))
+              (Cuts.leaves c)
+          | None -> ()
+      done;
+      (* Area flow, recomputed in topological order with the new picks. *)
+      let aflow = Array.make n 0. in
+      A.iter_ands net (fun nd ->
+          let refs = float_of_int (max 1 (A.fanout_count net nd)) in
+          let flow c =
+            Array.fold_left
+              (fun acc leaf -> acc +. aflow.(leaf))
+              1. (Cuts.leaves c)
+          in
+          let deadline =
+            if needed.(nd) && required.(nd) < max_int then required.(nd)
+            else max_required
+          in
+          let feasible =
+            List.filter (fun c -> cut_depth c <= deadline) (candidates_of nd)
+          in
+          match feasible with
+          | [] -> aflow.(nd) <- (match best.(nd) with
+              | Some c -> flow c /. refs
+              | None -> 0.)
+          | first :: rest ->
+            let cost c = (flow c, Array.length (Cuts.leaves c)) in
+            let bc, (bf, _) =
+              List.fold_left
+                (fun (bc, (bf, bl)) c ->
+                  let f, l = cost c in
+                  if f < bf || (f = bf && l < bl) then (c, (f, l))
+                  else (bc, (bf, bl)))
+                (first, cost first) rest
+            in
+            best.(nd) <- Some bc;
+            arrival.(nd) <- cut_depth bc;
+            aflow.(nd) <- bf /. refs);
+      compute_cover ()
+    done;
+    if cover_size () > size_before then begin
+      Array.blit best_before 0 best 0 n;
+      compute_cover ()
+    end
+  end;
+  (* Build the LUT network in topological (id) order. *)
+  let out = Network.create ~capacity:n () in
+  let klut_of = Array.make n (-1) in
+  klut_of.(0) <- 0;
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi _ -> klut_of.(nd) <- Network.add_pi out
+      | A.And ->
+        if needed.(nd) then begin
+          let c = match best.(nd) with Some c -> c | None -> assert false in
+          let f = Cuts.cut_function net nd c in
+          let fanins =
+            Array.map
+              (fun leaf ->
+                assert (klut_of.(leaf) >= 0);
+                klut_of.(leaf))
+              (Cuts.leaves c)
+          in
+          klut_of.(nd) <- Network.add_lut out fanins f
+        end);
+  Array.iter
+    (fun l ->
+      let nd = L.node l in
+      assert (klut_of.(nd) >= 0);
+      ignore (Network.add_po out klut_of.(nd) (L.is_compl l)))
+    (A.pos net);
+  out
+
+let of_aig_2lut net =
+  let n = A.num_nodes net in
+  let out = Network.create ~capacity:n () in
+  let klut_of = Array.make n (-1) in
+  klut_of.(0) <- 0;
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi _ -> klut_of.(nd) <- Network.add_pi out
+      | A.And ->
+        let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
+        let base = T.and_ (T.nth_var 2 0) (T.nth_var 2 1) in
+        let f = if L.is_compl f0 then T.compose base [| T.not_ (T.nth_var 2 0); T.nth_var 2 1 |] else base in
+        let f = if L.is_compl f1 then T.compose f [| T.nth_var 2 0; T.not_ (T.nth_var 2 1) |] else f in
+        let fanins = [| klut_of.(L.node f0); klut_of.(L.node f1) |] in
+        if Array.exists (( = ) (-1)) fanins then
+          invalid_arg "Mapper.of_aig_2lut: dangling fanin"
+        else klut_of.(nd) <- Network.add_lut out fanins f);
+  Array.iter
+    (fun l -> ignore (Network.add_po out klut_of.(L.node l) (L.is_compl l)))
+    (A.pos net);
+  out
+
+let eval_aig net inputs =
+  let n = A.num_nodes net in
+  let v = Array.make n false in
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi i -> v.(nd) <- inputs.(i)
+      | A.And ->
+        let f l = v.(L.node l) <> L.is_compl l in
+        v.(nd) <- f (A.fanin0 net nd) && f (A.fanin1 net nd));
+  Array.map (fun l -> v.(L.node l) <> L.is_compl l) (A.pos net)
+
+let eval_klut net inputs =
+  let n = Network.num_nodes net in
+  let v = Array.make n false in
+  Network.iter_nodes net (fun nd ->
+      if Network.is_pi net nd then v.(nd) <- inputs.(Network.pi_index net nd)
+      else if Network.is_lut net nd then begin
+        let fanins = Network.fanins net nd in
+        let x = Array.map (fun fi -> v.(fi)) fanins in
+        v.(nd) <- T.eval (Network.func net nd) x
+      end);
+  Array.init (Network.num_pos net) (fun i ->
+      let nd, compl = Network.po net i in
+      v.(nd) <> compl)
+
+let check_equivalent_small aig lut =
+  let pis = A.num_pis aig in
+  if pis > 16 then invalid_arg "check_equivalent_small: too many PIs";
+  if pis <> Network.num_pis lut || A.num_pos aig <> Network.num_pos lut then
+    false
+  else begin
+    let ok = ref true in
+    for i = 0 to (1 lsl pis) - 1 do
+      let inputs = Array.init pis (fun b -> (i lsr b) land 1 = 1) in
+      if eval_aig aig inputs <> eval_klut lut inputs then ok := false
+    done;
+    !ok
+  end

@@ -1,0 +1,21 @@
+(** AIG to k-LUT mapping.
+
+    {!map} is a depth-oriented structural mapper over the k-feasible cuts
+    of {!Cuts}: each AND node picks the cut minimizing mapped depth (ties:
+    fewer leaves), then the chosen cuts are traced from the POs to derive
+    the cover, and each covered node becomes one LUT whose function is the
+    cut function. {!of_aig_2lut} is the degenerate translation the paper
+    mentions ("bitwise operation is 2-LUT"): one 2-input LUT per AND with
+    complemented edges folded into the LUT functions. *)
+
+val map : ?k:int -> ?area_recovery:bool -> Aig.Network.t -> Network.t
+(** Default [k = 6], the paper's Table I configuration. With
+    [area_recovery] (default true) the depth-optimal choice is followed
+    by two area-flow passes that re-pick cuts wherever slack allows,
+    reducing LUT count without degrading depth. *)
+
+val of_aig_2lut : Aig.Network.t -> Network.t
+
+val check_equivalent_small : Aig.Network.t -> Network.t -> bool
+(** Exhaustive functional comparison for networks with at most 16 PIs;
+    used by tests. Raises [Invalid_argument] above that. *)

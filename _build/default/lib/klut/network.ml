@@ -1,0 +1,127 @@
+module T = Tt.Truth_table
+module Vec = Sutil.Vec
+
+type node = {
+  fanins : int array; (* empty for const and PIs *)
+  func : T.t; (* const0 0 for const node; projection for PIs unused *)
+  tag : int; (* -2 const, -1 LUT, >= 0 PI index *)
+}
+
+type t = {
+  nodes : node array ref;
+  mutable len : int;
+  pis : Vec.t;
+  outs : Vec.t; (* packed: node * 2 + compl *)
+  lvl : Vec.t;
+  fanouts : Vec.t;
+  mutable max_fanin : int;
+}
+
+let dummy = { fanins = [||]; func = T.const0 0; tag = -2 }
+
+let create ?(capacity = 1024) () =
+  let t =
+    {
+      nodes = ref (Array.make (max capacity 1) dummy);
+      len = 0;
+      pis = Vec.create ();
+      outs = Vec.create ();
+      lvl = Vec.create ();
+      fanouts = Vec.create ();
+      max_fanin = 0;
+    }
+  in
+  (* Node 0: constant false, a 0-ary LUT. *)
+  t.len <- 1;
+  !(t.nodes).(0) <- { dummy with tag = -2 };
+  Vec.push t.lvl 0;
+  Vec.push t.fanouts 0;
+  t
+
+let push_node t n =
+  if t.len = Array.length !(t.nodes) then begin
+    let bigger = Array.make (2 * t.len) dummy in
+    Array.blit !(t.nodes) 0 bigger 0 t.len;
+    t.nodes := bigger
+  end;
+  !(t.nodes).(t.len) <- n;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let num_nodes t = t.len
+let num_pis t = Vec.length t.pis
+let num_pos t = Vec.length t.outs
+let num_luts t = t.len - num_pis t - 1
+
+let node t n =
+  if n < 0 || n >= t.len then invalid_arg "Klut: node out of range";
+  !(t.nodes).(n)
+
+let is_pi t n = (node t n).tag >= 0
+let is_const _t n = n = 0
+let is_lut t n = n > 0 && (node t n).tag = -1
+let pi_index t n =
+  let tag = (node t n).tag in
+  if tag < 0 then invalid_arg "Klut.pi_index: not a PI";
+  tag
+
+let pi_node t i = Vec.get t.pis i
+let fanins t n = (node t n).fanins
+let func t n = (node t n).func
+let po t i =
+  let packed = Vec.get t.outs i in
+  (packed lsr 1, packed land 1 = 1)
+
+let level t n = Vec.get t.lvl n
+let fanout_count t n = Vec.get t.fanouts n
+let max_fanin t = t.max_fanin
+
+let add_pi t =
+  let id = push_node t { fanins = [||]; func = T.const0 0; tag = num_pis t } in
+  Vec.push t.pis id;
+  Vec.push t.lvl 0;
+  Vec.push t.fanouts 0;
+  id
+
+let add_lut t fanins f =
+  if T.num_vars f <> Array.length fanins then
+    invalid_arg "Klut.add_lut: function arity does not match fanins";
+  Array.iter
+    (fun fi ->
+      if fi < 0 || fi >= t.len then invalid_arg "Klut.add_lut: bad fanin")
+    fanins;
+  let id = push_node t { fanins = Array.copy fanins; func = f; tag = -1 } in
+  let lv = Array.fold_left (fun acc fi -> max acc (Vec.get t.lvl fi)) 0 fanins in
+  Vec.push t.lvl (lv + 1);
+  Vec.push t.fanouts 0;
+  Array.iter (fun fi -> Vec.set t.fanouts fi (Vec.get t.fanouts fi + 1)) fanins;
+  t.max_fanin <- max t.max_fanin (Array.length fanins);
+  id
+
+let add_po t n compl =
+  if n < 0 || n >= t.len then invalid_arg "Klut.add_po: bad node";
+  Vec.push t.outs ((n lsl 1) lor (if compl then 1 else 0));
+  Vec.set t.fanouts n (Vec.get t.fanouts n + 1);
+  num_pos t - 1
+
+let depth t =
+  let d = ref 0 in
+  for i = 0 to num_pos t - 1 do
+    let n, _ = po t i in
+    d := max !d (level t n)
+  done;
+  !d
+
+let iter_nodes t f =
+  for n = 0 to t.len - 1 do
+    f n
+  done
+
+let iter_luts t f =
+  for n = 1 to t.len - 1 do
+    if is_lut t n then f n
+  done
+
+let pp_stats ppf t =
+  Format.fprintf ppf "pi=%d po=%d lut=%d k=%d lev=%d" (num_pis t)
+    (num_pos t) (num_luts t) (max_fanin t) (depth t)

@@ -1,0 +1,59 @@
+(** k-LUT networks.
+
+    Nodes are dense ids in topological creation order: node 0 is constant
+    false, then PIs and LUTs in any interleaving. Each LUT stores its
+    fanin nodes and its function as a truth table over exactly those
+    fanins (fanin [i] = table variable [i], least significant). Edges are
+    plain node ids — unlike the AIG there are no complemented edges; the
+    inversion is folded into the LUT functions, with one complement flag
+    per PO for the boundary. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val add_pi : t -> int
+val add_lut : t -> int array -> Tt.Truth_table.t -> int
+(** [add_lut t fanins f] — [f] must have exactly [Array.length fanins]
+    variables and all fanins must be existing nodes. Returns the node. *)
+
+val add_po : t -> int -> bool -> int
+(** [add_po t node compl] — output is the node's value, complemented iff
+    [compl]. *)
+
+val num_nodes : t -> int
+val num_pis : t -> int
+val num_pos : t -> int
+val num_luts : t -> int
+
+val is_pi : t -> int -> bool
+val is_lut : t -> int -> bool
+val is_const : t -> int -> bool
+
+val pi_index : t -> int -> int
+(** For a PI node, its PI position. *)
+
+val pi_node : t -> int -> int
+
+val fanins : t -> int -> int array
+(** Fanins of a LUT node (empty array for PIs and the constant). The
+    returned array must not be mutated. *)
+
+val func : t -> int -> Tt.Truth_table.t
+(** Function of a LUT node. *)
+
+val po : t -> int -> int * bool
+
+val level : t -> int -> int
+val depth : t -> int
+val fanout_count : t -> int -> int
+
+val max_fanin : t -> int
+(** Largest LUT arity in the network — the [k] of the k-LUT network. *)
+
+val iter_luts : t -> (int -> unit) -> unit
+(** LUT nodes in topological order. *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(* Tiny text helper for the BLIF reader: BLIF lines may end in '\'
+   to continue on the next line. *)
+
+let join_continuations text =
+  let buf = Buffer.create (String.length text) in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\\' && !i + 1 < n && text.[!i + 1] = '\n' then i := !i + 2
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf

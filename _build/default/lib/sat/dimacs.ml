@@ -1,0 +1,72 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref (-1) in
+  let num_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_int v =
+    if v = 0 then begin
+      clauses := List.rev !current :: !clauses;
+      current := []
+    end
+    else begin
+      let var = abs v - 1 in
+      if !num_vars >= 0 && var >= !num_vars then
+        fail "literal %d out of declared range" v;
+      current := Solver.lit_of var (v < 0) :: !current
+    end
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | [ "p"; "cnf"; v; c ] ->
+          (match (int_of_string_opt v, int_of_string_opt c) with
+           | Some v, Some c ->
+             num_vars := v;
+             num_clauses := c
+           | _ -> fail "bad p line: %s" line)
+        | _ -> fail "bad p line: %s" line
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | Some v -> handle_int v
+               | None -> fail "not an integer: %s" tok))
+    lines;
+  if !current <> [] then fail "clause not terminated by 0";
+  if !num_vars < 0 then fail "missing p cnf header";
+  (!num_vars, List.rev !clauses)
+
+let load solver text =
+  let num_vars, clauses = parse text in
+  for _ = 1 to num_vars - Solver.num_vars solver do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses
+
+let print ~num_vars clauses =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let v = (l lsr 1) + 1 in
+          Buffer.add_string buf
+            (Printf.sprintf "%d " (if l land 1 = 1 then -v else v)))
+        clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf

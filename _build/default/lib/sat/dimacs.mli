@@ -1,0 +1,18 @@
+(** DIMACS CNF parsing and printing.
+
+    Bridges the solver's packed literals and the textual convention
+    (1-based variables, sign = polarity). Used by the test suite and the
+    [sat] CLI. *)
+
+exception Parse_error of string
+
+val parse : string -> int * int list list
+(** [parse text] is [(num_vars, clauses)] with solver-packed literals
+    (variable [i] of the file becomes solver variable [i - 1]). *)
+
+val load : Solver.t -> string -> unit
+(** Parses and adds everything to the solver, creating variables as
+    needed. *)
+
+val print : num_vars:int -> int list list -> string
+(** Solver-packed clauses back to DIMACS text. *)

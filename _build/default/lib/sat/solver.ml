@@ -1,0 +1,583 @@
+module Vec = Sutil.Vec
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  solve_calls : int;
+}
+
+(* Clauses live in a growable table addressed by id; watch lists hold
+   clause ids. Learnt clauses carry an activity for garbage collection;
+   dead clauses are skipped (and unhooked) lazily during propagation. *)
+type clause = {
+  lits : int array; (* content is permuted in place by propagation *)
+  learnt : bool;
+  mutable act : float;
+  mutable dead : bool;
+}
+
+type t = {
+  mutable clauses : clause array;
+  mutable num_clauses : int;
+  mutable watches : Vec.t array; (* per literal: clause ids watching it *)
+  (* per-variable state *)
+  mutable assign : int array; (* -1 unassigned / 0 false / 1 true *)
+  mutable vlevel : int array;
+  mutable reason : int array; (* clause id or -1 *)
+  mutable activity : float array;
+  mutable phase : bool array; (* saved polarity *)
+  mutable heap_pos : int array;
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable seen : int array; (* analyze scratch *)
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable nvars : int;
+  mutable unsat : bool;
+  mutable failed : int list;
+  mutable st_decisions : int;
+  mutable st_conflicts : int;
+  mutable st_props : int;
+  mutable st_learned : int;
+  mutable st_solves : int;
+  mutable live_learnts : int;
+  mutable max_learnts : int;
+}
+
+let lit v = v lsl 1
+let neg l = l lxor 1
+let lit_of v negated = (v lsl 1) lor (if negated then 1 else 0)
+let var_of l = l lsr 1
+let sign_of l = l land 1
+
+let dead_clause = { lits = [||]; learnt = false; act = 0.; dead = true }
+
+let create () =
+  {
+    clauses = Array.make 64 dead_clause;
+    num_clauses = 0;
+    watches = [||];
+    assign = [||];
+    vlevel = [||];
+    reason = [||];
+    activity = [||];
+    phase = [||];
+    heap_pos = [||];
+    heap = Array.make 16 0;
+    heap_len = 0;
+    seen = [||];
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    nvars = 0;
+    unsat = false;
+    failed = [];
+    st_decisions = 0;
+    st_conflicts = 0;
+    st_props = 0;
+    st_learned = 0;
+    st_solves = 0;
+    live_learnts = 0;
+    max_learnts = 3000;
+  }
+
+let num_vars t = t.nvars
+
+(* ---- max-activity binary heap over variables ---- *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t t.heap.(i) t.heap.(p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_len && heap_less t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_len && heap_less t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    if t.heap_len = Array.length t.heap then begin
+      let h = Array.make (2 * t.heap_len) 0 in
+      Array.blit t.heap 0 h 0 t.heap_len;
+      t.heap <- h
+    end;
+    t.heap.(t.heap_len) <- v;
+    t.heap_pos.(v) <- t.heap_len;
+    t.heap_len <- t.heap_len + 1;
+    heap_up t (t.heap_len - 1)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_len <- t.heap_len - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_len > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_len);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    heap_down t 0
+  end;
+  v
+
+let heap_decrease t v = if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  let old = Array.length t.assign in
+  if t.nvars > old then begin
+    let n = max t.nvars (max 16 (2 * old)) in
+    let extend a fill =
+      let b = Array.make n fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    t.assign <- extend t.assign (-1);
+    t.vlevel <- extend t.vlevel 0;
+    t.reason <- extend t.reason (-1);
+    t.activity <- extend t.activity 0.;
+    t.phase <- extend t.phase false;
+    t.heap_pos <- extend t.heap_pos (-1);
+    t.seen <- extend t.seen 0;
+    let oldw = Array.length t.watches in
+    let neww = Array.make (2 * n) (Vec.create ()) in
+    Array.blit t.watches 0 neww 0 oldw;
+    for i = oldw to (2 * n) - 1 do
+      neww.(i) <- Vec.create ~capacity:4 ()
+    done;
+    t.watches <- neww
+  end;
+  heap_insert t v;
+  v
+
+(* ---- assignment ---- *)
+
+let value_lit t l =
+  let a = t.assign.(var_of l) in
+  if a < 0 then -1 else a lxor sign_of l
+
+let decision_level t = Vec.length t.trail_lim
+
+let enqueue t l reason =
+  let v = var_of l in
+  assert (t.assign.(v) < 0);
+  t.assign.(v) <- 1 lxor sign_of l;
+  t.vlevel.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- sign_of l = 0;
+  Vec.push t.trail l
+
+let cancel_until t level =
+  if decision_level t > level then begin
+    let keep = Vec.get t.trail_lim level in
+    for i = Vec.length t.trail - 1 downto keep do
+      let v = var_of (Vec.get t.trail i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    Vec.shrink t.trail keep;
+    Vec.shrink t.trail_lim level;
+    t.qhead <- keep
+  end
+
+(* ---- clause management ---- *)
+
+let alloc_clause t lits learnt =
+  if t.num_clauses = Array.length t.clauses then begin
+    let c = Array.make (2 * t.num_clauses) dead_clause in
+    Array.blit t.clauses 0 c 0 t.num_clauses;
+    t.clauses <- c
+  end;
+  let id = t.num_clauses in
+  t.clauses.(id) <- { lits; learnt; act = 0.; dead = false };
+  t.num_clauses <- id + 1;
+  if learnt then t.live_learnts <- t.live_learnts + 1;
+  Vec.push t.watches.(neg lits.(0)) id;
+  Vec.push t.watches.(neg lits.(1)) id;
+  id
+
+let cla_bump t c =
+  c.act <- c.act +. t.cla_inc;
+  if c.act > 1e20 then begin
+    for i = 0 to t.num_clauses - 1 do
+      let d = t.clauses.(i) in
+      if d.learnt && not d.dead then d.act <- d.act *. 1e-20
+    done;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 0 to t.nvars - 1 do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_decrease t v
+
+(* ---- propagation ---- *)
+
+exception Conflict of int
+
+let propagate t =
+  try
+    while t.qhead < Vec.length t.trail do
+      let l = Vec.get t.trail t.qhead in
+      t.qhead <- t.qhead + 1;
+      t.st_props <- t.st_props + 1;
+      let ws = t.watches.(l) in
+      let n = Vec.length ws in
+      let i = ref 0 and j = ref 0 in
+      (try
+         while !i < n do
+           let cid = Vec.get ws !i in
+           incr i;
+           let c = t.clauses.(cid) in
+           if not c.dead then begin
+             let lits = c.lits in
+             let falsified = neg l in
+             if lits.(0) = falsified then begin
+               lits.(0) <- lits.(1);
+               lits.(1) <- falsified
+             end;
+             if value_lit t lits.(0) = 1 then begin
+               Vec.set ws !j cid;
+               incr j
+             end
+             else begin
+               let found = ref false in
+               let k = ref 2 in
+               let len = Array.length lits in
+               while (not !found) && !k < len do
+                 if value_lit t lits.(!k) <> 0 then begin
+                   lits.(1) <- lits.(!k);
+                   lits.(!k) <- falsified;
+                   Vec.push t.watches.(neg lits.(1)) cid;
+                   found := true
+                 end;
+                 incr k
+               done;
+               if not !found then begin
+                 Vec.set ws !j cid;
+                 incr j;
+                 if value_lit t lits.(0) = 0 then begin
+                   while !i < n do
+                     Vec.set ws !j (Vec.get ws !i);
+                     incr i;
+                     incr j
+                   done;
+                   Vec.shrink ws !j;
+                   raise (Conflict cid)
+                 end
+                 else enqueue t lits.(0) cid
+               end
+             end
+           end
+         done;
+         Vec.shrink ws !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict cid -> Some cid
+
+(* ---- first-UIP conflict analysis ---- *)
+
+let lit_redundant t l =
+  let r = t.reason.(var_of l) in
+  r >= 0
+  && Array.for_all
+       (fun q ->
+         var_of q = var_of l
+         || t.seen.(var_of q) = 1
+         || t.vlevel.(var_of q) = 0)
+       t.clauses.(r).lits
+
+let analyze t conflict =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let pvar = ref (-1) in
+  let idx = ref (Vec.length t.trail - 1) in
+  let cid = ref conflict in
+  let continue = ref true in
+  while !continue do
+    let c = t.clauses.(!cid) in
+    if c.learnt then cla_bump t c;
+    Array.iter
+      (fun q ->
+        (* Skip the literal whose reason we are expanding. *)
+        if var_of q <> !pvar && t.seen.(var_of q) = 0 && t.vlevel.(var_of q) > 0
+        then begin
+          t.seen.(var_of q) <- 1;
+          var_bump t (var_of q);
+          if t.vlevel.(var_of q) >= decision_level t then incr path
+          else learnt := q :: !learnt
+        end)
+      c.lits;
+    while t.seen.(var_of (Vec.get t.trail !idx)) = 0 do
+      decr idx
+    done;
+    let l = Vec.get t.trail !idx in
+    decr idx;
+    t.seen.(var_of l) <- 0;
+    p := neg l;
+    pvar := var_of l;
+    decr path;
+    if !path <= 0 then continue := false
+    else begin
+      assert (t.reason.(var_of l) >= 0);
+      cid := t.reason.(var_of l)
+    end
+  done;
+  let uip = !p in
+  let minimized = List.filter (fun q -> not (lit_redundant t q)) !learnt in
+  List.iter (fun q -> t.seen.(var_of q) <- 0) !learnt;
+  let lits = Array.of_list (uip :: minimized) in
+  let blevel =
+    if Array.length lits = 1 then 0
+    else begin
+      let best = ref 1 in
+      for i = 2 to Array.length lits - 1 do
+        if t.vlevel.(var_of lits.(i)) > t.vlevel.(var_of lits.(!best)) then
+          best := i
+      done;
+      let tmp = lits.(1) in
+      lits.(1) <- lits.(!best);
+      lits.(!best) <- tmp;
+      t.vlevel.(var_of lits.(1))
+    end
+  in
+  (lits, blevel)
+
+(* ---- learnt-clause DB reduction ---- *)
+
+let locked t cid =
+  let c = t.clauses.(cid) in
+  Array.length c.lits > 0
+  &&
+  let l = c.lits.(0) in
+  value_lit t l = 1 && t.reason.(var_of l) = cid
+
+let reduce_db t =
+  let learnts = ref [] in
+  for i = 0 to t.num_clauses - 1 do
+    let c = t.clauses.(i) in
+    if c.learnt && (not c.dead) && (not (locked t i)) && Array.length c.lits > 2
+    then learnts := i :: !learnts
+  done;
+  let arr = Array.of_list !learnts in
+  Array.sort (fun a b -> compare t.clauses.(a).act t.clauses.(b).act) arr;
+  let drop = Array.length arr / 2 in
+  for i = 0 to drop - 1 do
+    t.clauses.(arr.(i)).dead <- true;
+    t.live_learnts <- t.live_learnts - 1
+  done
+
+(* ---- clause addition (level 0 only) ---- *)
+
+let add_clause t lits =
+  cancel_until t 0;
+  if not t.unsat then begin
+    let lits = List.sort_uniq compare lits in
+    List.iter
+      (fun l ->
+        if l < 0 || var_of l >= t.nvars then
+          invalid_arg "Solver.add_clause: unknown variable")
+      lits;
+    let tauto =
+      List.exists (fun l -> sign_of l = 0 && List.mem (neg l) lits) lits
+      || List.exists (fun l -> value_lit t l = 1) lits
+    in
+    if not tauto then begin
+      match List.filter (fun l -> value_lit t l <> 0) lits with
+      | [] -> t.unsat <- true
+      | [ l ] ->
+        enqueue t l (-1);
+        if propagate t <> None then t.unsat <- true
+      | lits -> ignore (alloc_clause t (Array.of_list lits) false)
+    end
+  end
+
+(* ---- search ---- *)
+
+let luby i =
+  (* Element i (0-based) of 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let k = ref 1 and size = ref 1 in
+  while !size < i + 1 do
+    incr k;
+    size := (2 * !size) + 1
+  done;
+  let i = ref i in
+  while !size - 1 <> !i do
+    size := (!size - 1) / 2;
+    decr k;
+    i := !i mod !size
+  done;
+  float_of_int (1 lsl (!k - 1))
+
+let pick_branch t =
+  let rec go () =
+    if t.heap_len = 0 then -1
+    else
+      let v = heap_pop t in
+      if t.assign.(v) < 0 then v else go ()
+  in
+  go ()
+
+let attach_learnt t lits =
+  t.st_learned <- t.st_learned + 1;
+  if Array.length lits = 1 then enqueue t lits.(0) (-1)
+  else begin
+    let id = alloc_clause t lits true in
+    cla_bump t t.clauses.(id);
+    enqueue t lits.(0) id
+  end
+
+let search t ~assumptions ~conflict_limit =
+  let n_assumps = Array.length assumptions in
+  let restart_base = 100. in
+  let restarts = ref 0 in
+  let conflicts_here = ref 0 in
+  let next_restart = ref (restart_base *. luby 0) in
+  let result = ref None in
+  while !result = None do
+    match propagate t with
+    | Some cid ->
+      t.st_conflicts <- t.st_conflicts + 1;
+      incr conflicts_here;
+      if decision_level t = 0 then begin
+        t.unsat <- true;
+        result := Some Unsat
+      end
+      else begin
+        let lits, blevel = analyze t cid in
+        if blevel < n_assumps && decision_level t <= n_assumps then begin
+          (* The conflict clause is falsified by the assumptions alone:
+             the assumption set is unsatisfiable. *)
+          t.failed <- Array.to_list assumptions;
+          cancel_until t blevel;
+          attach_learnt t lits;
+          result := Some Unsat
+        end
+        else begin
+          cancel_until t blevel;
+          attach_learnt t lits
+        end;
+        t.var_inc <- t.var_inc /. 0.95;
+        t.cla_inc <- t.cla_inc /. 0.999;
+        (match conflict_limit with
+         | Some limit when !conflicts_here >= limit && !result = None ->
+           result := Some Unknown
+         | _ -> ());
+        if !result = None && float_of_int !conflicts_here >= !next_restart
+        then begin
+          incr restarts;
+          next_restart :=
+            float_of_int !conflicts_here +. (restart_base *. luby !restarts);
+          cancel_until t (min n_assumps (decision_level t))
+        end;
+        if !result = None && t.live_learnts > t.max_learnts then begin
+          t.max_learnts <- t.max_learnts + (t.max_learnts / 2);
+          reduce_db t
+        end
+      end
+    | None ->
+      if decision_level t < n_assumps then begin
+        let a = assumptions.(decision_level t) in
+        match value_lit t a with
+        | 1 -> Vec.push t.trail_lim (Vec.length t.trail)
+        | 0 ->
+          t.failed <- [ a ];
+          result := Some Unsat
+        | _ ->
+          t.st_decisions <- t.st_decisions + 1;
+          Vec.push t.trail_lim (Vec.length t.trail);
+          enqueue t a (-1)
+      end
+      else begin
+        let v = pick_branch t in
+        if v < 0 then result := Some Sat
+        else begin
+          t.st_decisions <- t.st_decisions + 1;
+          Vec.push t.trail_lim (Vec.length t.trail);
+          enqueue t (lit_of v (not t.phase.(v))) (-1)
+        end
+      end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(assumptions = []) ?conflict_limit t =
+  t.st_solves <- t.st_solves + 1;
+  cancel_until t 0;
+  t.failed <- [];
+  List.iter
+    (fun a ->
+      if a < 0 || var_of a >= t.nvars then
+        invalid_arg "Solver.solve: unknown assumption variable")
+    assumptions;
+  if t.unsat then Unsat
+  else
+    match propagate t with
+    | Some _ ->
+      t.unsat <- true;
+      Unsat
+    | None ->
+      let r =
+        search t ~assumptions:(Array.of_list assumptions) ~conflict_limit
+      in
+      (match r with
+       | Sat -> () (* keep the trail: it is the model *)
+       | Unsat | Unknown -> cancel_until t 0);
+      r
+
+let value t l =
+  let v = var_of l in
+  if v >= t.nvars || t.assign.(v) < 0 then false
+  else t.assign.(v) lxor sign_of l = 1
+
+let var_value t v =
+  if v >= t.nvars || t.assign.(v) < 0 then None else Some (t.assign.(v) = 1)
+
+let failed_assumptions t = t.failed
+
+let stats t =
+  {
+    decisions = t.st_decisions;
+    conflicts = t.st_conflicts;
+    propagations = t.st_props;
+    learned = t.st_learned;
+    solve_calls = t.st_solves;
+  }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "vars=%d clauses=%d decisions=%d conflicts=%d props=%d"
+    t.nvars t.num_clauses t.st_decisions t.st_conflicts t.st_props

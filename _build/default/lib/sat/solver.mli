@@ -1,0 +1,62 @@
+(** CDCL SAT solver.
+
+    A from-scratch conflict-driven solver with the standard machinery the
+    sweeping engines need: two-watched-literal propagation, first-UIP
+    conflict analysis with recursive clause minimization, EVSIDS variable
+    activities, phase saving, Luby restarts, learnt-clause garbage
+    collection, incremental solving under assumptions, and per-call
+    conflict budgets (the paper's [unDET] outcome).
+
+    Literals are ints: [2 * var] is the positive literal of [var],
+    [2 * var + 1] its negation — the same packing as {!Aig.Lit}. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  conflicts : int;
+  propagations : int;
+  learned : int;
+  solve_calls : int;
+}
+
+val create : unit -> t
+
+val new_var : t -> int
+(** A fresh variable, returned as its index. *)
+
+val num_vars : t -> int
+
+val lit : int -> int
+(** Positive literal of a variable. *)
+
+val neg : int -> int
+val lit_of : int -> bool -> int
+(** [lit_of v negated]. *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause of literals. Tautologies are dropped, duplicate literals
+    merged. Adding the empty clause (or a clause falsified at level 0)
+    makes the solver permanently unsatisfiable. *)
+
+val solve : ?assumptions:int list -> ?conflict_limit:int -> t -> result
+(** Solves under the given assumption literals. [Unknown] when the
+    conflict budget is exhausted. The solver remains usable after any
+    outcome; clauses may be added between calls. *)
+
+val value : t -> int -> bool
+(** Model value of a literal after [Sat]. Unassigned variables (possible
+    when they appear in no clause) read as false. *)
+
+val var_value : t -> int -> bool option
+(** Model value of a variable after [Sat]; [None] if never assigned. *)
+
+val failed_assumptions : t -> int list
+(** After an [Unsat] answer under assumptions: a subset of the assumptions
+    sufficient for unsatisfiability (coarse: the falsified one, or all of
+    them when the conflict is global). *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> t -> unit

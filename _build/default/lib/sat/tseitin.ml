@@ -1,0 +1,93 @@
+module A = Aig.Network
+module L = Aig.Lit
+
+type env = {
+  net : A.t;
+  solver : Solver.t;
+  mutable vars : int array; (* node -> solver var, -1 unencoded *)
+}
+
+let create net solver =
+  { net; solver; vars = Array.make (max 1 (A.num_nodes net)) (-1) }
+
+let is_encoded env n =
+  n < Array.length env.vars && env.vars.(n) >= 0
+
+let rec var_of_node env n =
+  if n >= Array.length env.vars then begin
+    (* The network may have grown since [create]. *)
+    let bigger = Array.make (max (A.num_nodes env.net) (n + 1)) (-1) in
+    Array.blit env.vars 0 bigger 0 (Array.length env.vars);
+    env.vars <- bigger
+  end;
+  if env.vars.(n) >= 0 then env.vars.(n)
+  else begin
+    let v = Solver.new_var env.solver in
+    (match A.kind env.net n with
+     | A.Const ->
+       Solver.add_clause env.solver [ Solver.lit_of v true ]
+     | A.Pi _ -> ()
+     | A.And ->
+       let f0 = A.fanin0 env.net n and f1 = A.fanin1 env.net n in
+       let a = lit_of_rec env f0 and b = lit_of_rec env f1 in
+       let pv = Solver.lit v in
+       (* v <-> a & b *)
+       Solver.add_clause env.solver [ Solver.neg pv; a ];
+       Solver.add_clause env.solver [ Solver.neg pv; b ];
+       Solver.add_clause env.solver [ pv; Solver.neg a; Solver.neg b ]);
+    env.vars.(n) <- v;
+    v
+  end
+
+and lit_of_rec env l =
+  Solver.lit_of (var_of_node env (L.node l)) (L.is_compl l)
+
+let lit_of = lit_of_rec
+
+type equiv_result =
+  | Equivalent
+  | Counterexample of bool array
+  | Undetermined
+
+let extract_ce env =
+  Array.init (A.num_pis env.net) (fun i ->
+      let n = A.pi_node env.net i in
+      if is_encoded env n then Solver.value env.solver (Solver.lit env.vars.(n))
+      else false)
+
+let check_diff ?conflict_limit env mk_diff =
+  (* Selector s: s -> (difference holds). Assume s; retire s after. *)
+  let s = Solver.new_var env.solver in
+  let sl = Solver.lit s in
+  mk_diff sl;
+  let r = Solver.solve ?conflict_limit ~assumptions:[ sl ] env.solver in
+  match r with
+  | Solver.Sat ->
+    let ce = extract_ce env in
+    Solver.add_clause env.solver [ Solver.neg sl ];
+    Counterexample ce
+  | Solver.Unsat ->
+    Solver.add_clause env.solver [ Solver.neg sl ];
+    Equivalent
+  | Solver.Unknown ->
+    Solver.add_clause env.solver [ Solver.neg sl ];
+    Undetermined
+
+let check_equiv ?conflict_limit env la lb =
+  let a = lit_of env la and b = lit_of env lb in
+  check_diff ?conflict_limit env (fun sl ->
+      (* s -> (a xor b): encode via a fresh miter output m with
+         m <-> a xor b, then clause (~s | m). *)
+      let m = Solver.lit (Solver.new_var env.solver) in
+      Solver.add_clause env.solver [ Solver.neg m; a; b ];
+      Solver.add_clause env.solver [ Solver.neg m; Solver.neg a; Solver.neg b ];
+      Solver.add_clause env.solver [ m; Solver.neg a; b ];
+      Solver.add_clause env.solver [ m; a; Solver.neg b ];
+      Solver.add_clause env.solver [ Solver.neg sl; m ])
+
+let check_const ?conflict_limit env l b =
+  let a = lit_of env l in
+  check_diff ?conflict_limit env (fun sl ->
+      (* s -> (l <> b), i.e. assume l takes the other value. *)
+      let target = if b then Solver.neg a else a in
+      Solver.add_clause env.solver [ Solver.neg sl; target ])

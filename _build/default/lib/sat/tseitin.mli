@@ -1,0 +1,39 @@
+(** Lazy Tseitin encoding of AIG cones into a {!Solver}.
+
+    Nodes are encoded on demand: asking for a node's solver variable
+    encodes exactly its transitive fanin, so sweeping queries over small
+    cones never pay for the whole network. The environment is persistent
+    across queries — the incremental-SAT usage pattern of the sweepers:
+    one solver per network, cones accumulate, equivalence checks run
+    under assumptions on fresh selector variables that are retired
+    afterwards. *)
+
+type env
+
+val create : Aig.Network.t -> Solver.t -> env
+
+val var_of_node : env -> int -> int
+(** Solver variable of an AIG node (encoding its cone if needed).
+    Node 0 yields a variable constrained to false. *)
+
+val lit_of : env -> Aig.Lit.t -> int
+(** Solver literal for an AIG literal. *)
+
+val is_encoded : env -> int -> bool
+
+type equiv_result =
+  | Equivalent
+  | Counterexample of bool array
+      (** PI assignment (length [num_pis]) distinguishing the two
+          literals; PIs outside the encoded cones default to [false]. *)
+  | Undetermined  (** conflict budget exhausted — the paper's [unDET] *)
+
+val check_equiv :
+  ?conflict_limit:int -> env -> Aig.Lit.t -> Aig.Lit.t -> equiv_result
+(** Miter query: satisfiable iff the two literals differ on some input.
+    Each call uses a fresh selector variable retired afterwards, keeping
+    the solver reusable. *)
+
+val check_const :
+  ?conflict_limit:int -> env -> Aig.Lit.t -> bool -> equiv_result
+(** [check_const env l b] — whether [l] is the constant [b]. *)

@@ -1,0 +1,1 @@
+lib/sim/bitwise.ml: Aig Array Klut Patterns Signature Tt

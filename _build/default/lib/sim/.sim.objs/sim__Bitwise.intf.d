@@ -1,0 +1,1 @@
+lib/sim/bitwise.mli: Aig Klut Patterns Signature

@@ -1,0 +1,1 @@
+lib/sim/circuit_cut.ml: Array Hashtbl Klut List Queue Tt

@@ -1,0 +1,1 @@
+lib/sim/circuit_cut.mli: Klut

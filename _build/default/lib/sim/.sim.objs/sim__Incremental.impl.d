@@ -1,0 +1,1 @@
+lib/sim/incremental.ml: Aig Array Patterns

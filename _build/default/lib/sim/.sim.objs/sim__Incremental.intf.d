@@ -1,0 +1,1 @@
+lib/sim/incremental.mli: Aig Patterns Signature

@@ -1,0 +1,1 @@
+lib/sim/signature.ml: Array Hashtbl Tt

@@ -1,0 +1,1 @@
+lib/sim/stp_sim.ml: Aig Array Circuit_cut Hashtbl Klut List Patterns Signature Tt

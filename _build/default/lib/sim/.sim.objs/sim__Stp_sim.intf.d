@@ -1,0 +1,1 @@
+lib/sim/stp_sim.mli: Aig Klut Patterns Signature

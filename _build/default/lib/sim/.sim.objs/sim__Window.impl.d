@@ -1,0 +1,1 @@
+lib/sim/window.ml: Aig Array Hashtbl List Tt

@@ -1,0 +1,1 @@
+lib/sim/window.mli: Aig Tt

@@ -1,0 +1,59 @@
+type t = { ones : int; toggles : int; num_patterns : int }
+
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let of_signature ~num_patterns s =
+  if num_patterns = 0 || Array.length s = 0 then
+    { ones = 0; toggles = 0; num_patterns }
+  else begin
+    let ones = ref 0 in
+    let toggles = ref 0 in
+    let nw = Array.length s in
+    for w = 0 to nw - 1 do
+      ones := !ones + popcount32 s.(w);
+      (* Toggles inside the word: bit i vs bit i+1. *)
+      let x = s.(w) lxor (s.(w) lsr 1) in
+      (* Exclude the transition out of bit 31 (handled across words) and
+         any transitions beyond the pattern count. *)
+      let in_word =
+        let last_bit =
+          if w = nw - 1 && num_patterns land 31 <> 0 then
+            (num_patterns land 31) - 1
+          else 31
+        in
+        x land ((1 lsl last_bit) - 1)
+      in
+      toggles := !toggles + popcount32 in_word;
+      (* Transition from the last bit of this word to the first of the
+         next. *)
+      if w + 1 < nw then begin
+        let next_valid =
+          (w + 1) * 32 < num_patterns
+        in
+        if next_valid && (s.(w) lsr 31) land 1 <> s.(w + 1) land 1 then
+          incr toggles
+      end
+    done;
+    { ones = !ones; toggles = !toggles; num_patterns }
+  end
+
+let of_table ~num_patterns tbl =
+  Array.map (of_signature ~num_patterns) tbl
+
+let toggle_rate t =
+  if t.num_patterns <= 1 then 0.
+  else float_of_int t.toggles /. float_of_int (t.num_patterns - 1)
+
+let bias t =
+  if t.num_patterns = 0 then 0.
+  else float_of_int t.ones /. float_of_int t.num_patterns
+
+let is_constant t = t.ones = 0 || t.ones = t.num_patterns
+
+let near_constant ?(threshold = 0.02) t =
+  let b = bias t in
+  b <= threshold || b >= 1. -. threshold

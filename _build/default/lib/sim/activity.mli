@@ -1,0 +1,31 @@
+(** Signal activity statistics over simulation signatures.
+
+    Section IV-A of the paper characterizes initial-pattern quality by
+    signature properties: constants (all zeros/ones) and high toggle
+    rates (the footnote defines toggle rate as bit-toggles over the
+    bit-string length). These metrics drive the SAT-guided pattern
+    rounds and are reported by the tour example. *)
+
+type t = {
+  ones : int;  (** bits set in the signature *)
+  toggles : int;  (** positions where consecutive patterns differ *)
+  num_patterns : int;
+}
+
+val of_signature : num_patterns:int -> int array -> t
+
+val of_table : num_patterns:int -> Signature.table -> t array
+(** Per-node statistics; constant/empty rows yield zeros. *)
+
+val toggle_rate : t -> float
+(** The paper's footnote: toggles / (length - 1); 0 for length <= 1. *)
+
+val bias : t -> float
+(** Fraction of ones, in [0, 1]. *)
+
+val is_constant : t -> bool
+(** All-zeros or all-ones signature. *)
+
+val near_constant : ?threshold:float -> t -> bool
+(** Bias within [threshold] (default 0.02) of 0 or 1 — round two of the
+    guided-pattern generation targets these. *)

@@ -1,0 +1,70 @@
+module A = Aig.Network
+module L = Aig.Lit
+module K = Klut.Network
+module T = Tt.Truth_table
+
+let word_mask = 0xFFFFFFFF
+
+let simulate_aig net pats =
+  let n = A.num_nodes net in
+  let nw = max 1 (Patterns.num_words pats) in
+  let tbl = Array.make n [||] in
+  tbl.(0) <- Array.make nw 0;
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi i ->
+        tbl.(nd) <- Array.init nw (fun w -> Patterns.word pats ~pi:i w)
+      | A.And ->
+        let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
+        let s0 = tbl.(L.node f0) and s1 = tbl.(L.node f1) in
+        let c0 = L.is_compl f0 and c1 = L.is_compl f1 in
+        let out = Array.make nw 0 in
+        for w = 0 to nw - 1 do
+          let a = Array.unsafe_get s0 w in
+          let a = if c0 then lnot a land word_mask else a in
+          let b = Array.unsafe_get s1 w in
+          let b = if c1 then lnot b land word_mask else b in
+          Array.unsafe_set out w (a land b)
+        done;
+        tbl.(nd) <- out);
+  (* Complemented inputs leak set bits beyond num_patterns; clear them so
+     signature comparison stays meaningful. *)
+  let np = Patterns.num_patterns pats in
+  Array.iter (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s) tbl;
+  tbl
+
+let simulate_klut net pats =
+  let n = K.num_nodes net in
+  let np = Patterns.num_patterns pats in
+  let nw = max 1 (Patterns.num_words pats) in
+  let tbl = Array.make n [||] in
+  tbl.(0) <- Array.make nw 0;
+  K.iter_nodes net (fun nd ->
+      if K.is_pi net nd then
+        tbl.(nd) <-
+          Array.init nw (fun w -> Patterns.word pats ~pi:(K.pi_index net nd) w)
+      else if K.is_lut net nd then begin
+        let fanins = K.fanins net nd in
+        let f = K.func net nd in
+        let k = Array.length fanins in
+        let out = Array.make nw 0 in
+        let inputs = Array.map (fun fi -> tbl.(fi)) fanins in
+        (* Per-pattern bit extraction and table lookup — what an
+           off-the-shelf bitwise simulator does with a k-LUT. *)
+        for p = 0 to np - 1 do
+          let w = p lsr 5 and off = p land 31 in
+          let idx = ref 0 in
+          for j = k - 1 downto 0 do
+            idx := (!idx lsl 1) lor ((inputs.(j).(w) lsr off) land 1)
+          done;
+          if T.get f !idx then out.(w) <- out.(w) lor (1 lsl off)
+        done;
+        tbl.(nd) <- out
+      end);
+  tbl
+
+let po_signature tbl ~num_patterns ~lit =
+  let s = tbl.(L.node lit) in
+  if L.is_compl lit then Signature.complement_of ~num_patterns s
+  else Array.copy s

@@ -1,0 +1,21 @@
+(** Bit-parallel reference simulators (the paper's baseline).
+
+    [simulate_aig] is the standard word-parallel AIG simulation every
+    modern package has: one AND/XOR word operation per node per word —
+    Table I's "Mockturtle [T_A]" column.
+
+    [simulate_klut] is the way an off-the-shelf bitwise simulator handles
+    k-LUT networks ("most simulators are limited to extracting individual
+    bits of the LUT and simulating them separately"): for every pattern it
+    pulls one bit out of each fanin signature, forms the LUT index and
+    looks the value up — Table I's "Mockturtle [T_L]" column. *)
+
+val simulate_aig : Aig.Network.t -> Patterns.t -> Signature.table
+(** Signature per node id. PIs take their pattern rows; constant node is
+    all zeros; complemented edges are free word inversions. *)
+
+val simulate_klut : Klut.Network.t -> Patterns.t -> Signature.table
+
+val po_signature :
+  Signature.table -> num_patterns:int -> lit:Aig.Lit.t -> int array
+(** Output-literal view of an AIG signature table. *)

@@ -1,0 +1,22 @@
+(** The circuit-cut algorithm (Section III-B).
+
+    Cuts a k-LUT network, keeping as boundaries the nodes whose signatures
+    are requested plus every multi-fanout node, and collapses each
+    remaining single-fanout tree region into one LUT whose function is the
+    STP composition of the member matrices. Each produced cut is a tree
+    with at most [limit] leaves; regions that would exceed [limit] are
+    split. The result is a smaller k-LUT network over the same PIs in
+    which every requested node is present. *)
+
+type result = {
+  network : Klut.Network.t;
+  node_map : int array;
+  (** original node id -> node id in [network]; [-1] for collapsed
+      interior nodes. PIs and requested nodes always map. *)
+  roots : int list;
+  (** original ids of all cut roots, topological order. *)
+}
+
+val cut : Klut.Network.t -> limit:int -> targets:int list -> result
+(** [limit >= 1]; targets must be valid nodes. PIs in [targets] are
+    allowed and simply map through. *)

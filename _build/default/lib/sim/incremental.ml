@@ -1,0 +1,105 @@
+module A = Aig.Network
+module L = Aig.Lit
+
+let word_mask = 0xFFFFFFFF
+
+type t = {
+  net : A.t;
+  pats : Patterns.t;
+  mutable sigs : int array array; (* per node; capacity >= needed words *)
+  mutable valid_words : int; (* signature words currently up to date *)
+  mutable valid_np : int; (* patterns covered by those words *)
+  mutable recomputed : int;
+}
+
+let words_for np = max 1 ((np + 31) / 32)
+
+(* Compute signature words [from_w .. to_w] of every node in place.
+   Node-major (words inner) so fanin rows stay cache-resident. *)
+let compute_range t from_w to_w =
+  A.iter_nodes t.net (fun nd ->
+      match A.kind t.net nd with
+      | A.Const ->
+        for w = from_w to to_w do
+          t.sigs.(nd).(w) <- 0
+        done
+      | A.Pi i ->
+        for w = from_w to to_w do
+          t.sigs.(nd).(w) <- Patterns.word t.pats ~pi:i w
+        done
+      | A.And ->
+        let f0 = A.fanin0 t.net nd and f1 = A.fanin1 t.net nd in
+        let s0 = t.sigs.(L.node f0) and s1 = t.sigs.(L.node f1) in
+        let m0 = if L.is_compl f0 then word_mask else 0 in
+        let m1 = if L.is_compl f1 then word_mask else 0 in
+        let row = t.sigs.(nd) in
+        for w = from_w to to_w do
+          Array.unsafe_set row w
+            ((Array.unsafe_get s0 w lxor m0) land (Array.unsafe_get s1 w lxor m1))
+        done);
+  t.recomputed <- t.recomputed + (A.num_nodes t.net * (to_w - from_w + 1));
+  (* Mask the tail bits of the final word. *)
+  let np = Patterns.num_patterns t.pats in
+  if to_w = words_for np - 1 && np land 31 <> 0 then begin
+    let mask = (1 lsl (np land 31)) - 1 in
+    A.iter_nodes t.net (fun nd ->
+        t.sigs.(nd).(to_w) <- t.sigs.(nd).(to_w) land mask)
+  end
+
+(* Arrays are kept at exactly the needed length so [signatures] is
+   directly comparable with the full simulators' tables; growth happens
+   once per 32 appended patterns. *)
+let ensure_capacity t need =
+  if Array.length t.sigs.(0) <> need then
+    t.sigs <-
+      Array.map
+        (fun old ->
+          let fresh = Array.make need 0 in
+          Array.blit old 0 fresh 0 (min need (Array.length old));
+          fresh)
+        t.sigs
+
+let create net pats =
+  let nw = words_for (Patterns.num_patterns pats) in
+  let t =
+    {
+      net;
+      pats;
+      sigs = Array.init (A.num_nodes net) (fun _ -> Array.make nw 0);
+      valid_words = 0;
+      valid_np = 0;
+      recomputed = 0;
+    }
+  in
+  compute_range t 0 (nw - 1);
+  t.recomputed <- 0;
+  t.valid_words <- nw;
+  t.valid_np <- Patterns.num_patterns pats;
+  t
+
+let num_patterns t = Patterns.num_patterns t.pats
+
+let add_pattern t x = Patterns.add_pattern t.pats x
+
+let refresh t =
+  let np = Patterns.num_patterns t.pats in
+  if np <> t.valid_np then begin
+    let nw = words_for np in
+    ensure_capacity t nw;
+    (* Recompute from the word containing the first new pattern: its old
+       tail bits were masked off and are now live. *)
+    let from_w = if t.valid_np = 0 then 0 else t.valid_np lsr 5 in
+    compute_range t from_w (nw - 1);
+    t.valid_words <- nw;
+    t.valid_np <- np
+  end
+
+let signature t nd =
+  refresh t;
+  t.sigs.(nd)
+
+let signatures t =
+  refresh t;
+  t.sigs
+
+let words_recomputed t = t.recomputed

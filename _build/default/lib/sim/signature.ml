@@ -1,0 +1,48 @@
+type table = int array array
+
+let word_mask = 0xFFFFFFFF
+
+let num_patterns_mask n sig_ =
+  let tail = n land 31 in
+  if tail <> 0 then begin
+    let last = Array.length sig_ - 1 in
+    sig_.(last) <- sig_.(last) land ((1 lsl tail) - 1)
+  end
+
+let equal a b = a = b
+
+let complement_of ~num_patterns s =
+  let out = Array.map (fun w -> lnot w land word_mask) s in
+  num_patterns_mask num_patterns out;
+  out
+
+let equal_up_to_compl ~num_patterns a b =
+  equal a b || equal a (complement_of ~num_patterns b)
+
+let normalize ~num_patterns s =
+  if s.(0) land 1 = 1 then (complement_of ~num_patterns s, true)
+  else (Array.copy s, false)
+
+let is_const0 s = Array.for_all (fun w -> w = 0) s
+
+let is_const1 ~num_patterns s = is_const0 (complement_of ~num_patterns s)
+
+let hash s = Hashtbl.hash (Array.to_list s)
+
+let get s i = (s.(i lsr 5) lsr (i land 31)) land 1 = 1
+
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let count_ones s = Array.fold_left (fun acc w -> acc + popcount32 w) 0 s
+
+let to_tt ~num_vars s =
+  let module T = Tt.Truth_table in
+  let bits = 1 lsl num_vars in
+  let need_words = max 1 (bits / 32) in
+  if Array.length s < need_words then invalid_arg "Signature.to_tt";
+  if bits < 32 then T.of_words num_vars [| s.(0) land ((1 lsl bits) - 1) |]
+  else T.of_words num_vars (Array.sub s 0 need_words)

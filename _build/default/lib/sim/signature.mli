@@ -1,0 +1,35 @@
+(** Node signatures produced by the simulators.
+
+    A signature table holds one packed bit sequence per node (the node's
+    value under each pattern). Equivalence-class computation needs
+    signature comparison up to complementation, so normalization helpers
+    live here too. *)
+
+type table = int array array
+(** [table.(node).(w)] — 32 patterns per word, tail bits zero. *)
+
+val num_patterns_mask : int -> int array -> unit
+(** [num_patterns_mask n sig_] clears bits at positions >= [n] in the last
+    word (in place). *)
+
+val equal : int array -> int array -> bool
+val complement_of : num_patterns:int -> int array -> int array
+val equal_up_to_compl : num_patterns:int -> int array -> int array -> bool
+
+val normalize : num_patterns:int -> int array -> int array * bool
+(** Canonical representative of {sig, ~sig}: complements so bit 0 is 0.
+    Returns the normalized copy and whether complementation happened. *)
+
+val is_const0 : int array -> bool
+val is_const1 : num_patterns:int -> int array -> bool
+
+val hash : int array -> int
+
+val get : int array -> int -> bool
+(** Bit accessor. *)
+
+val count_ones : int array -> int
+
+val to_tt : num_vars:int -> int array -> Tt.Truth_table.t
+(** Reinterprets an exhaustive-window signature as a truth table. The
+    signature must span exactly [2^num_vars] patterns. *)

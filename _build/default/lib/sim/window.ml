@@ -1,0 +1,52 @@
+module A = Aig.Network
+module L = Aig.Lit
+module T = Tt.Truth_table
+
+let signatures ?(node_budget = 600) net ~targets ~max_leaves =
+  let max_leaves = min max_leaves 16 in
+  let cone, truncated = Aig.Cone.tfi_bounded net targets ~limit:node_budget in
+  if truncated then None
+  else begin
+    let leaves = List.filter (A.is_pi net) cone in
+    if List.length leaves > max_leaves then None
+    else begin
+      let k = List.length leaves in
+      let tts = Hashtbl.create 64 in
+      Hashtbl.replace tts 0 (T.const0 k);
+      List.iteri (fun i l -> Hashtbl.replace tts l (T.nth_var k i)) leaves;
+      List.iter
+        (fun nd ->
+          if A.is_and net nd then begin
+            let f l =
+              let t = Hashtbl.find tts (L.node l) in
+              if L.is_compl l then T.not_ t else t
+            in
+            Hashtbl.replace tts nd
+              (T.and_ (f (A.fanin0 net nd)) (f (A.fanin1 net nd)))
+          end)
+        cone;
+      let out =
+        Array.of_list
+          (List.map
+             (fun t ->
+               match Hashtbl.find_opt tts t with
+               | Some tt -> tt
+               | None ->
+                 (* A target outside its own cone list can only be the
+                    constant node. *)
+                 assert (t = 0);
+                 T.const0 k)
+             targets)
+      in
+      Some (leaves, out)
+    end
+  end
+
+let equivalent_in_window ?node_budget net a b ~max_leaves =
+  match signatures ?node_budget net ~targets:[ a; b ] ~max_leaves with
+  | None -> `Unknown
+  | Some (_, [| ta; tb |]) ->
+    if T.equal ta tb then `Equal
+    else if T.equal ta (T.not_ tb) then `Compl
+    else `Different
+  | Some _ -> assert false

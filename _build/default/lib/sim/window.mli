@@ -1,0 +1,30 @@
+(** Exhaustive window simulation over AIGs (Section IV-A).
+
+    For a set of target nodes whose combined transitive fanin reaches at
+    most [max_leaves] PIs, simulates the window under {e all} leaf
+    assignments and returns the targets' truth tables. Signatures from
+    such a window are exact: two targets are functionally equivalent
+    (up to complementation) iff their tables are — so the sweeper can
+    refine candidate equivalence classes without any SAT call. *)
+
+val signatures :
+  ?node_budget:int ->
+  Aig.Network.t ->
+  targets:int list ->
+  max_leaves:int ->
+  (int list * Tt.Truth_table.t array) option
+(** [signatures net ~targets ~max_leaves] is [Some (leaves, tts)] — the PI
+    nodes of the window (ascending; table variable [i] = leaf [i]) and one
+    table per target, in the order given — or [None] when the window
+    exceeds [max_leaves] PIs ([max_leaves] is capped at 16 as in the
+    paper) or when the cone holds more than [node_budget] nodes (default
+    600), which bounds the cost of a refusal. *)
+
+val equivalent_in_window :
+  ?node_budget:int ->
+  Aig.Network.t ->
+  int ->
+  int ->
+  max_leaves:int ->
+  [ `Equal | `Compl | `Different | `Unknown ]
+(** Pairwise exact check: [`Unknown] when the window is too wide. *)

@@ -1,0 +1,1 @@
+lib/stp/canonical.ml: Array Expr Hashtbl List Logic_matrix Matrix String Tt

@@ -1,0 +1,1 @@
+lib/stp/canonical.mli: Expr Logic_matrix Matrix

@@ -1,0 +1,1 @@
+lib/stp/expr.ml: Buffer Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/stp/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/stp/logic_matrix.ml: Array List Matrix Tt

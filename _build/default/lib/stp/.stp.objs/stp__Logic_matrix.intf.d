@@ -1,0 +1,1 @@
+lib/stp/logic_matrix.mli: Format Matrix Tt

@@ -1,0 +1,1 @@
+lib/stp/matrix.ml: Array Format List

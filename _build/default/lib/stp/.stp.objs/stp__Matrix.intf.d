@@ -1,0 +1,1 @@
+lib/stp/matrix.mli: Format

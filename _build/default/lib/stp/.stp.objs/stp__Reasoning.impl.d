@@ -1,0 +1,1 @@
+lib/stp/reasoning.ml: Array Canonical Expr List Logic_matrix Tt

@@ -1,0 +1,1 @@
+lib/stp/reasoning.mli: Expr

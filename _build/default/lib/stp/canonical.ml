@@ -1,0 +1,152 @@
+module T = Tt.Truth_table
+
+let occurrence_order e = Expr.vars e
+
+let resolve_order ?order e =
+  let occurring = occurrence_order e in
+  match order with
+  | None -> occurring
+  | Some order ->
+    List.iter
+      (fun v ->
+        if not (List.mem v order) then
+          invalid_arg ("Canonical: variable " ^ v ^ " missing from order"))
+      occurring;
+    order
+
+(* Semantic construction: tabulate the expression directly. Variable
+   [order] lists the leading factor first, which is the most significant
+   truth-table variable; table variable index of order element i is
+   (n - 1 - i). *)
+let of_expr ?order e =
+  let order = resolve_order ?order e in
+  let n = List.length order in
+  let position = Hashtbl.create 7 in
+  List.iteri (fun i v -> Hashtbl.replace position v (n - 1 - i)) order;
+  let table =
+    T.of_fun n (fun x ->
+        Expr.eval (fun v -> x.(Hashtbl.find position v)) e)
+  in
+  (Logic_matrix.of_tt table, order)
+
+(* ---- Algebraic construction ---- *)
+
+type item = Mat of Matrix.t | V of string
+
+let structural op =
+  Logic_matrix.to_matrix
+    (match op with
+     | `Not -> Logic_matrix.m_not
+     | `And -> Logic_matrix.m_and
+     | `Or -> Logic_matrix.m_or
+     | `Xor -> Logic_matrix.m_xor
+     | `Nand -> Logic_matrix.m_nand
+     | `Nor -> Logic_matrix.m_nor
+     | `Implies -> Logic_matrix.m_implies
+     | `Iff -> Logic_matrix.m_iff)
+
+let const_vec b =
+  Matrix.of_lists (if b then [ [ 1 ]; [ 0 ] ] else [ [ 0 ]; [ 1 ] ])
+
+(* Prefix word of the expression: Phi = item1 ⋉ item2 ⋉ ... *)
+let rec word = function
+  | Expr.Const b -> [ Mat (const_vec b) ]
+  | Expr.Var v -> [ V v ]
+  | Expr.Not a -> Mat (structural `Not) :: word a
+  | Expr.And (a, b) -> binword `And a b
+  | Expr.Or (a, b) -> binword `Or a b
+  | Expr.Xor (a, b) -> binword `Xor a b
+  | Expr.Nand (a, b) -> binword `Nand a b
+  | Expr.Nor (a, b) -> binword `Nor a b
+  | Expr.Implies (a, b) -> binword `Implies a b
+  | Expr.Iff (a, b) -> binword `Iff a b
+
+and binword op a b = Mat (structural op) :: (word a @ word b)
+
+let w22 = Matrix.swap 2 2
+
+(* Multiply the accumulated front matrix by (I_{2^k} ⊗ A): the identity
+   spans the k variables already emitted (Property 1 applied k times). *)
+let push_through front k a =
+  let factor =
+    if k = 0 then a else Matrix.kron (Matrix.identity (1 lsl k)) a
+  in
+  Matrix.stp front factor
+
+let of_expr_algebraic ?order e =
+  let order = resolve_order ?order e in
+  (* Phase 1: move every matrix to the front. *)
+  let front = ref (Matrix.identity 2) in
+  let pending = ref [] (* reversed: head = last variable emitted *) in
+  List.iter
+    (function
+      | Mat a -> front := push_through !front (List.length !pending) a
+      | V v -> pending := v :: !pending)
+    (word e);
+  let vars = ref (Array.of_list (List.rev !pending)) in
+  (* Phase 2: append dummy factors for order variables that do not occur:
+     M ⊗ [1 1] adds a trailing don't-care factor. *)
+  let occurs v = Array.exists (String.equal v) !vars in
+  List.iter
+    (fun v ->
+      if not (occurs v) then begin
+        front := Matrix.kron !front (Matrix.of_lists [ [ 1; 1 ] ]);
+        vars := Array.append !vars [| v |]
+      end)
+    order;
+  (* Phase 3: bubble-sort variables into [order] using swap matrices; a
+     swap of positions (i, i+1) multiplies by I_{2^i} ⊗ W_{[2,2]}. Equal
+     keys (duplicate occurrences of one variable) stay adjacent. *)
+  let key v =
+    let rec find i = function
+      | [] -> invalid_arg ("Canonical: unknown variable " ^ v)
+      | x :: rest -> if String.equal x v then i else find (i + 1) rest
+    in
+    find 0 order
+  in
+  let a = !vars in
+  let len = Array.length a in
+  for pass = 0 to len - 2 do
+    ignore pass;
+    for i = 0 to len - 2 do
+      if key a.(i) > key a.(i + 1) then begin
+        front := Matrix.stp !front (Matrix.kron (Matrix.identity (1 lsl i)) w22);
+        let tmp = a.(i) in
+        a.(i) <- a.(i + 1);
+        a.(i + 1) <- tmp
+      end
+    done
+  done;
+  (* Phase 4: merge adjacent duplicates with the power-reducing matrix:
+     x ⋉ x = M_r ⋉ x, so positions (i, i+1) holding the same variable
+     contract via I_{2^i} ⊗ M_r. *)
+  let items = ref (Array.to_list a) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let rec merge i = function
+      | x :: y :: rest when String.equal x y ->
+        front :=
+          Matrix.stp !front
+            (Matrix.kron (Matrix.identity (1 lsl i)) Matrix.power_reducing);
+        changed := true;
+        x :: merge (i + 1) rest
+      | x :: rest -> x :: merge (i + 1) rest
+      | [] -> []
+    in
+    items := merge 0 !items
+  done;
+  assert (!items = order);
+  assert (Matrix.rows !front = 2);
+  assert (Matrix.cols !front = 1 lsl List.length order);
+  (!front, order)
+
+let simulate m pattern =
+  let rec go m = function
+    | [] ->
+      assert (Logic_matrix.arity m = 0);
+      Logic_matrix.bool_of_bvec
+        (Logic_matrix.apply m [])
+    | b :: rest -> go (Logic_matrix.stp_bvec m (Logic_matrix.bvec_of_bool b)) rest
+  in
+  go m pattern

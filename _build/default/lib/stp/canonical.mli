@@ -1,0 +1,32 @@
+(** Canonical forms of Boolean expressions (Property 3).
+
+    Any expression [Phi(x1..xn)] equals [M_Phi ⋉ x1 ⋉ ... ⋉ xn] for a
+    unique logic matrix [M_Phi] once a variable order is fixed. Two
+    independent constructions are provided:
+
+    - {!of_expr} works semantically on the bit-packed logic matrices
+      (fast; used by the simulator), and
+    - {!of_expr_algebraic} runs the textbook STP normalization on dense
+      matrices: structural matrices are pushed to the front with the
+      variable-swap identity (Property 1), variables are reordered with
+      swap matrices [W_{[2,2]}] and duplicate occurrences merged with the
+      power-reducing matrix [M_r].
+
+    The two agree on every expression; the test suite checks this by
+    property testing, which is the repository's evidence that the fast
+    path implements the paper's algebra. *)
+
+val of_expr : ?order:string list -> Expr.t -> Logic_matrix.t * string list
+(** [of_expr e] is [(m, order)] with [e = m ⋉ x_{order0} ⋉ x_{order1} ...]
+    — the {e first} element of [order] is the leading STP factor, i.e. the
+    most significant selector. Default order: first occurrence in [e].
+    A supplied [order] must cover all variables of [e] (extra names are
+    allowed and become don't-care positions). *)
+
+val of_expr_algebraic : ?order:string list -> Expr.t -> Matrix.t * string list
+(** Dense-matrix normalization; same contract as {!of_expr}. *)
+
+val simulate : Logic_matrix.t -> bool list -> bool
+(** [simulate m pattern] evaluates the canonical form on one simulation
+    pattern (Example 2 of the paper): a cascade of STPs with elements
+    of 𝔹, i.e. one matrix pass. *)

@@ -1,0 +1,246 @@
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Nand of t * t
+  | Nor of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+let rec eval env = function
+  | Const b -> b
+  | Var v -> env v
+  | Not e -> not (eval env e)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+  | Nand (a, b) -> not (eval env a && eval env b)
+  | Nor (a, b) -> not (eval env a || eval env b)
+  | Implies (a, b) -> (not (eval env a)) || eval env b
+  | Iff (a, b) -> eval env a = eval env b
+
+let vars e =
+  let seen = Hashtbl.create 7 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out := v :: !out
+      end
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Xor (a, b) | Nand (a, b) | Nor (a, b)
+    | Implies (a, b) | Iff (a, b) ->
+      go a;
+      go b
+  in
+  go e;
+  List.rev !out
+
+(* Recursive-descent parser. Precedence, loosest first:
+   iff < implies < or < xor < and < not < atoms.
+   Also accepts the keywords nand/nor as infix operators at the 'and'
+   level, written [a nand b]. *)
+
+type token =
+  | TVar of string
+  | TConst of bool
+  | TNot
+  | TAnd
+  | TOr
+  | TXor
+  | TNand
+  | TNor
+  | TImplies
+  | TIff
+  | TLparen
+  | TRparen
+  | TEnd
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let fail msg = invalid_arg (Printf.sprintf "Expr.of_string: %s at %d" msg !pos) in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '\''
+  in
+  while !pos < n do
+    let c = s.[!pos] in
+    (match c with
+     | ' ' | '\t' | '\n' | '\r' -> incr pos
+     | '!' | '~' -> toks := TNot :: !toks; incr pos
+     | '&' -> incr pos; if !pos < n && s.[!pos] = '&' then incr pos; toks := TAnd :: !toks
+     | '|' -> incr pos; if !pos < n && s.[!pos] = '|' then incr pos; toks := TOr :: !toks
+     | '^' -> toks := TXor :: !toks; incr pos
+     | '(' -> toks := TLparen :: !toks; incr pos
+     | ')' -> toks := TRparen :: !toks; incr pos
+     | '-' ->
+       if !pos + 1 < n && s.[!pos + 1] = '>' then begin
+         toks := TImplies :: !toks;
+         pos := !pos + 2
+       end
+       else fail "expected '->'"
+     | '<' ->
+       if !pos + 2 < n && s.[!pos + 1] = '-' && s.[!pos + 2] = '>' then begin
+         toks := TIff :: !toks;
+         pos := !pos + 3
+       end
+       else fail "expected '<->'"
+     | '0' when not (!pos + 1 < n && is_ident s.[!pos + 1]) ->
+       toks := TConst false :: !toks; incr pos
+     | '1' when not (!pos + 1 < n && is_ident s.[!pos + 1]) ->
+       toks := TConst true :: !toks; incr pos
+     | c when is_ident c ->
+       let start = !pos in
+       while !pos < n && is_ident s.[!pos] do incr pos done;
+       let word = String.sub s start (!pos - start) in
+       toks :=
+         (match word with
+          | "nand" -> TNand
+          | "nor" -> TNor
+          | "not" -> TNot
+          | "and" -> TAnd
+          | "or" -> TOr
+          | "xor" -> TXor
+          | _ -> TVar word)
+         :: !toks
+     | _ -> fail (Printf.sprintf "unexpected character %C" c));
+  done;
+  List.rev (TEnd :: !toks)
+
+let of_string s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with t :: _ -> t | [] -> TEnd in
+  let advance () = match !toks with _ :: rest -> toks := rest | [] -> () in
+  let fail msg = invalid_arg ("Expr.of_string: " ^ msg) in
+  let rec parse_iff () =
+    let lhs = parse_implies () in
+    if peek () = TIff then begin
+      advance ();
+      Iff (lhs, parse_iff ())
+    end
+    else lhs
+  and parse_implies () =
+    let lhs = parse_or () in
+    if peek () = TImplies then begin
+      advance ();
+      Implies (lhs, parse_implies ())
+    end
+    else lhs
+  and parse_or () =
+    let lhs = ref (parse_xor ()) in
+    while peek () = TOr do
+      advance ();
+      lhs := Or (!lhs, parse_xor ())
+    done;
+    !lhs
+  and parse_xor () =
+    let lhs = ref (parse_and ()) in
+    while peek () = TXor do
+      advance ();
+      lhs := Xor (!lhs, parse_and ())
+    done;
+    !lhs
+  and parse_and () =
+    let lhs = ref (parse_unary ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | TAnd ->
+        advance ();
+        lhs := And (!lhs, parse_unary ())
+      | TNand ->
+        advance ();
+        lhs := Nand (!lhs, parse_unary ())
+      | TNor ->
+        advance ();
+        lhs := Nor (!lhs, parse_unary ())
+      | _ -> continue := false
+    done;
+    !lhs
+  and parse_unary () =
+    match peek () with
+    | TNot ->
+      advance ();
+      Not (parse_unary ())
+    | _ -> parse_atom ()
+  and parse_atom () =
+    match peek () with
+    | TVar v ->
+      advance ();
+      Var v
+    | TConst b ->
+      advance ();
+      Const b
+    | TLparen ->
+      advance ();
+      let e = parse_iff () in
+      if peek () <> TRparen then fail "expected ')'";
+      advance ();
+      e
+    | _ -> fail "expected an atom"
+  in
+  let e = parse_iff () in
+  if peek () <> TEnd then fail "trailing input";
+  e
+
+(* Printing with minimal parentheses. Levels match the parser. *)
+let rec level = function
+  | Iff _ -> 0
+  | Implies _ -> 1
+  | Or _ -> 2
+  | Xor _ -> 3
+  | And _ | Nand _ | Nor _ -> 4
+  | Not _ -> 5
+  | Const _ | Var _ -> 6
+
+and to_buf buf parent e =
+  let lvl = level e in
+  let wrap = lvl < parent in
+  if wrap then Buffer.add_char buf '(';
+  (match e with
+   | Const b -> Buffer.add_char buf (if b then '1' else '0')
+   | Var v -> Buffer.add_string buf v
+   | Not a ->
+     Buffer.add_char buf '!';
+     to_buf buf 6 a
+   | And (a, b) -> binop buf lvl a " & " b
+   | Nand (a, b) -> binop buf lvl a " nand " b
+   | Nor (a, b) -> binop buf lvl a " nor " b
+   | Or (a, b) -> binop buf lvl a " | " b
+   | Xor (a, b) -> binop buf lvl a " ^ " b
+   | Implies (a, b) -> binop_right buf lvl a " -> " b
+   | Iff (a, b) -> binop_right buf lvl a " <-> " b);
+  if wrap then Buffer.add_char buf ')'
+
+and binop buf lvl a op b =
+  (* Left-associative: right operand needs one level more. *)
+  to_buf buf lvl a;
+  Buffer.add_string buf op;
+  to_buf buf (lvl + 1) b
+
+and binop_right buf lvl a op b =
+  to_buf buf (lvl + 1) a;
+  Buffer.add_string buf op;
+  to_buf buf lvl b
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  to_buf buf 0 e;
+  Buffer.contents buf
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let ( ^^ ) a b = Xor (a, b)
+let ( --> ) a b = Implies (a, b)
+let ( <--> ) a b = Iff (a, b)
+let not_ a = Not a
+let var v = Var v

@@ -1,0 +1,54 @@
+(** Boolean expressions for STP logical reasoning.
+
+    Variables are named; {!Canonical} assigns them STP positions. A small
+    concrete syntax is provided for tests and examples:
+
+    {v
+      expr ::= expr '<->' expr        (iff, lowest precedence)
+             | expr '->' expr         (implication, right associative)
+             | expr '|' expr          (or)
+             | expr '^' expr          (xor)
+             | expr '&' expr          (and)
+             | '!' expr               (not)
+             | '0' | '1'              (constants)
+             | identifier             (variable)
+             | '(' expr ')'
+    v} *)
+
+type t =
+  | Const of bool
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Nand of t * t
+  | Nor of t * t
+  | Implies of t * t
+  | Iff of t * t
+
+val eval : (string -> bool) -> t -> bool
+(** [eval env e] evaluates [e] with variable values from [env]. *)
+
+val vars : t -> string list
+(** Variables in order of first occurrence, no duplicates. *)
+
+val of_string : string -> t
+(** Parses the concrete syntax above. Raises [Invalid_argument] with a
+    position message on syntax errors. *)
+
+val to_string : t -> string
+(** Re-prints with minimal parentheses; [of_string (to_string e)] is
+    structurally equal to [e]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors used heavily in tests. *)
+
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val ( ^^ ) : t -> t -> t
+val ( --> ) : t -> t -> t
+val ( <--> ) : t -> t -> t
+val not_ : t -> t
+val var : string -> t

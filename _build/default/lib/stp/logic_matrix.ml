@@ -1,0 +1,108 @@
+module T = Tt.Truth_table
+
+type t = T.t
+(* The truth table IS the logic matrix: bit i of the table (value at
+   assignment i, variable 0 least significant) is the top-row entry of
+   column (2^n - 1 - i). *)
+
+type bvec = True | False
+
+let bvec_of_bool b = if b then True else False
+let bool_of_bvec = function True -> true | False -> false
+
+let arity = T.num_vars
+let of_tt t = t
+let to_tt t = t
+let of_bin = T.of_bin
+let equal = T.equal
+let pp = T.pp
+
+let to_matrix t =
+  let n = T.num_vars t in
+  let bits = 1 lsl n in
+  Matrix.make 2 bits (fun i j ->
+      let v = T.get t (bits - 1 - j) in
+      match (i, v) with
+      | 0, true | 1, false -> 1
+      | 0, false | 1, true -> 0
+      | _ -> assert false)
+
+let of_matrix m =
+  if not (Matrix.is_logic_matrix m) then
+    invalid_arg "Logic_matrix.of_matrix: not a logic matrix";
+  let c = Matrix.cols m in
+  let n =
+    let rec log2 k acc =
+      if k = 1 then acc
+      else if k land 1 = 1 then
+        invalid_arg "Logic_matrix.of_matrix: columns not a power of two"
+      else log2 (k lsr 1) (acc + 1)
+    in
+    log2 c 0
+  in
+  T.of_fun n (fun x ->
+      let idx = ref 0 in
+      Array.iteri (fun v b -> if b then idx := !idx lor (1 lsl v)) x;
+      Matrix.get m 0 (c - 1 - !idx) = 1)
+
+(* Structural matrices, paper convention (truth table read right to left).
+   Variable order inside the table: for a binary connective a σ b, [a] is
+   the leading STP factor, hence the most significant table variable. *)
+let m_not = T.of_bin "01"
+let m_and = T.of_bin "1000"
+let m_or = T.of_bin "1110"
+let m_xor = T.of_bin "0110"
+let m_nand = T.of_bin "0111"
+let m_nor = T.of_bin "0001"
+let m_xnor = T.of_bin "1001"
+let m_implies = T.of_bin "1011"
+let m_iff = m_xnor
+
+let constant b = if b then T.const1 0 else T.const0 0
+
+let stp_bvec m x =
+  let n = T.num_vars m in
+  if n = 0 then invalid_arg "Logic_matrix.stp_bvec: arity 0";
+  (* Leading variable = most significant table variable (n-1). Fixing it
+     to the value of x keeps the corresponding half of the columns. *)
+  let b = bool_of_bvec x in
+  let fixed = T.cofactor m (n - 1) b in
+  (* Drop the now-vacuous top variable: the low half of the table. *)
+  T.of_fun (n - 1) (fun xs ->
+      let idx = ref 0 in
+      Array.iteri (fun v bit -> if bit then idx := !idx lor (1 lsl v)) xs;
+      T.get fixed !idx)
+
+let apply m xs =
+  if List.length xs <> arity m then invalid_arg "Logic_matrix.apply";
+  let idx = ref 0 in
+  (* First list element is the leading factor = most significant bit. *)
+  List.iter
+    (fun x -> idx := (!idx lsl 1) lor (if bool_of_bvec x then 1 else 0))
+    xs;
+  bvec_of_bool (T.get m !idx)
+
+let compose f gs =
+  (* STP order lists the leading factor first; Tt.compose indexes its
+     array by variable number (least significant first), so reverse. *)
+  T.compose f (Array.of_list (List.rev gs))
+
+(* STP factor i (0 = leading) is table variable (n - 1 - i). Dropping it
+   re-indexes the lower variables down by re-tabulating. *)
+let cofactor m i b =
+  let n = T.num_vars m in
+  if i < 0 || i >= n then invalid_arg "Logic_matrix.cofactor";
+  let v = n - 1 - i in
+  let fixed = T.cofactor m v b in
+  T.of_fun (n - 1) (fun x ->
+      let idx = ref 0 in
+      Array.iteri
+        (fun j bit ->
+          let src = if j < v then j else j + 1 in
+          if bit then idx := !idx lor (1 lsl src))
+        x;
+      T.get fixed !idx)
+
+let derivative m i = T.xor (cofactor m i true) (cofactor m i false)
+
+let depends_on m i = not (T.is_const0 (derivative m i))

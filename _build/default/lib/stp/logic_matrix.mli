@@ -1,0 +1,87 @@
+(** Logic matrices — the fast path of the STP algebra.
+
+    A logic matrix (Definition 2) is an element of [M^{2 x 2^n}] whose
+    columns all lie in the Boolean pair domain 𝔹 = { [1;0], [0;1] }. Its
+    top row, read right to left, is a truth table, so we store exactly a
+    {!Tt.Truth_table.t} and expose STP operations on it directly: the STP
+    of a logic matrix with a Boolean value is a column-half selection, and
+    the STP composition of structural matrices is function composition.
+
+    Column index convention: column [j] of the matrix corresponds to truth
+    table bit [2^n - 1 - j] (the paper reads truth tables right to left:
+    column 0 is the all-true assignment). *)
+
+type t
+
+(** Boolean values as elements of 𝔹. *)
+type bvec = True | False
+
+val bvec_of_bool : bool -> bvec
+val bool_of_bvec : bvec -> bool
+
+val arity : t -> int
+
+val of_tt : Tt.Truth_table.t -> t
+val to_tt : t -> Tt.Truth_table.t
+
+val of_bin : string -> t
+(** Paper-style construction: [of_bin "0111"] is the structural matrix of
+    2-input NAND. *)
+
+val to_matrix : t -> Matrix.t
+(** The dense [2 x 2^n] form, for cross-checking against {!Matrix.stp}. *)
+
+val of_matrix : Matrix.t -> t
+(** Raises [Invalid_argument] if the argument is not a logic matrix with a
+    power-of-two column count. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Structural matrices of the usual connectives} *)
+
+val m_not : t
+val m_and : t
+val m_or : t
+val m_xor : t
+val m_nand : t
+val m_nor : t
+val m_xnor : t
+val m_implies : t
+val m_iff : t
+
+(** {1 STP operations} *)
+
+val stp_bvec : t -> bvec -> t
+(** [stp_bvec m x] is [m ⋉ x]: fixing the leading variable selects half of
+    the columns, producing a logic matrix of arity [n-1]. For arity 0 the
+    call is invalid. *)
+
+val apply : t -> bvec list -> bvec
+(** [apply m xs] is [m ⋉ x1 ⋉ ... ⋉ xn] fully evaluated, i.e. one matrix
+    pass over a simulation pattern. [xs] must have length [arity m], first
+    element = leading (leftmost) variable. *)
+
+val compose : t -> t list -> t
+(** [compose f gs] is the canonical form of [f(g1(x..), ..., gk(x..))]
+    where all [gs] share one variable space — the STP product
+    [M_f ⋉ M_{g1} ⋉ ...] after normalization. *)
+
+val constant : bool -> t
+(** Arity-0 logic matrix, a single column of 𝔹. *)
+
+(** {1 Boolean calculus} *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor m i b] fixes the [i]-th STP factor (0 = leading) to [b];
+    arity drops by one. Generalizes {!stp_bvec} to any position. *)
+
+val derivative : t -> int -> t
+(** The Boolean difference [∂f/∂x_i = f|x_i=1 xor f|x_i=0] over the
+    remaining factors — 1 exactly where the function is sensitive to the
+    [i]-th input. A staple of the STP calculus literature and the basis
+    of observability reasoning. *)
+
+val depends_on : t -> int -> bool
+(** Whether the function is sensitive to the [i]-th STP factor at all
+    ([derivative] not constantly 0). *)

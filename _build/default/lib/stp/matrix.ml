@@ -1,0 +1,101 @@
+type t = { rows : int; cols : int; data : int array }
+(* Row-major: entry (i, j) at data.(i * cols + j). *)
+
+let rows m = m.rows
+let cols m = m.cols
+
+let make rows cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make";
+  let data = Array.make (rows * cols) 0 in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      data.((i * cols) + j) <- f i j
+    done
+  done;
+  { rows; cols; data }
+
+let get m i j =
+  assert (i >= 0 && i < m.rows && j >= 0 && j < m.cols);
+  m.data.((i * m.cols) + j)
+
+let of_lists rows_l =
+  match rows_l with
+  | [] -> invalid_arg "Matrix.of_lists: no rows"
+  | first :: _ ->
+    let cols = List.length first in
+    if cols = 0 then invalid_arg "Matrix.of_lists: empty row";
+    if not (List.for_all (fun r -> List.length r = cols) rows_l) then
+      invalid_arg "Matrix.of_lists: ragged rows";
+    let arr = Array.of_list (List.map Array.of_list rows_l) in
+    make (Array.length arr) cols (fun i j -> arr.(i).(j))
+
+let to_lists m =
+  List.init m.rows (fun i -> List.init m.cols (fun j -> get m i j))
+
+let identity n = make n n (fun i j -> if i = j then 1 else 0)
+let zero rows cols = make rows cols (fun _ _ -> 0)
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let transpose m = make m.cols m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = { rows = a.rows; cols = b.cols; data = Array.make (a.rows * b.cols) 0 } in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = a.data.((i * a.cols) + k) in
+      if aik <> 0 then
+        for j = 0 to b.cols - 1 do
+          c.data.((i * b.cols) + j) <-
+            c.data.((i * b.cols) + j) + (aik * b.data.((k * b.cols) + j))
+        done
+    done
+  done;
+  c
+
+let kron a b =
+  make (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      get a (i / b.rows) (j / b.cols) * get b (i mod b.rows) (j mod b.cols))
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let stp x y =
+  let t = lcm x.cols y.rows in
+  let left = if t = x.cols then x else kron x (identity (t / x.cols)) in
+  let right = if t = y.rows then y else kron y (identity (t / y.rows)) in
+  mul left right
+
+let swap m n =
+  (* W_{[m,n]} maps basis vector delta_m^i (x) delta_n^j to
+     delta_n^j (x) delta_m^i. Column index (i*n + j) has its single 1 at
+     row (j*m + i). *)
+  make (m * n) (m * n) (fun row col ->
+      let i = col / n and j = col mod n in
+      if row = (j * m) + i then 1 else 0)
+
+let power_reducing = of_lists [ [ 1; 0 ]; [ 0; 0 ]; [ 0; 0 ]; [ 0; 1 ] ]
+
+let is_logic_matrix m =
+  m.rows = 2
+  && Array.for_all (fun x -> x = 0 || x = 1) m.data
+  && (let ok = ref true in
+      for j = 0 to m.cols - 1 do
+        if get m 0 j + get m 1 j <> 1 then ok := false
+      done;
+      !ok)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%d" (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

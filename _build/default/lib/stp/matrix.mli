@@ -1,0 +1,62 @@
+(** Dense integer matrices and the semi-tensor product (STP).
+
+    This is the honest Definition-1 implementation of the paper's algebra:
+    [stp x y = (x (x) I_{t/n}) * (y (x) I_{t/p})] with [t = lcm n p], where
+    [(x)] is the Kronecker product. Entries are OCaml [int]s; for logical
+    reasoning only 0/1 matrices appear, but nothing here assumes that.
+
+    Dimensions stay modest in this code base (at most [2 x 2^n] canonical
+    forms with small [n] plus the square matrices needed to normalize
+    them), so a simple dense row-major representation is the right tool;
+    the performance-critical logic-matrix path lives in {!Logic_matrix}. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val make : int -> int -> (int -> int -> int) -> t
+(** [make r c f] builds the [r x c] matrix with entry [f i j] at row [i],
+    column [j] (0-based). *)
+
+val of_lists : int list list -> t
+(** Rows given as lists; all rows must have equal nonzero length. *)
+
+val to_lists : t -> int list list
+
+val get : t -> int -> int -> int
+
+val identity : int -> t
+
+val zero : int -> int -> t
+
+val equal : t -> t -> bool
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Ordinary matrix product. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val kron : t -> t -> t
+(** Kronecker product. *)
+
+val stp : t -> t -> t
+(** Semi-tensor product per Definition 1. Generalizes [mul]: when inner
+    dimensions agree it coincides with the ordinary product. *)
+
+val swap : int -> int -> t
+(** [swap m n] is the swap matrix [W_{[m,n]}], the [mn x mn] permutation
+    with [W_{[m,n]} (x (x) y) = y (x) x] for [x] of dimension [m] and [y]
+    of dimension [n]. *)
+
+val power_reducing : t
+(** The power-reducing matrix [M_r] with [M_r x = x (x) x] for [x] in the
+    Boolean pair domain, i.e. the [4 x 2] matrix [[1;0],[0;0],[0;0],[0;1]]
+    — read column-wise it duplicates a Boolean vector. *)
+
+val is_logic_matrix : t -> bool
+(** Whether every column is a Boolean pair [ [1;0] or [0;1] ] stacked, i.e.
+    the matrix has 2 rows, entries in {0,1}, and each column sums to 1. *)
+
+val pp : Format.formatter -> t -> unit

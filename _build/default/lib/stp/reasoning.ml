@@ -1,0 +1,41 @@
+module T = Tt.Truth_table
+
+let table e = Logic_matrix.to_tt (fst (Canonical.of_expr e))
+
+let is_tautology e = T.is_const1 (table e)
+let is_satisfiable e = not (T.is_const0 (table e))
+
+let union_order a b =
+  let va = Expr.vars a and vb = Expr.vars b in
+  va @ List.filter (fun v -> not (List.mem v va)) vb
+
+let equivalent a b =
+  let order = union_order a b in
+  let order = if order = [] then [] else order in
+  if order = [] then
+    (* Closed formulas: compare the two constants. *)
+    Expr.eval (fun _ -> assert false) a = Expr.eval (fun _ -> assert false) b
+  else
+    let ma, _ = Canonical.of_expr ~order a in
+    let mb, _ = Canonical.of_expr ~order b in
+    Logic_matrix.equal ma mb
+
+let satisfying_assignments e =
+  let m, order = Canonical.of_expr e in
+  let tt = Logic_matrix.to_tt m in
+  let n = List.length order in
+  let vars = Array.of_list order in
+  let models = ref [] in
+  for i = (1 lsl n) - 1 downto 0 do
+    if T.get tt i then begin
+      (* Bit v of i is table variable v = order element (n - 1 - v). *)
+      let model =
+        List.init n (fun pos ->
+            (vars.(pos), (i lsr (n - 1 - pos)) land 1 = 1))
+      in
+      models := model :: !models
+    end
+  done;
+  !models
+
+let implies a b = is_tautology (Expr.Implies (a, b))

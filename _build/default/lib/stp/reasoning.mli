@@ -1,0 +1,21 @@
+(** Logical reasoning on top of canonical forms.
+
+    This is the "logic identities can be easily proved using structure
+    matrices" part of the paper (Example 1) plus the satisfying-assignment
+    extraction used by the liar puzzle of Example 2. *)
+
+val is_tautology : Expr.t -> bool
+val is_satisfiable : Expr.t -> bool
+
+val equivalent : Expr.t -> Expr.t -> bool
+(** [equivalent a b] proves or refutes [a <-> b] by comparing canonical
+    forms over the union of both variable sets. This is the STP identity
+    proof of Example 1. *)
+
+val satisfying_assignments : Expr.t -> (string * bool) list list
+(** All models, each as an assignment in the expression's first-occurrence
+    variable order. Exponential in the variable count by nature; intended
+    for the small formulas of the reasoning layer. *)
+
+val implies : Expr.t -> Expr.t -> bool
+(** [implies a b] — whether [a -> b] is a tautology. *)

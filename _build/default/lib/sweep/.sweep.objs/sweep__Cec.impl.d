@@ -1,0 +1,1 @@
+lib/sweep/cec.ml: Aig Array Engine Sat Sim

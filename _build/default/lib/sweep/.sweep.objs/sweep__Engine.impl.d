@@ -1,0 +1,1 @@
+lib/sweep/engine.ml: Aig Array Equiv_classes Guided_patterns List Sat Sim Stats Sutil Sys Tt

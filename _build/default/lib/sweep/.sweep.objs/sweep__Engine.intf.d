@@ -1,0 +1,1 @@
+lib/sweep/engine.mli: Aig Stats

@@ -1,0 +1,1 @@
+lib/sweep/equiv_classes.mli:

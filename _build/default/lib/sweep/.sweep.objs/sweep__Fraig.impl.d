@@ -1,0 +1,1 @@
+lib/sweep/fraig.ml: Engine Option

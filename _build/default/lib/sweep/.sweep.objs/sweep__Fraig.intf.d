@@ -1,0 +1,1 @@
+lib/sweep/fraig.mli: Aig Engine Stats

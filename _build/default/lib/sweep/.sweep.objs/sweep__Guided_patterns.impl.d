@@ -1,0 +1,1 @@
+lib/sweep/guided_patterns.ml: Aig Array List Sat Sim Sutil

@@ -1,0 +1,1 @@
+lib/sweep/guided_patterns.mli: Aig Sim

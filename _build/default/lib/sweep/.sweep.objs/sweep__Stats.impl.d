@@ -1,0 +1,1 @@
+lib/sweep/stats.ml: Format

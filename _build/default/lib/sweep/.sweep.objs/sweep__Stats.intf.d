@@ -1,0 +1,1 @@
+lib/sweep/stats.mli: Format

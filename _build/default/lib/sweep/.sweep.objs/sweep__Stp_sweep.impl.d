@@ -1,0 +1,1 @@
+lib/sweep/stp_sweep.ml: Engine Option

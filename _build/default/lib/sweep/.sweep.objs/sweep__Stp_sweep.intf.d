@@ -1,0 +1,1 @@
+lib/sweep/stp_sweep.mli: Aig Engine Stats

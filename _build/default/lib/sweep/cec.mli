@@ -1,0 +1,20 @@
+(** Combinational equivalence checking (the paper validates every sweep
+    with ABC's [&cec]; tests here do the same with this module).
+
+    Builds a joint miter network over shared PIs, filters with random
+    simulation, then discharges each output pair with the SAT solver. *)
+
+type verdict =
+  | Equivalent
+  | Different of { po : int; counterexample : bool array }
+  | Undetermined of int  (** first output whose query hit the budget *)
+
+val check :
+  ?seed:int64 ->
+  ?sim_words:int ->
+  ?conflict_limit:int ->
+  Aig.Network.t ->
+  Aig.Network.t ->
+  verdict
+(** Both networks must agree on PI and PO counts; otherwise [Different]
+    with [po = -1] and an empty counterexample is returned. *)

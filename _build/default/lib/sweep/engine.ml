@@ -1,0 +1,380 @@
+module A = Aig.Network
+module L = Aig.Lit
+module Sg = Sim.Signature
+module P = Sim.Patterns
+module Rng = Sutil.Rng
+
+type config = {
+  seed : int64;
+  initial_words : int;
+  conflict_limit : int option;
+  resim_batch : int;
+  max_compares : int;
+  guided_init : bool;
+  guided_queries : int;
+  window_refine : bool;
+  window_max_leaves : int;
+}
+
+let fraig_config =
+  {
+    seed = 0xF4A16L;
+    initial_words = 8;
+    conflict_limit = None;
+    resim_batch = 32;
+    max_compares = 1000;
+    guided_init = false;
+    guided_queries = 0;
+    window_refine = false;
+    window_max_leaves = 16;
+  }
+
+let stp_config =
+  {
+    fraig_config with
+    seed = 0x57EB5L;
+    guided_init = true;
+    guided_queries = 192;
+    window_refine = true;
+    window_max_leaves = 16;
+  }
+
+type state = {
+  cfg : config;
+  stats : Stats.t;
+  fresh : A.t;
+  rng : Rng.t;
+  pats : P.t;
+  mutable sigs : int array array; (* fresh-node id -> signature *)
+  mutable sig_count : int; (* fresh nodes with a computed signature *)
+  mutable sim_np : int;
+  (* patterns covered by current signatures — lags behind
+     [P.num_patterns pats] while counter-examples await a batch resim *)
+  mutable supports : int list option array;
+  (* fresh-node id -> PI nodes in its TFI (sorted), or None once the
+     support exceeds the window leaf budget. The network is append-only,
+     so these never change — computed once per node bottom-up, they make
+     window-eligibility of a candidate pair an O(leaves) check instead
+     of a cone traversal. *)
+  mutable window_tts : Tt.Truth_table.t option array;
+  (* fresh-node id -> exhaustive window signature over the node's own
+     support, for nodes whose support fits the leaf budget. This is the
+     paper's STP exhaustive simulation: each table is the composition of
+     the fanin logic matrices, built once bottom-up. A candidate pair
+     compares by lifting both tables onto the joint support. *)
+  classes : Equiv_classes.t;
+  mutable pending_ce : int;
+  env : Sat.Tseitin.env;
+}
+
+let timed st f =
+  let t0 = Sys.time () in
+  let r = f () in
+  st.stats.Stats.sim_time <- st.stats.Stats.sim_time +. (Sys.time () -. t0);
+  r
+
+let word_mask = 0xFFFFFFFF
+
+let ensure_sig_capacity st n =
+  if n >= Array.length st.sigs then begin
+    let cap = max (2 * Array.length st.sigs) (n + 1) in
+    let bigger = Array.make cap [||] in
+    Array.blit st.sigs 0 bigger 0 (Array.length st.sigs);
+    st.sigs <- bigger;
+    let bigger_sup = Array.make cap None in
+    Array.blit st.supports 0 bigger_sup 0 (Array.length st.supports);
+    st.supports <- bigger_sup;
+    let bigger_tt = Array.make cap None in
+    Array.blit st.window_tts 0 bigger_tt 0 (Array.length st.window_tts);
+    st.window_tts <- bigger_tt
+  end
+
+(* Merge two sorted leaf lists; None once the size exceeds [cap]. *)
+let merge_support cap a b =
+  let rec go n xs ys =
+    if n > cap then None
+    else
+      match (xs, ys) with
+      | [], rest | rest, [] ->
+        if n + List.length rest > cap then None else Some rest
+      | x :: xs', y :: ys' ->
+        if x = y then
+          match go (n + 1) xs' ys' with Some r -> Some (x :: r) | None -> None
+        else if x < y then
+          match go (n + 1) xs' ys with Some r -> Some (x :: r) | None -> None
+        else
+          match go (n + 1) xs ys' with Some r -> Some (y :: r) | None -> None
+  in
+  go 0 a b
+
+let node_support st nd =
+  match A.kind st.fresh nd with
+  | A.Const -> Some []
+  | A.Pi _ -> Some [ nd ]
+  | A.And -> (
+    let s0 = st.supports.(L.node (A.fanin0 st.fresh nd)) in
+    let s1 = st.supports.(L.node (A.fanin1 st.fresh nd)) in
+    match (s0, s1) with
+    | Some a, Some b -> merge_support st.cfg.window_max_leaves a b
+    | _ -> None)
+
+(* Lift a node's window table onto a (sorted) joint support. *)
+let lift_tt tt own_support joint =
+  let module T = Tt.Truth_table in
+  let arity = List.length joint in
+  let joint_arr = Array.of_list joint in
+  let positions =
+    Array.of_list
+      (List.map
+         (fun leaf ->
+           let rec find i =
+             if joint_arr.(i) = leaf then i else find (i + 1)
+           in
+           find 0)
+         own_support)
+  in
+  T.remap tt ~positions ~arity
+
+(* The node's exhaustive window signature: composition of the fanin
+   logic matrices over its own support, computed on first demand and
+   memoized. Only called for nodes whose support fits the budget; the
+   fanins of such a node are then eligible too (their supports are
+   subsets), so the recursion is total. Depth is bounded by the logic
+   depth of the network. *)
+let rec window_tt st nd =
+  let module T = Tt.Truth_table in
+  match st.window_tts.(nd) with
+  | Some tt -> tt
+  | None ->
+    let sup = match st.supports.(nd) with Some s -> s | None -> assert false in
+    let tt =
+      match A.kind st.fresh nd with
+      | A.Const -> T.const0 0
+      | A.Pi _ -> T.nth_var 1 0
+      | A.And ->
+        let side f =
+          let child = L.node f in
+          let csup =
+            match st.supports.(child) with Some s -> s | None -> assert false
+          in
+          let lifted = lift_tt (window_tt st child) csup sup in
+          if L.is_compl f then T.not_ lifted else lifted
+        in
+        T.and_ (side (A.fanin0 st.fresh nd)) (side (A.fanin1 st.fresh nd))
+    in
+    st.window_tts.(nd) <- Some tt;
+    tt
+
+(* Signature of one fresh node from its fanins (word AND with polarity),
+   over the pattern prefix the current signatures cover. *)
+let compute_node_sig st nd =
+  let nw = max 1 ((st.sim_np + 31) / 32) in
+  match A.kind st.fresh nd with
+  | A.Const -> Array.make nw 0
+  | A.Pi i -> Array.init nw (fun w -> P.word st.pats ~pi:i w)
+  | A.And ->
+    let f0 = A.fanin0 st.fresh nd and f1 = A.fanin1 st.fresh nd in
+    let s0 = st.sigs.(L.node f0) and s1 = st.sigs.(L.node f1) in
+    let m0 = if L.is_compl f0 then word_mask else 0 in
+    let m1 = if L.is_compl f1 then word_mask else 0 in
+    let out =
+      Array.init nw (fun w -> (s0.(w) lxor m0) land (s1.(w) lxor m1))
+    in
+    Sg.num_patterns_mask st.sim_np out;
+    out
+
+(* Register every fresh node created since the last registration. This
+   incremental signature computation is the engine's "initial
+   simulation" work, so it counts into sim_time. *)
+let register_new_nodes st =
+  let n = A.num_nodes st.fresh in
+  if n > st.sig_count then
+    timed st (fun () ->
+        ensure_sig_capacity st (n - 1);
+        for nd = st.sig_count to n - 1 do
+          st.sigs.(nd) <- compute_node_sig st nd;
+          st.supports.(nd) <- node_support st nd;
+          Equiv_classes.add st.classes nd st.sigs.(nd)
+        done;
+        st.sig_count <- n)
+
+(* Full resimulation after a batch of counter-examples: refresh all
+   signatures and rebuild the candidate classes. *)
+let resimulate st =
+  st.stats.Stats.resimulations <- st.stats.Stats.resimulations + 1;
+  timed st (fun () ->
+      let tbl = Sim.Bitwise.simulate_aig st.fresh st.pats in
+      ensure_sig_capacity st (A.num_nodes st.fresh - 1);
+      Array.blit tbl 0 st.sigs 0 (Array.length tbl);
+      for nd = st.sig_count to A.num_nodes st.fresh - 1 do
+        st.supports.(nd) <- node_support st nd
+      done);
+  st.sim_np <- P.num_patterns st.pats;
+  Equiv_classes.clear st.classes ~num_patterns:st.sim_np;
+  for nd = 0 to A.num_nodes st.fresh - 1 do
+    Equiv_classes.add st.classes nd st.sigs.(nd)
+  done;
+  st.sig_count <- A.num_nodes st.fresh;
+  st.pending_ce <- 0
+
+let note_counterexample st ce =
+  st.stats.Stats.ce_patterns <- st.stats.Stats.ce_patterns + 1;
+  P.add_pattern_randomized st.pats st.rng (Array.map (fun b -> Some b) ce);
+  st.pending_ce <- st.pending_ce + 1;
+  if st.pending_ce >= st.cfg.resim_batch then resimulate st
+
+(* Try to merge fresh node [nd] onto an earlier node. Returns the literal
+   [nd] proved equal to, if any. *)
+let try_merge st nd =
+  let reps =
+    List.filter
+      (fun r -> r < nd)
+      (Equiv_classes.candidates st.classes st.sigs.(nd))
+  in
+  let rec attempt tried = function
+    | [] -> None
+    | _ when tried >= st.cfg.max_compares -> None
+    | r :: rest -> (
+      (* Re-read on every attempt: a counter-example resimulation inside
+         this loop refreshes all signatures. *)
+      let sig_n = st.sigs.(nd) in
+      let np = st.sim_np in
+      let compl = not (Sg.equal sig_n st.sigs.(r)) in
+      (* Signature agreement is necessary but a stale complement
+         relation can slip in right after CEs; re-check cheaply. *)
+      if
+        compl
+        && not (Sg.equal sig_n (Sg.complement_of ~num_patterns:np st.sigs.(r)))
+      then attempt tried rest
+      else
+        let window_verdict =
+          if not st.cfg.window_refine then `Unknown
+          else
+            (* Exhaustive-window comparison from the cached tables: lift
+               both onto the joint support and compare columns. Exact —
+               equal tables prove equivalence, different tables refute
+               it — so no SAT call happens either way. *)
+            match (st.supports.(nd), st.supports.(r)) with
+            | Some sa, Some sb -> (
+              match merge_support st.cfg.window_max_leaves sa sb with
+              | None -> `Unknown
+              | Some joint ->
+                timed st (fun () ->
+                    let module T = Tt.Truth_table in
+                    (* Structural duplicates usually share the support
+                       exactly; skip the lift then. *)
+                    let la, lb =
+                      if sa = sb then (window_tt st nd, window_tt st r)
+                      else
+                        ( lift_tt (window_tt st nd) sa joint,
+                          lift_tt (window_tt st r) sb joint )
+                    in
+                    if T.equal la lb then `Equal
+                    else if T.equal la (T.not_ lb) then `Compl
+                    else `Different))
+            | _ -> `Unknown
+        in
+        match window_verdict with
+        | `Equal ->
+          st.stats.Stats.window_merges <- st.stats.Stats.window_merges + 1;
+          Some (L.of_node r false)
+        | `Compl ->
+          st.stats.Stats.window_merges <- st.stats.Stats.window_merges + 1;
+          Some (L.of_node r true)
+        | `Different ->
+          st.stats.Stats.window_splits <- st.stats.Stats.window_splits + 1;
+          attempt tried rest
+        | `Unknown -> (
+          match
+            Sat.Tseitin.check_equiv ?conflict_limit:st.cfg.conflict_limit
+              st.env (L.of_node nd false) (L.of_node r compl)
+          with
+          | Sat.Tseitin.Equivalent ->
+            st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
+            Some (L.of_node r compl)
+          | Sat.Tseitin.Counterexample ce ->
+            st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
+            note_counterexample st ce;
+            attempt (tried + 1) rest
+          | Sat.Tseitin.Undetermined ->
+            st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + 1;
+            (* don't-touch: stop burning budget on this node *)
+            None))
+  in
+  attempt 0 reps
+
+let run ?(config = stp_config) old_net =
+  let t_start = Sys.time () in
+  let stats = Stats.create () in
+  let rng = Rng.create config.seed in
+  let num_pis = A.num_pis old_net in
+  (* Initial patterns: random words, optionally refined by SAT-guided
+     generation on the old network. *)
+  let pats =
+    P.random ~seed:(Rng.int64 rng) ~num_pis
+      ~num_patterns:(32 * max 1 config.initial_words)
+  in
+  if config.guided_init then begin
+    let t0 = Sys.time () in
+    let _outcome =
+      Guided_patterns.generate ~max_queries:config.guided_queries old_net
+        pats ~seed:(Rng.int64 rng)
+    in
+    stats.Stats.sim_time <-
+      stats.Stats.sim_time +. (Sys.time () -. t0)
+  end;
+  stats.Stats.initial_patterns <- P.num_patterns pats;
+  let fresh = A.create ~capacity:(A.num_nodes old_net) () in
+  let solver = Sat.Solver.create () in
+  let st =
+    {
+      cfg = config;
+      stats;
+      fresh;
+      rng;
+      pats;
+      sigs = Array.make (max 16 (A.num_nodes old_net)) [||];
+      supports = Array.make (max 16 (A.num_nodes old_net)) None;
+      window_tts = Array.make (max 16 (A.num_nodes old_net)) None;
+      sig_count = 0;
+      sim_np = P.num_patterns pats;
+      classes = Equiv_classes.create ~num_patterns:(P.num_patterns pats);
+      pending_ce = 0;
+      env = Sat.Tseitin.create fresh solver;
+    }
+  in
+  (* PIs first so indices line up; register their signatures. *)
+  let map = Array.make (A.num_nodes old_net) (-1) in
+  map.(0) <- L.false_;
+  for i = 0 to num_pis - 1 do
+    map.(A.pi_node old_net i) <- A.add_pi fresh
+  done;
+  register_new_nodes st;
+  let tr l =
+    let m = map.(L.node l) in
+    assert (m >= 0);
+    L.xor_compl m (L.is_compl l)
+  in
+  A.iter_ands old_net (fun nd ->
+      let before = A.num_nodes st.fresh in
+      let l = A.add_and st.fresh (tr (A.fanin0 old_net nd)) (tr (A.fanin1 old_net nd)) in
+      if A.num_nodes st.fresh = before then
+        (* Structural hash hit or constant fold: already merged. *)
+        map.(nd) <- l
+      else begin
+        register_new_nodes st;
+        let fresh_node = L.node l in
+        match try_merge st fresh_node with
+        | Some merged ->
+          st.stats.Stats.merges <- st.stats.Stats.merges + 1;
+          if L.is_const merged then
+            st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;
+          map.(nd) <- L.xor_compl merged (L.is_compl l)
+        | None -> map.(nd) <- l
+      end);
+  Array.iter (fun l -> ignore (A.add_po st.fresh (tr l))) (A.pos old_net);
+  (* The fresh network still holds nodes that lost their fanout to a
+     merge; a cleanup pass drops them. *)
+  let result, _ = A.cleanup st.fresh in
+  stats.Stats.total_time <- Sys.time () -. t_start;
+  (result, stats)

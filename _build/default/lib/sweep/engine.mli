@@ -1,0 +1,45 @@
+(** The SAT-sweeping engine shared by both sweepers.
+
+    One forward pass rebuilds the network: every old AND node is
+    translated into a fresh network where structural hashing, simulation
+    signatures (candidate equivalence classes up to complementation),
+    exhaustive-window checks, and finally SAT queries decide whether the
+    node merges onto an earlier one. Merges are applied only on proof
+    (window exactness or UNSAT), so the result is always functionally
+    equivalent to the input.
+
+    The [&fraig]-style baseline and the paper's STP sweeper are the same
+    engine under different configurations: the STP configuration adds
+    SAT-guided initial patterns and the exhaustive <=16-leaf window
+    refinement in front of the solver; the baseline relies on random
+    initial patterns and counter-example resimulation alone. This also
+    gives the ablation benches a single knob set to sweep. *)
+
+type config = {
+  seed : int64;
+  initial_words : int;
+      (** random initial pattern words (32 patterns each) *)
+  conflict_limit : int option;
+      (** per-query budget; [None] reproduces the paper's disabled limit *)
+  resim_batch : int;
+      (** counter-examples accumulated before a batch resimulation *)
+  max_compares : int;
+      (** candidates SAT-checked per node before giving up — the engine's
+          rendition of the paper's TFI bound [n = 1000] *)
+  guided_init : bool;
+  guided_queries : int;  (** query budget for guided initialization *)
+  window_refine : bool;
+  window_max_leaves : int;
+}
+
+val fraig_config : config
+(** Baseline: random init, no windows — [&fraig]'s recipe. *)
+
+val stp_config : config
+(** The paper's engine: guided init + exhaustive window refinement,
+    window limit 16. *)
+
+val run : ?config:config -> Aig.Network.t -> Aig.Network.t * Stats.t
+(** Sweeps; the result network contains no two provably-equivalent nodes
+    the engine could find, and is functionally equivalent to the input
+    (same PIs/POs). Defaults to {!stp_config}. *)

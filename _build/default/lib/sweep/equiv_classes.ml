@@ -1,0 +1,41 @@
+module Sg = Sim.Signature
+
+type key = int array
+
+type t = {
+  mutable np : int;
+  buckets : (key, int list ref) Hashtbl.t; (* normalized sig -> nodes, reversed *)
+}
+
+let create ~num_patterns = { np = num_patterns; buckets = Hashtbl.create 1024 }
+
+let num_patterns t = t.np
+
+let normalized t s = fst (Sg.normalize ~num_patterns:t.np s)
+
+let add t node s =
+  let k = normalized t s in
+  match Hashtbl.find_opt t.buckets k with
+  | Some cell -> cell := node :: !cell
+  | None -> Hashtbl.replace t.buckets k (ref [ node ])
+
+let candidates t s =
+  match Hashtbl.find_opt t.buckets (normalized t s) with
+  | Some cell -> List.rev !cell
+  | None -> []
+
+let class_count t =
+  Hashtbl.fold
+    (fun _ cell acc -> if List.length !cell >= 2 then acc + 1 else acc)
+    t.buckets 0
+
+let candidate_nodes t =
+  Hashtbl.fold
+    (fun _ cell acc ->
+      match !cell with _ :: _ :: _ -> List.rev_append !cell acc | _ -> acc)
+    t.buckets []
+  |> List.sort compare
+
+let clear t ~num_patterns =
+  Hashtbl.reset t.buckets;
+  t.np <- num_patterns

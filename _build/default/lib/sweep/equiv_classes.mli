@@ -1,0 +1,30 @@
+(** Candidate equivalence classes over simulation signatures.
+
+    Nodes whose normalized signatures (complementation folded away, see
+    {!Sim.Signature.normalize}) coincide form one candidate class; only
+    intra-class pairs ever reach the SAT solver. The manager is rebuilt
+    after every resimulation — signatures are the keys, so refinement is
+    just reinsertion. *)
+
+type t
+
+val create : num_patterns:int -> t
+
+val num_patterns : t -> int
+
+val add : t -> int -> int array -> unit
+(** [add t node sig_] registers a node under its signature. Nodes must be
+    added in ascending id order; the earliest node of a class is its
+    representative. *)
+
+val candidates : t -> int array -> int list
+(** Earlier nodes whose normalized signature equals that of the given
+    signature — SAT-check candidates in id order. *)
+
+val class_count : t -> int
+(** Number of classes with at least two members. *)
+
+val candidate_nodes : t -> int list
+(** All nodes belonging to a class of two or more members, ascending. *)
+
+val clear : t -> num_patterns:int -> unit

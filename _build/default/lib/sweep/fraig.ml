@@ -1,0 +1,12 @@
+let config ?seed ?initial_words ?conflict_limit () =
+  let base = Engine.fraig_config in
+  {
+    base with
+    Engine.seed = Option.value seed ~default:base.Engine.seed;
+    initial_words = Option.value initial_words ~default:base.Engine.initial_words;
+    conflict_limit =
+      (match conflict_limit with Some l -> Some l | None -> base.Engine.conflict_limit);
+  }
+
+let sweep ?seed ?initial_words ?conflict_limit net =
+  Engine.run ~config:(config ?seed ?initial_words ?conflict_limit ()) net

@@ -1,0 +1,18 @@
+(** The baseline SAT sweeper — ABC's [&fraig -x] recipe on this
+    code base: random initial simulation, candidate equivalence classes,
+    topological SAT merging, counter-example resimulation. Table II's
+    left columns. *)
+
+val sweep :
+  ?seed:int64 ->
+  ?initial_words:int ->
+  ?conflict_limit:int ->
+  Aig.Network.t ->
+  Aig.Network.t * Stats.t
+
+val config :
+  ?seed:int64 ->
+  ?initial_words:int ->
+  ?conflict_limit:int ->
+  unit ->
+  Engine.config

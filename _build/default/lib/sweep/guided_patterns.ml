@@ -1,0 +1,55 @@
+module A = Aig.Network
+module L = Aig.Lit
+module Sg = Sim.Signature
+module Rng = Sutil.Rng
+
+type outcome = {
+  patterns_added : int;
+  proven_const : (int * bool) list;
+  queries : int;
+}
+
+let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit net pats
+    ~seed =
+  let rng = Rng.create seed in
+  let solver = Sat.Solver.create () in
+  let env = Sat.Tseitin.create net solver in
+  let queries = ref 0 in
+  let added = ref 0 in
+  let consts = ref [] in
+  let np () = Sim.Patterns.num_patterns pats in
+  (* Ask for a pattern on which [node] takes [want]; append it padded with
+     random values on PIs outside the encoded cone. *)
+  let query node want =
+    incr queries;
+    match
+      Sat.Tseitin.check_const ?conflict_limit env (L.of_node node false)
+        (not want)
+    with
+    | Sat.Tseitin.Counterexample ce ->
+      Sim.Patterns.add_pattern_randomized pats rng
+        (Array.map (fun b -> Some b) ce);
+      incr added;
+      true
+    | Sat.Tseitin.Equivalent ->
+      (* node is constantly [not want]. *)
+      consts := (node, not want) :: !consts;
+      false
+    | Sat.Tseitin.Undetermined -> false
+  in
+  let round threshold =
+    let tbl = Sim.Bitwise.simulate_aig net pats in
+    let n = np () in
+    let lo = int_of_float (ceil (threshold *. float_of_int n)) in
+    let proven = List.map fst !consts in
+    A.iter_ands net (fun nd ->
+        if !queries < max_queries && not (List.mem nd proven) then begin
+          let ones = Sg.count_ones tbl.(nd) in
+          if ones <= lo then ignore (query nd true)
+          else if n - ones <= lo then ignore (query nd false)
+        end)
+  in
+  (* Round one: strict constants. Round two: rare values. *)
+  round 0.0;
+  round low_ratio;
+  { patterns_added = !added; proven_const = List.rev !consts; queries = !queries }

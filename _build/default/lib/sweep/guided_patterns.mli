@@ -1,0 +1,34 @@
+(** SAT-guided initial simulation patterns (Section IV-A, after [6]).
+
+    Two rounds of constraint-driven pattern generation refine the initial
+    random set:
+
+    - round one targets nodes whose signature is all-zeros or all-ones —
+      a SAT query either yields a pattern producing the missing value
+      (killing a false constant candidate before it costs an equivalence
+      query later) or proves the node genuinely constant;
+    - round two targets nodes whose signature has very few ones or very
+      few zeros, generating patterns that exercise the rare value so
+      near-constant signatures stop colliding into one candidate class.
+
+    The queries run on their own solver against the unswept network; the
+    produced patterns are plain PI assignments reusable by any engine. *)
+
+type outcome = {
+  patterns_added : int;
+  proven_const : (int * bool) list;
+      (** nodes round one proved constant, with their value *)
+  queries : int;  (** SAT queries spent *)
+}
+
+val generate :
+  ?max_queries:int ->
+  ?low_ratio:float ->
+  ?conflict_limit:int ->
+  Aig.Network.t ->
+  Sim.Patterns.t ->
+  seed:int64 ->
+  outcome
+(** Appends patterns to the given set in place. [low_ratio] (default
+    0.02) is round two's rare-value threshold; [max_queries] (default
+    256) bounds total solver usage. *)

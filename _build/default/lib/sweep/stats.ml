@@ -1,0 +1,39 @@
+type t = {
+  mutable sat_sat : int;
+  mutable sat_unsat : int;
+  mutable sat_undet : int;
+  mutable merges : int;
+  mutable const_merges : int;
+  mutable window_merges : int;
+  mutable window_splits : int;
+  mutable ce_patterns : int;
+  mutable initial_patterns : int;
+  mutable resimulations : int;
+  mutable sim_time : float;
+  mutable total_time : float;
+}
+
+let create () =
+  {
+    sat_sat = 0;
+    sat_unsat = 0;
+    sat_undet = 0;
+    merges = 0;
+    const_merges = 0;
+    window_merges = 0;
+    window_splits = 0;
+    ce_patterns = 0;
+    initial_patterns = 0;
+    resimulations = 0;
+    sim_time = 0.;
+    total_time = 0.;
+  }
+
+let total_sat_calls t = t.sat_sat + t.sat_unsat + t.sat_undet
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sat=%d unsat=%d undet=%d merges=%d const=%d win_merge=%d win_split=%d \
+     ce=%d sim=%.3fs total=%.3fs"
+    t.sat_sat t.sat_unsat t.sat_undet t.merges t.const_merges t.window_merges
+    t.window_splits t.ce_patterns t.sim_time t.total_time

@@ -1,0 +1,26 @@
+(** Sweeping statistics — the quantities Table II reports.
+
+    "SAT calls" in the paper counts satisfiable outcomes; "Total SAT
+    calls" adds unsatisfiable and undetermined ones. Simulation time
+    covers initial-pattern generation and counter-example resimulation.
+    Window refinements are the STP engine's SAT-free merge/split
+    decisions. *)
+
+type t = {
+  mutable sat_sat : int;  (** satisfiable SAT calls *)
+  mutable sat_unsat : int;
+  mutable sat_undet : int;
+  mutable merges : int;  (** node-to-node merges proven *)
+  mutable const_merges : int;  (** nodes proven constant *)
+  mutable window_merges : int;  (** merges decided by exhaustive windows *)
+  mutable window_splits : int;  (** candidate pairs split by windows *)
+  mutable ce_patterns : int;  (** counter-example patterns appended *)
+  mutable initial_patterns : int;
+  mutable resimulations : int;
+  mutable sim_time : float;  (** seconds, CPU *)
+  mutable total_time : float;
+}
+
+val create : unit -> t
+val total_sat_calls : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+let config ?seed ?initial_words ?conflict_limit ?window_max_leaves () =
+  let base = Engine.stp_config in
+  {
+    base with
+    Engine.seed = Option.value seed ~default:base.Engine.seed;
+    initial_words = Option.value initial_words ~default:base.Engine.initial_words;
+    conflict_limit =
+      (match conflict_limit with Some l -> Some l | None -> base.Engine.conflict_limit);
+    window_max_leaves =
+      Option.value window_max_leaves ~default:base.Engine.window_max_leaves;
+  }
+
+let sweep ?seed ?initial_words ?conflict_limit ?window_max_leaves net =
+  Engine.run
+    ~config:(config ?seed ?initial_words ?conflict_limit ?window_max_leaves ())
+    net

@@ -1,0 +1,20 @@
+(** The paper's STP-enhanced SAT sweeper (Algorithm 2): SAT-guided
+    two-round initial patterns plus exhaustive-window refinement of
+    candidate equivalence classes in front of every solver query.
+    Table II's right columns. *)
+
+val sweep :
+  ?seed:int64 ->
+  ?initial_words:int ->
+  ?conflict_limit:int ->
+  ?window_max_leaves:int ->
+  Aig.Network.t ->
+  Aig.Network.t * Stats.t
+
+val config :
+  ?seed:int64 ->
+  ?initial_words:int ->
+  ?conflict_limit:int ->
+  ?window_max_leaves:int ->
+  unit ->
+  Engine.config

@@ -1,0 +1,1 @@
+lib/synth/exact.ml: Aig Array List Option Sat Tt

@@ -1,0 +1,1 @@
+lib/synth/exact.mli: Aig Tt

@@ -1,0 +1,183 @@
+module A = Aig.Network
+module L = Aig.Lit
+module T = Tt.Truth_table
+module S = Sat.Solver
+
+type result = { network : A.t; gates : int }
+
+(* A selection choice for one gate: fanin operands [j < k] (operand ids:
+   0..n-1 = inputs, n+g = gate g) with polarities. *)
+type choice = { j : int; pj : bool; k : int; pk : bool; var : int }
+
+let network_of n choices out_compl =
+  let net = A.create () in
+  let inputs = Array.init n (fun _ -> A.add_pi net) in
+  let operand = Array.make (n + List.length choices) L.false_ in
+  Array.iteri (fun i l -> operand.(i) <- l) inputs;
+  List.iteri
+    (fun g c ->
+      let la = L.xor_compl operand.(c.j) c.pj in
+      let lb = L.xor_compl operand.(c.k) c.pk in
+      operand.(n + g) <- A.add_and net la lb)
+    choices;
+  let top = operand.(n + List.length choices - 1) in
+  ignore (A.add_po net (L.xor_compl top out_compl));
+  net
+
+(* Ladder (sequential) at-most-one over a literal list. *)
+let at_most_one solver lits =
+  match lits with
+  | [] | [ _ ] -> ()
+  | first :: rest ->
+    let prev = ref first in
+    let carry = ref None in
+    List.iter
+      (fun l ->
+        let c = S.lit (S.new_var solver) in
+        (match !carry with
+         | None -> S.add_clause solver [ S.neg !prev; c ]
+         | Some prev_c ->
+           S.add_clause solver [ S.neg !prev; c ];
+           S.add_clause solver [ S.neg prev_c; c ];
+           S.add_clause solver [ S.neg prev_c; S.neg !prev ]);
+        S.add_clause solver [ S.neg c; S.neg l ];
+        carry := Some c;
+        prev := l)
+      rest
+
+let try_gates ?conflict_limit tt r =
+  let n = T.num_vars tt in
+  let minterms = 1 lsl n in
+  let solver = S.create () in
+  (* Truth variables per gate per minterm. *)
+  let x = Array.init r (fun _ -> Array.init minterms (fun _ -> S.new_var solver)) in
+  (* Output polarity. *)
+  let q = S.new_var solver in
+  (* Selection variables. *)
+  let choices = Array.make r [] in
+  for g = 0 to r - 1 do
+    let ops = n + g in
+    let cs = ref [] in
+    for j = 0 to ops - 1 do
+      for k = j + 1 to ops - 1 do
+        List.iter
+          (fun (pj, pk) ->
+            let var = S.new_var solver in
+            cs := { j; pj; k; pk; var } :: !cs)
+          [ (false, false); (false, true); (true, false); (true, true) ]
+      done
+    done;
+    choices.(g) <- List.rev !cs;
+    let sel_lits = List.map (fun c -> S.lit c.var) choices.(g) in
+    S.add_clause solver sel_lits;
+    at_most_one solver sel_lits
+  done;
+  (* Semantics: under selection c of gate g, for every minterm t,
+     x_{g,t} <-> la(t) & lb(t). Operand literals over minterm t are
+     constants for inputs and x variables for gates. *)
+  let operand_value op pol t =
+    if op < n then
+      (* constant: value of input op in minterm t, xor polarity *)
+      `Const ((t lsr op) land 1 = 1 <> pol)
+    else `Var (S.lit_of x.(op - n).(t) pol)
+  in
+  for g = 0 to r - 1 do
+    List.iter
+      (fun c ->
+        let s = S.lit c.var in
+        for t = 0 to minterms - 1 do
+          let xg = S.lit x.(g).(t) in
+          let a = operand_value c.j c.pj t in
+          let b = operand_value c.k c.pk t in
+          match (a, b) with
+          | `Const av, `Const bv ->
+            (* gate output is the constant av && bv under s *)
+            if av && bv then S.add_clause solver [ S.neg s; xg ]
+            else S.add_clause solver [ S.neg s; S.neg xg ]
+          | `Const av, `Var lb ->
+            if av then begin
+              S.add_clause solver [ S.neg s; S.neg xg; lb ];
+              S.add_clause solver [ S.neg s; xg; S.neg lb ]
+            end
+            else S.add_clause solver [ S.neg s; S.neg xg ]
+          | `Var la, `Const bv ->
+            if bv then begin
+              S.add_clause solver [ S.neg s; S.neg xg; la ];
+              S.add_clause solver [ S.neg s; xg; S.neg la ]
+            end
+            else S.add_clause solver [ S.neg s; S.neg xg ]
+          | `Var la, `Var lb ->
+            S.add_clause solver [ S.neg s; S.neg xg; la ];
+            S.add_clause solver [ S.neg s; S.neg xg; lb ];
+            S.add_clause solver [ S.neg s; xg; S.neg la; S.neg lb ]
+        done)
+      choices.(g)
+  done;
+  (* Tie the top gate to the target function modulo output polarity q. *)
+  for t = 0 to minterms - 1 do
+    let xt = S.lit x.(r - 1).(t) in
+    let want = T.get tt t in
+    (* q=0: x = want; q=1: x = not want *)
+    let ql = S.lit q in
+    if want then begin
+      S.add_clause solver [ ql; xt ];
+      S.add_clause solver [ S.neg ql; S.neg xt ]
+    end
+    else begin
+      S.add_clause solver [ ql; S.neg xt ];
+      S.add_clause solver [ S.neg ql; xt ]
+    end
+  done;
+  match S.solve ?conflict_limit solver with
+  | S.Sat ->
+    let picked =
+      List.init r (fun g ->
+          match
+            List.find_opt (fun c -> S.value solver (S.lit c.var)) choices.(g)
+          with
+          | Some c -> c
+          | None -> failwith "Exact: no selection in model")
+    in
+    let out_compl = S.value solver (S.lit q) in
+    Some (network_of n picked out_compl)
+  | S.Unsat -> None
+  | S.Unknown -> None
+
+(* Zero-gate implementations: constants and (complemented) projections. *)
+let trivial tt =
+  let n = T.num_vars tt in
+  let with_po driver_of_inputs =
+    let net = A.create () in
+    let inputs = Array.init n (fun _ -> A.add_pi net) in
+    ignore (A.add_po net (driver_of_inputs inputs));
+    Some net
+  in
+  if T.is_const0 tt then with_po (fun _ -> L.false_)
+  else if T.is_const1 tt then with_po (fun _ -> L.true_)
+  else begin
+    let found = ref None in
+    for v = 0 to n - 1 do
+      if !found = None then
+        if T.equal tt (T.nth_var n v) then
+          found := with_po (fun inputs -> inputs.(v))
+        else if T.equal tt (T.not_ (T.nth_var n v)) then
+          found := with_po (fun inputs -> L.not_ inputs.(v))
+    done;
+    !found
+  end
+
+let synthesize ?(max_gates = 12) ?conflict_limit tt =
+  match trivial tt with
+  | Some network -> Some { network; gates = 0 }
+  | None ->
+    let rec go r =
+      if r > max_gates then None
+      else
+        match try_gates ?conflict_limit tt r with
+        | Some network -> Some { network; gates = r }
+        | None -> go (r + 1)
+    in
+    go 1
+
+let minimum_gates ?max_gates ?conflict_limit tt =
+  Option.map (fun r -> r.gates) (synthesize ?max_gates ?conflict_limit tt)

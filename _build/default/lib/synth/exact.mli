@@ -1,0 +1,29 @@
+(** SAT-based exact synthesis of minimum AIGs for small functions.
+
+    A per-call [conflict_limit] turns long UNSAT proofs into give-ups —
+    the rewriting pass runs with a modest budget. Given a truth table
+    over up to ~5 variables, finds an AND-inverter
+    implementation with the minimum number of AND gates (output
+    complementation is free, as everywhere in the AIG). The encoding is
+    the classic selection-variable scheme: gate [g] picks an ordered
+    fanin pair with polarities among the inputs and earlier gates;
+    per-minterm value variables tie the selections to the target
+    function; gate counts are tried in increasing order.
+
+    This is the repository's rendition of the authors' companion "exact
+    synthesis with an STP circuit solver" line of work and the engine
+    behind {!Rewrite}. *)
+
+type result = {
+  network : Aig.Network.t; (** inputs in variable order, single PO *)
+  gates : int;
+}
+
+val synthesize :
+  ?max_gates:int -> ?conflict_limit:int -> Tt.Truth_table.t -> result option
+(** Minimum-gate implementation, or [None] if none exists within
+    [max_gates] (default 12). Constants and (complemented) projections
+    synthesize to zero gates. *)
+
+val minimum_gates :
+  ?max_gates:int -> ?conflict_limit:int -> Tt.Truth_table.t -> int option

@@ -1,0 +1,1 @@
+lib/truthtable/npn.ml: Array Hashtbl List Truth_table

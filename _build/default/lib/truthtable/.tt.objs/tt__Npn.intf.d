@@ -1,0 +1,1 @@
+lib/truthtable/npn.mli: Truth_table

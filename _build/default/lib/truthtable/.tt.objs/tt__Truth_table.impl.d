@@ -1,0 +1,1 @@
+lib/truthtable/truth_table.ml: Array Char Format Hashtbl Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/truthtable/truth_table.mli: Format

@@ -1,0 +1,98 @@
+module T = Truth_table
+
+type transform = {
+  input_negations : int;
+  permutation : int array;
+  output_negation : bool;
+}
+
+let identity_transform n =
+  {
+    input_negations = 0;
+    permutation = Array.init n (fun i -> i);
+    output_negation = false;
+  }
+
+let apply t tr =
+  let n = T.num_vars t in
+  if Array.length tr.permutation <> n then invalid_arg "Npn.apply";
+  (* Negate chosen inputs, permute, then negate the output. *)
+  let negated =
+    T.of_fun n (fun x ->
+        let y =
+          Array.mapi
+            (fun i b -> if (tr.input_negations lsr i) land 1 = 1 then not b else b)
+            x
+        in
+        T.eval t y)
+  in
+  let permuted =
+    T.of_fun n (fun x ->
+        let y = Array.make n false in
+        for i = 0 to n - 1 do
+          y.(tr.permutation.(i)) <- x.(i)
+        done;
+        T.eval negated y)
+  in
+  if tr.output_negation then T.not_ permuted else permuted
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let canonical t =
+  let n = T.num_vars t in
+  if n > 6 then invalid_arg "Npn.canonical: more than 6 variables";
+  let perms = permutations (List.init n (fun i -> i)) in
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      let permutation = Array.of_list perm in
+      for negs = 0 to (1 lsl n) - 1 do
+        List.iter
+          (fun output_negation ->
+            let tr = { input_negations = negs; permutation; output_negation } in
+            let candidate = apply t tr in
+            match !best with
+            | Some (b, _) when T.compare candidate b >= 0 -> ()
+            | _ -> best := Some (candidate, tr))
+          [ false; true ]
+      done)
+    perms;
+  match !best with Some r -> r | None -> assert false
+
+let inverse tr =
+  let n = Array.length tr.permutation in
+  let inv_perm = Array.make n 0 in
+  Array.iteri (fun i p -> inv_perm.(p) <- i) tr.permutation;
+  (* Applying tr: x -> neg -> perm -> outneg. The inverse permutes back,
+     then negates the (re-indexed) inputs. Input i of the inverse's
+     argument corresponds to original variable tr.permutation.(i), so
+     the inverse's negation mask is the original mask pushed through the
+     permutation. *)
+  let negs = ref 0 in
+  for i = 0 to n - 1 do
+    if (tr.input_negations lsr i) land 1 = 1 then
+      negs := !negs lor (1 lsl inv_perm.(i))
+  done;
+  {
+    input_negations = !negs;
+    permutation = inv_perm;
+    output_negation = tr.output_negation;
+  }
+
+let classify fns =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let c, _ = canonical f in
+      let bucket = try Hashtbl.find tbl c with Not_found -> [] in
+      Hashtbl.replace tbl c (f :: bucket))
+    fns;
+  Hashtbl.fold (fun c fs acc -> (c, List.rev fs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> T.compare a b)

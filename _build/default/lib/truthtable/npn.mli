@@ -1,0 +1,33 @@
+(** NPN classification of small functions.
+
+    Two functions are NPN-equivalent when one maps to the other by
+    negating inputs (N), permuting inputs (P), and possibly negating the
+    output (N). The canonical representative here is the
+    lexicographically smallest truth table over all [2^n * n! * 2]
+    transforms — exact, intended for [n <= 5] (the sizes rewriting and
+    LUT libraries care about). *)
+
+type transform = {
+  input_negations : int;  (** bit [i] set = negate input [i] (applied first) *)
+  permutation : int array;
+      (** [permutation.(i)] = which original variable feeds position [i] *)
+  output_negation : bool;
+}
+
+val identity_transform : int -> transform
+
+val apply : Truth_table.t -> transform -> Truth_table.t
+(** [apply t tr] — result position [i] behaves as original variable
+    [tr.permutation.(i)], negated per [tr.input_negations] (indexed by
+    the {e original} variable), output complemented last. *)
+
+val canonical : Truth_table.t -> Truth_table.t * transform
+(** [canonical t] is [(c, tr)] with [c = apply t tr] minimal. Raises
+    [Invalid_argument] above 6 variables (6 is already 92160 transforms;
+    use with care). *)
+
+val inverse : transform -> transform
+(** [apply (apply t tr) (inverse tr) = t]. *)
+
+val classify : Truth_table.t list -> (Truth_table.t * Truth_table.t list) list
+(** Groups functions by canonical representative. *)

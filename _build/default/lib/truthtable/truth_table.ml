@@ -1,0 +1,395 @@
+let word_bits = 32
+let word_mask = 0xFFFFFFFF
+let max_vars = 24
+
+type t = { n : int; words : int array }
+(* Invariant: Array.length words = max 1 (2^n / 32) and all bits at
+   positions >= 2^n in the final word are zero. *)
+
+let num_vars t = t.n
+let num_bits t = 1 lsl t.n
+let num_words t = Array.length t.words
+
+let words_for n = if n <= 5 then 1 else 1 lsl (n - 5)
+
+let last_word_mask n =
+  if n >= 5 then word_mask else (1 lsl (1 lsl n)) - 1
+
+let check_vars n =
+  if n < 0 || n > max_vars then
+    invalid_arg (Printf.sprintf "Truth_table: %d variables out of range" n)
+
+let const0 n =
+  check_vars n;
+  { n; words = Array.make (words_for n) 0 }
+
+let const1 n =
+  check_vars n;
+  let words = Array.make (words_for n) word_mask in
+  words.(Array.length words - 1) <- last_word_mask n;
+  { n; words }
+
+(* Projection masks for variables living inside one word: variable [i]
+   (0 <= i < 5) is true at assignment [j] iff bit [i] of [j] is set, which
+   tiles the word with alternating runs of length 2^i. *)
+let var_masks =
+  [| 0xAAAAAAAA; 0xCCCCCCCC; 0xF0F0F0F0; 0xFF00FF00; 0xFFFF0000 |]
+
+let nth_var n i =
+  check_vars n;
+  if i < 0 || i >= n then invalid_arg "Truth_table.nth_var";
+  let words = Array.make (words_for n) 0 in
+  if i < 5 then begin
+    let m = var_masks.(i) land last_word_mask n in
+    Array.fill words 0 (Array.length words) m;
+    if Array.length words > 0 then words.(Array.length words - 1) <- m
+  end else begin
+    (* Variable i >= 5: whole words alternate in runs of 2^(i-5). *)
+    let run = 1 lsl (i - 5) in
+    for w = 0 to Array.length words - 1 do
+      if (w / run) land 1 = 1 then words.(w) <- word_mask
+    done
+  end;
+  { n; words }
+
+let get t i =
+  assert (i >= 0 && i < num_bits t);
+  (t.words.(i lsr 5) lsr (i land 31)) land 1 = 1
+
+let set t i b =
+  assert (i >= 0 && i < num_bits t);
+  let words = Array.copy t.words in
+  let w = i lsr 5 and off = i land 31 in
+  if b then words.(w) <- words.(w) lor (1 lsl off)
+  else words.(w) <- words.(w) land lnot (1 lsl off);
+  { t with words }
+
+let of_fun n f =
+  check_vars n;
+  let x = Array.make n false in
+  let words = Array.make (words_for n) 0 in
+  for i = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      x.(v) <- (i lsr v) land 1 = 1
+    done;
+    if f x then words.(i lsr 5) <- words.(i lsr 5) lor (1 lsl (i land 31))
+  done;
+  { n; words }
+
+let eval t x =
+  if Array.length x <> t.n then invalid_arg "Truth_table.eval";
+  let idx = ref 0 in
+  for v = t.n - 1 downto 0 do
+    idx := (!idx lsl 1) lor (if x.(v) then 1 else 0)
+  done;
+  get t !idx
+
+let of_bin s =
+  let len = String.length s in
+  let n =
+    let rec log2 k acc =
+      if k = 1 then acc
+      else if k land 1 = 1 || k = 0 then
+        invalid_arg "Truth_table.of_bin: length must be a power of two"
+      else log2 (k lsr 1) (acc + 1)
+    in
+    if len = 0 then invalid_arg "Truth_table.of_bin: empty" else log2 len 0
+  in
+  check_vars n;
+  let words = Array.make (words_for n) 0 in
+  String.iteri
+    (fun pos c ->
+      let i = len - 1 - pos in
+      match c with
+      | '1' -> words.(i lsr 5) <- words.(i lsr 5) lor (1 lsl (i land 31))
+      | '0' -> ()
+      | _ -> invalid_arg "Truth_table.of_bin: not a binary digit")
+    s;
+  { n; words }
+
+let to_bin t =
+  String.init (num_bits t) (fun pos ->
+      if get t (num_bits t - 1 - pos) then '1' else '0')
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Truth_table.of_hex: not a hex digit"
+
+let of_hex n s =
+  check_vars n;
+  let digits = max 1 ((1 lsl n) / 4) in
+  if String.length s <> digits then
+    invalid_arg
+      (Printf.sprintf "Truth_table.of_hex: expected %d digits" digits);
+  let words = Array.make (words_for n) 0 in
+  String.iteri
+    (fun pos c ->
+      let d = hex_digit c in
+      let nib = digits - 1 - pos in
+      let base = nib * 4 in
+      for b = 0 to 3 do
+        let i = base + b in
+        if i < 1 lsl n && (d lsr b) land 1 = 1 then
+          words.(i lsr 5) <- words.(i lsr 5) lor (1 lsl (i land 31))
+      done)
+    s;
+  { n; words = (words.(Array.length words - 1) <-
+                  words.(Array.length words - 1) land last_word_mask n;
+                words) }
+
+let to_hex t =
+  let digits = max 1 (num_bits t / 4) in
+  String.init digits (fun pos ->
+      let nib = digits - 1 - pos in
+      let v = ref 0 in
+      for b = 3 downto 0 do
+        let i = (nib * 4) + b in
+        v := (!v lsl 1) lor (if i < num_bits t && get t i then 1 else 0)
+      done;
+      "0123456789abcdef".[!v])
+
+(* splitmix64, truncated to 32-bit words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let random ~seed n =
+  check_vars n;
+  let state = ref seed in
+  let words =
+    Array.init (words_for n) (fun _ ->
+        Int64.to_int (Int64.logand (splitmix64 state) 0xFFFFFFFFL))
+  in
+  words.(Array.length words - 1) <-
+    words.(Array.length words - 1) land last_word_mask n;
+  { n; words }
+
+let popcount32 x =
+  (* SWAR population count over a 32-bit value held in an int. *)
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (x * 0x01010101) lsr 24 land 0xFF
+
+let count_ones t =
+  Array.fold_left (fun acc w -> acc + popcount32 w) 0 t.words
+
+let is_const0 t = Array.for_all (fun w -> w = 0) t.words
+
+let is_const1 t =
+  let last = Array.length t.words - 1 in
+  let ok = ref true in
+  for w = 0 to last - 1 do
+    if t.words.(w) <> word_mask then ok := false
+  done;
+  !ok && t.words.(last) = last_word_mask t.n
+
+let equal a b = a.n = b.n && a.words = b.words
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.n, t.words)
+
+let pp ppf t = Format.fprintf ppf "%d'b%s" t.n (to_bin t)
+
+let same_arity a b op =
+  if a.n <> b.n then invalid_arg ("Truth_table." ^ op ^ ": arity mismatch")
+
+let map2 op a b =
+  { n = a.n; words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) }
+
+let not_ t =
+  let words = Array.map (fun w -> lnot w land word_mask) t.words in
+  words.(Array.length words - 1) <- words.(Array.length words - 1) land last_word_mask t.n;
+  { t with words }
+
+let and_ a b = same_arity a b "and_"; map2 (land) a b
+let or_ a b = same_arity a b "or_"; map2 (lor) a b
+let xor a b = same_arity a b "xor"; map2 (lxor) a b
+let nand a b = not_ (and_ a b)
+let nor a b = not_ (or_ a b)
+let xnor a b = not_ (xor a b)
+let implies a b = same_arity a b "implies"; or_ (not_ a) b
+
+let mux s a b =
+  same_arity s a "mux";
+  same_arity s b "mux";
+  or_ (and_ s a) (and_ (not_ s) b)
+
+let cofactor t i b =
+  if i < 0 || i >= t.n then invalid_arg "Truth_table.cofactor";
+  (* Copy the half where variable i = b over the other half. *)
+  let words = Array.copy t.words in
+  if i < 5 then begin
+    let m = var_masks.(i) in
+    let shift = 1 lsl i in
+    for w = 0 to Array.length words - 1 do
+      let x = words.(w) in
+      words.(w) <-
+        (if b then
+           let hi = x land m in
+           hi lor (hi lsr shift)
+         else
+           let lo = x land lnot m land word_mask in
+           lo lor (lo lsl shift) land word_mask)
+    done;
+    words.(Array.length words - 1) <-
+      words.(Array.length words - 1) land last_word_mask t.n
+  end else begin
+    let run = 1 lsl (i - 5) in
+    for w = 0 to Array.length words - 1 do
+      let in_hi = (w / run) land 1 = 1 in
+      let src = if b then (if in_hi then w else w + run)
+                else if in_hi then w - run else w in
+      words.(w) <- t.words.(src)
+    done
+  end;
+  { t with words }
+
+let depends_on t i =
+  not (equal (cofactor t i true) (cofactor t i false))
+
+let support t =
+  List.filter (depends_on t) (List.init t.n (fun i -> i))
+
+let shannon_expand t i = (cofactor t i true, cofactor t i false)
+
+let permute t p =
+  if Array.length p <> t.n then invalid_arg "Truth_table.permute";
+  of_fun t.n (fun x ->
+      let y = Array.make t.n false in
+      Array.iteri (fun i pi -> y.(pi) <- x.(i)) p;
+      (* The result at assignment x behaves as t at assignment where
+         variable p.(i) takes x.(i)'s value. *)
+      eval t y)
+
+let extend t n =
+  if n < t.n then invalid_arg "Truth_table.extend";
+  if n = t.n then t
+  else begin
+    check_vars n;
+    let words = Array.make (words_for n) 0 in
+    let src_bits = num_bits t in
+    (* Tile the original table across the larger space. *)
+    if src_bits >= word_bits then begin
+      let src_words = Array.length t.words in
+      for w = 0 to Array.length words - 1 do
+        words.(w) <- t.words.(w mod src_words)
+      done
+    end else begin
+      let tile = ref t.words.(0) in
+      let width = ref src_bits in
+      while !width < word_bits do
+        tile := !tile lor (!tile lsl !width);
+        width := !width * 2
+      done;
+      tile := !tile land word_mask;
+      Array.fill words 0 (Array.length words) !tile;
+      words.(Array.length words - 1) <- !tile land last_word_mask n
+    end;
+    { n; words }
+  end
+
+let insert_var t p =
+  let n = t.n in
+  if p < 0 || p > n then invalid_arg "Truth_table.insert_var";
+  check_vars (n + 1);
+  let words = Array.make (words_for (n + 1)) 0 in
+  if p >= 5 then begin
+    (* The new variable lives in the word index: output word [w] copies
+       the input word with bit (p - 5) removed from its index. *)
+    let b = p - 5 in
+    for w = 0 to Array.length words - 1 do
+      let iw = ((w lsr (b + 1)) lsl b) lor (w land ((1 lsl b) - 1)) in
+      words.(w) <- (if n <= 5 then t.words.(0) else t.words.(iw))
+    done
+  end
+  else begin
+    (* The new variable lives inside the word: each output word draws 16
+       input bits (input variables 0..3 plus the word-selecting high
+       variables) and stretches them by duplicating blocks of 2^p. *)
+    for w = 0 to Array.length words - 1 do
+      let src_word = if n <= 4 then t.words.(0) else t.words.(w lsr 1) in
+      let src_half =
+        if n <= 4 then src_word land 0xFFFF
+        else if w land 1 = 1 then (src_word lsr 16) land 0xFFFF
+        else src_word land 0xFFFF
+      in
+      let acc = ref 0 in
+      for i = 0 to min 31 ((1 lsl (n + 1)) - 1) do
+        let j = ((i lsr (p + 1)) lsl p) lor (i land ((1 lsl p) - 1)) in
+        if (src_half lsr j) land 1 = 1 then acc := !acc lor (1 lsl i)
+      done;
+      words.(w) <- !acc
+    done
+  end;
+  words.(Array.length words - 1) <-
+    words.(Array.length words - 1) land last_word_mask (n + 1);
+  { n = n + 1; words }
+
+let remap t ~positions ~arity =
+  if Array.length positions <> t.n then invalid_arg "Truth_table.remap";
+  Array.iteri
+    (fun i p ->
+      if p < 0 || p >= arity || (i > 0 && p <= positions.(i - 1)) then
+        invalid_arg "Truth_table.remap: positions must be increasing")
+    positions;
+  (* Insert the missing (don't-care) positions in ascending order; each
+     insertion uses its final position, which earlier insertions cannot
+     disturb because they land strictly below. *)
+  let hit = Array.make arity false in
+  Array.iter (fun p -> hit.(p) <- true) positions;
+  let out = ref t in
+  for p = 0 to arity - 1 do
+    if not hit.(p) then out := insert_var !out p
+  done;
+  !out
+
+let compose f gs =
+  if Array.length gs <> f.n then invalid_arg "Truth_table.compose";
+  if Array.length gs = 0 then
+    (* Constant function of zero variables: keep as-is. *)
+    f
+  else begin
+    let m = gs.(0).n in
+    Array.iter (fun g -> if g.n <> m then invalid_arg "Truth_table.compose") gs;
+    (* Evaluate f over the gs signatures word by word: for each assignment
+       of the m outer variables, form the index into f from the g values.
+       Done in 32-bit blocks to stay linear. *)
+    let out_words = Array.make (words_for m) 0 in
+    let nw = words_for m in
+    let gwords = Array.map (fun g -> g.words) gs in
+    for w = 0 to nw - 1 do
+      let acc = ref 0 in
+      for bit = 0 to word_bits - 1 do
+        let idx = ref 0 in
+        for v = f.n - 1 downto 0 do
+          idx := (!idx lsl 1) lor ((gwords.(v).(w) lsr bit) land 1)
+        done;
+        if get f !idx then acc := !acc lor (1 lsl bit)
+      done;
+      out_words.(w) <- !acc
+    done;
+    out_words.(nw - 1) <- out_words.(nw - 1) land last_word_mask m;
+    { n = m; words = out_words }
+  end
+
+let get_word t w = t.words.(w)
+
+let of_words n words =
+  check_vars n;
+  if Array.length words <> words_for n then invalid_arg "Truth_table.of_words";
+  let words = Array.map (fun w -> w land word_mask) words in
+  words.(Array.length words - 1) <-
+    words.(Array.length words - 1) land last_word_mask n;
+  { n; words }
+
+let to_words t = Array.copy t.words

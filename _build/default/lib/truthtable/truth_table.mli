@@ -1,0 +1,152 @@
+(** Bit-packed truth tables.
+
+    A truth table over [n] variables stores [2^n] function values, one per
+    input assignment. Bit index [i] holds the value of the function at the
+    assignment whose binary encoding is [i], with variable [0] the least
+    significant position. Tables are immutable; all operators return fresh
+    tables. Variables beyond [num_vars] do not exist and indexing past
+    [2^num_vars - 1] is a programming error (checked by assertion).
+
+    This is the substrate shared by the STP logic matrices (a logic matrix
+    [M] in [M^{2 x 2^n}] is exactly a truth table, see {!Stp.Logic_matrix})
+    and by both circuit simulators. *)
+
+type t
+
+(** {1 Construction} *)
+
+val const0 : int -> t
+(** [const0 n] is the constant-false function on [n] variables.
+    Raises [Invalid_argument] if [n < 0] or [n > 24]. *)
+
+val const1 : int -> t
+(** [const1 n] is the constant-true function on [n] variables. *)
+
+val nth_var : int -> int -> t
+(** [nth_var n i] is the projection of variable [i] on [n] variables,
+    i.e. the function [fun x -> x.(i)]. Requires [0 <= i < n]. *)
+
+val of_fun : int -> (bool array -> bool) -> t
+(** [of_fun n f] tabulates [f] over all [2^n] assignments. The array given
+    to [f] has length [n] with index [i] holding variable [i]. *)
+
+val of_bin : string -> t
+(** [of_bin s] parses a truth table from its binary string written MSB
+    first, as in the paper: ["0111"] is the 2-input NAND whose value at
+    assignment (1,1) is the leftmost character. The length of [s] must be a
+    power of two. Raises [Invalid_argument] otherwise. *)
+
+val of_hex : int -> string -> t
+(** [of_hex n s] parses an [n]-variable table from hexadecimal, MSB first,
+    e.g. [of_hex 2 "7"] is NAND, [of_hex 3 "e8"] is the majority of three.
+    The string must supply exactly [max 1 (2^n / 4)] hex digits. *)
+
+val random : seed:int64 -> int -> t
+(** [random ~seed n] is a deterministic pseudo-random table on [n]
+    variables (splitmix64 stream). *)
+
+(** {1 Observation} *)
+
+val num_vars : t -> int
+val num_bits : t -> int
+
+val get : t -> int -> bool
+(** [get t i] is the function value at assignment [i]. *)
+
+val set : t -> int -> bool -> t
+(** [set t i b] is [t] with the value at assignment [i] replaced by [b]. *)
+
+val eval : t -> bool array -> bool
+(** [eval t x] is the value at the assignment given per-variable.
+    [x] must have length [num_vars t]. *)
+
+val to_bin : t -> string
+(** MSB-first binary string, inverse of {!of_bin}. *)
+
+val to_hex : t -> string
+(** MSB-first hexadecimal string, inverse of {!of_hex}. *)
+
+val count_ones : t -> int
+
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<n>'b<binary>], e.g. [2'b0111]. *)
+
+(** {1 Boolean operators} *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+val nand : t -> t -> t
+val nor : t -> t -> t
+val xnor : t -> t -> t
+val implies : t -> t -> t
+val mux : t -> t -> t -> t
+(** [mux s a b] is [if s then a else b], bitwise. *)
+
+(** {1 Structure} *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t i b] is the function with variable [i] fixed to [b]. The
+    result still ranges over [n] variables but no longer depends on [i]. *)
+
+val depends_on : t -> int -> bool
+(** Whether the function semantically depends on variable [i]. *)
+
+val support : t -> int list
+(** Variables the function depends on, ascending. *)
+
+val shannon_expand : t -> int -> t * t
+(** [shannon_expand t i] is [(cofactor t i true, cofactor t i false)]. *)
+
+val permute : t -> int array -> t
+(** [permute t p] renames variables: variable [i] of the result behaves as
+    variable [p.(i)] of [t]. [p] must be a permutation of [0..n-1]. *)
+
+val extend : t -> int -> t
+(** [extend t n] re-expresses [t] over [n >= num_vars t] variables; the
+    new variables are don't-cares. *)
+
+val insert_var : t -> int -> t
+(** [insert_var t p] adds a fresh don't-care variable at position [p]
+    (0 <= p <= num_vars t), shifting variables at and above [p] up by
+    one. [insert_var t (num_vars t)] = [extend t (num_vars t + 1)]. *)
+
+val remap : t -> positions:int array -> arity:int -> t
+(** [remap t ~positions ~arity] re-expresses [t] over [arity] variables
+    where old variable [i] becomes variable [positions.(i)]; [positions]
+    must be strictly increasing and fit below [arity]. The variables not
+    hit by [positions] are don't-cares. This is how a window signature
+    over a node's own support is lifted onto a joint support. *)
+
+val compose : t -> t array -> t
+(** [compose f gs] substitutes table [gs.(i)] for variable [i] of [f]. All
+    tables in [gs] must have the same variable count [m]; the result has
+    [m] variables. This is function composition — the STP product of the
+    logic matrix of [f] with those of the [gs]. *)
+
+(** {1 Word access (for the simulators)} *)
+
+val word_bits : int
+(** Number of pattern bits carried per word ([32]). *)
+
+val num_words : t -> int
+
+val get_word : t -> int -> int
+(** [get_word t w] is the [w]-th 32-bit block of the table, in the low bits
+    of the returned integer. *)
+
+val of_words : int -> int array -> t
+(** [of_words n words] builds a table over [n] variables directly from its
+    32-bit blocks. The array is copied; excess high bits of the final word
+    are masked off. *)
+
+val to_words : t -> int array
+(** A copy of the underlying 32-bit blocks. *)

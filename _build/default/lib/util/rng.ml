@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = create (int64 t)
+
+let bits32 t = Int64.to_int (Int64.logand (int64 t) 0xFFFFFFFFL)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Keep 62 bits so the value stays non-negative as a native int;
+     plain modulo bias is fine for the non-cryptographic uses here. *)
+  let v = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)

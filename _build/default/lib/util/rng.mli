@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and generated circuits must be bit-reproducible across runs
+    and OCaml versions, so nothing in this repository uses [Stdlib.Random];
+    every consumer threads one of these explicit states instead. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] — equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent stream derived from the current state. *)
+
+val int64 : t -> int64
+val bits32 : t -> int
+(** 32 uniform bits in the low bits of an [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val bool : t -> bool
+val float : t -> float
+(** Uniform in [0, 1). *)

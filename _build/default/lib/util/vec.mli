@@ -1,0 +1,38 @@
+(** Growable integer vectors.
+
+    The AIG, k-LUT and SAT packages all need amortized-O(1) append over
+    flat [int] storage; this is that one shared primitive. Not a general
+    container: ints only, no polymorphism, no iterator zoo. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val make : int -> int -> t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+val pop : t -> int
+(** Removes and returns the last element. Raises [Invalid_argument] when
+    empty. *)
+
+val top : t -> int
+val clear : t -> unit
+(** Resets length to zero; capacity is kept. *)
+
+val shrink : t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val grow : t -> int -> int -> unit
+(** [grow v n x] extends to length [n] filling new slots with [x]; no-op
+    if already at least [n] long. *)
+
+val copy : t -> t
+val to_array : t -> int array
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit
+val exists : (int -> bool) -> t -> bool
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit

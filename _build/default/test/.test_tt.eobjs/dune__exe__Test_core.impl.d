@@ -1,0 +1,1 @@
+test/test_core.ml: Aig Alcotest Gen Klut List Report Sim Stp_sweep String Sweep

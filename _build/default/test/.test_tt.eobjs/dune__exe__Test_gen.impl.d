@@ -1,0 +1,1 @@
+test/test_gen.ml: Aig Alcotest Array Float Gen List Printf Sutil Sweep

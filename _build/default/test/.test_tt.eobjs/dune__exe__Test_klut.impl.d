@@ -1,0 +1,1 @@
+test/test_klut.ml: Aig Alcotest Array Klut List Sutil Tt

@@ -1,0 +1,1 @@
+test/test_sim.ml: Aig Alcotest Array Fun Klut List Printf Sim Sutil Tt

@@ -1,0 +1,1 @@
+test/test_stp.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Stp String Tt

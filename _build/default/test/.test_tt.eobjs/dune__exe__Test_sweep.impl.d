@@ -1,0 +1,1 @@
+test/test_sweep.ml: Aig Alcotest Array Gen List Sim Sutil Sweep

@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Array Gen Int64 List QCheck QCheck_alcotest Sutil Sweep Synth Tt

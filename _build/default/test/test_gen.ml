@@ -1,0 +1,363 @@
+(* Generator tests: every arithmetic circuit is checked bit-exactly
+   against integer arithmetic on exhaustive or sampled inputs; control
+   circuits against direct models; redundancy injection against CEC. *)
+
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let eval net inputs =
+  let v = Array.make (A.num_nodes net) false in
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi i -> v.(nd) <- inputs.(i)
+      | A.And ->
+        let f l = v.(L.node l) <> L.is_compl l in
+        v.(nd) <- f (A.fanin0 net nd) && f (A.fanin1 net nd));
+  Array.map (fun l -> v.(L.node l) <> L.is_compl l) (A.pos net)
+
+let bits_of v w = Array.init w (fun i -> (v lsr i) land 1 = 1)
+
+let int_of_bits bits lo len =
+  let v = ref 0 in
+  for i = len - 1 downto 0 do
+    v := (!v lsl 1) lor (if bits.(lo + i) then 1 else 0)
+  done;
+  !v
+
+(* Run [f a b] against the circuit for sampled operand pairs. *)
+let check_binop name net ~width ~out_width f =
+  let rng = Rng.create 2024L in
+  let samples =
+    [ (0, 0); (1, 0); (0, 1); ((1 lsl width) - 1, (1 lsl width) - 1); (1, (1 lsl width) - 1) ]
+    @ List.init 40 (fun _ -> (Rng.int rng (1 lsl width), Rng.int rng (1 lsl width)))
+  in
+  List.iter
+    (fun (a, b) ->
+      let inputs = Array.append (bits_of a width) (bits_of b width) in
+      let out = eval net inputs in
+      let got = int_of_bits out 0 out_width in
+      let expect = f a b in
+      if got <> expect then
+        Alcotest.failf "%s(%d, %d) = %d, expected %d" name a b got expect)
+    samples
+
+let test_adders () =
+  let w = 8 in
+  let mask = (1 lsl (w + 1)) - 1 in
+  check_binop "rca" (Gen.Arith.ripple_adder ~width:w) ~width:w ~out_width:(w + 1)
+    (fun a b -> (a + b) land mask);
+  check_binop "cla" (Gen.Arith.carry_lookahead_adder ~width:w) ~width:w
+    ~out_width:(w + 1) (fun a b -> (a + b) land mask);
+  (* The two adders are structurally different but CEC-equivalent. *)
+  let rca = Gen.Arith.ripple_adder ~width:16 in
+  let cla = Gen.Arith.carry_lookahead_adder ~width:16 in
+  check "structures differ" true (A.num_ands rca <> A.num_ands cla);
+  match Sweep.Cec.check rca cla with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "adders disagree"
+
+let test_kogge_stone () =
+  let w = 8 in
+  let mask = (1 lsl (w + 1)) - 1 in
+  check_binop "kogge-stone" (Gen.Arith.kogge_stone_adder ~width:w) ~width:w
+    ~out_width:(w + 1) (fun a b -> (a + b) land mask);
+  (* Logarithmic depth, unlike the ripple chain. *)
+  let ks = Gen.Arith.kogge_stone_adder ~width:32 in
+  let rca = Gen.Arith.ripple_adder ~width:32 in
+  check "shallower" true (A.depth ks < A.depth rca / 2);
+  match Sweep.Cec.check ks rca with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "kogge-stone disagrees with ripple"
+
+let test_wallace () =
+  let w = 6 in
+  check_binop "wallace" (Gen.Arith.wallace_multiplier ~width:w) ~width:w
+    ~out_width:(2 * w) (fun a b -> a * b);
+  let wal = Gen.Arith.wallace_multiplier ~width:8 in
+  let arr = Gen.Arith.multiplier ~width:8 in
+  check "tree is shallower" true (A.depth wal < A.depth arr);
+  match Sweep.Cec.check wal arr with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "wallace disagrees with array multiplier"
+
+let test_subtractor () =
+  let w = 8 in
+  check_binop "sub" (Gen.Arith.subtractor ~width:w) ~width:w ~out_width:w
+    (fun a b -> (a - b) land 0xFF)
+
+let test_multiplier () =
+  let w = 6 in
+  check_binop "mul" (Gen.Arith.multiplier ~width:w) ~width:w ~out_width:(2 * w)
+    (fun a b -> a * b)
+
+let test_square () =
+  let w = 6 in
+  let net = Gen.Arith.square ~width:w in
+  for a = 0 to (1 lsl w) - 1 do
+    let out = eval net (bits_of a w) in
+    check_int (Printf.sprintf "square %d" a) (a * a) (int_of_bits out 0 (2 * w))
+  done
+
+let test_divider () =
+  let w = 6 in
+  let net = Gen.Arith.divider ~width:w in
+  let rng = Rng.create 11L in
+  for _ = 1 to 60 do
+    let a = Rng.int rng (1 lsl w) and b = 1 + Rng.int rng ((1 lsl w) - 1) in
+    let inputs = Array.append (bits_of a w) (bits_of b w) in
+    let out = eval net inputs in
+    check_int (Printf.sprintf "%d / %d" a b) (a / b) (int_of_bits out 0 w);
+    check_int (Printf.sprintf "%d mod %d" a b) (a mod b) (int_of_bits out w w)
+  done;
+  (* Division by zero: quotient all ones, remainder = dividend. *)
+  let out = eval net (Array.append (bits_of 13 w) (bits_of 0 w)) in
+  check_int "q div0" ((1 lsl w) - 1) (int_of_bits out 0 w);
+  check_int "r div0" 13 (int_of_bits out w w)
+
+let test_sqrt () =
+  let w = 8 in
+  let net = Gen.Arith.sqrt ~width:w in
+  for a = 0 to 255 do
+    let out = eval net (bits_of a w) in
+    let expect = int_of_float (Float.sqrt (float_of_int a)) in
+    check_int (Printf.sprintf "sqrt %d" a) expect (int_of_bits out 0 (w / 2))
+  done
+
+let test_barrel_shifter () =
+  let w = 16 in
+  let net = Gen.Arith.barrel_shifter ~width:w in
+  let rng = Rng.create 17L in
+  for _ = 1 to 60 do
+    let x = Rng.int rng (1 lsl w) and s = Rng.int rng 16 in
+    let inputs = Array.append (bits_of x w) (bits_of s 4) in
+    let out = eval net inputs in
+    check_int
+      (Printf.sprintf "%d << %d" x s)
+      ((x lsl s) land ((1 lsl w) - 1))
+      (int_of_bits out 0 w)
+  done
+
+let test_max () =
+  let w = 6 in
+  let net = Gen.Arith.max ~width:w ~operands:4 in
+  let rng = Rng.create 19L in
+  for _ = 1 to 60 do
+    let ops = Array.init 4 (fun _ -> Rng.int rng (1 lsl w)) in
+    let inputs = Array.concat (Array.to_list (Array.map (fun v -> bits_of v w) ops)) in
+    let out = eval net inputs in
+    check_int "max4" (Array.fold_left max 0 ops) (int_of_bits out 0 w)
+  done
+
+let test_log2 () =
+  let w = 32 in
+  let net = Gen.Arith.log2_floor ~width:w in
+  let rng = Rng.create 23L in
+  let cases = 1 :: 7 :: 255 :: (1 lsl 31) :: List.init 40 (fun _ -> 1 + Rng.int rng ((1 lsl 31) - 1)) in
+  List.iter
+    (fun x ->
+      let out = eval net (bits_of x w) in
+      let expect =
+        let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+        go x 0
+      in
+      (* 32 positions need 5 bits; the flag PO follows. *)
+      check_int (Printf.sprintf "log2 %d" x) expect (int_of_bits out 0 5);
+      check "not zero flag" false out.(5))
+    cases;
+  let out = eval net (bits_of 0 w) in
+  check "zero flag" true out.(5)
+
+let test_int2float () =
+  let w = 32 in
+  let net = Gen.Arith.int2float ~width:w in
+  let x = 0b1011_0110_1100_0000 in
+  let out = eval net (bits_of x w) in
+  (* Leading one at position 15; mantissa output bit j is input bit
+     (14 - j), so the mantissa word reads x14..x7 lsb-first. *)
+  check_int "exponent" 15 (int_of_bits out 0 5);
+  check_int "mantissa" 182 (int_of_bits out 5 8)
+
+let test_hyp_and_sin_build () =
+  (* Functional spot checks on the big datapath kernels. *)
+  let w = 6 in
+  let hyp = Gen.Arith.hyp ~width:w in
+  let out = eval hyp (Array.append (bits_of 5 w) (bits_of 7 w)) in
+  check_int "5^2+7^2" 74 (int_of_bits out 0 (2 * w));
+  let sp = Gen.Arith.sin_poly ~width:8 in
+  let x = 10 in
+  let out = eval sp (bits_of x 8) in
+  let x3 = x * x * x land 0xFF and x2 = x * x land 0xFF in
+  let x5 = x3 * x2 land 0xFF in
+  let expect = (x + (x3 lsr 3) + (x5 lsr 6)) land 0xFF in
+  check_int "sin_poly" expect (int_of_bits out 0 8)
+
+let test_decoder () =
+  let net = Gen.Control.decoder ~bits:4 in
+  for v = 0 to 15 do
+    let out = eval net (bits_of v 4) in
+    Array.iteri
+      (fun i b ->
+        if b <> (i = v) then Alcotest.failf "decoder %d wrong at %d" v i)
+      out
+  done
+
+let test_priority_encoder () =
+  let net = Gen.Control.priority_encoder ~width:16 in
+  let rng = Rng.create 29L in
+  for _ = 1 to 50 do
+    let r = Rng.int rng 65536 in
+    let out = eval net (bits_of r 16) in
+    if r = 0 then check "invalid" false out.(4)
+    else begin
+      let expect =
+        let rec go i = if (r lsr i) land 1 = 1 then i else go (i + 1) in
+        go 0
+      in
+      check_int "position" expect (int_of_bits out 0 4);
+      check "valid" true out.(4)
+    end
+  done
+
+let test_voter () =
+  let net = Gen.Control.voter ~inputs:9 in
+  let rng = Rng.create 37L in
+  for _ = 1 to 80 do
+    let r = Rng.int rng 512 in
+    let inputs = bits_of r 9 in
+    let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 inputs in
+    let out = eval net inputs in
+    check "majority" true (out.(0) = (ones >= 5))
+  done
+
+let test_parity_and_mux () =
+  let net = Gen.Control.parity ~width:12 in
+  let rng = Rng.create 41L in
+  for _ = 1 to 40 do
+    let r = Rng.int rng 4096 in
+    let out = eval net (bits_of r 12) in
+    let expect =
+      let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+      go r false
+    in
+    check "parity" true (out.(0) = expect)
+  done;
+  let mt = Gen.Control.mux_tree ~select_bits:4 in
+  for _ = 1 to 40 do
+    let data = Rng.int rng 65536 and sel = Rng.int rng 16 in
+    let inputs = Array.append (bits_of data 16) (bits_of sel 4) in
+    let out = eval mt inputs in
+    check "mux tree" true (out.(0) = ((data lsr sel) land 1 = 1))
+  done
+
+let test_arbiter () =
+  let net = Gen.Control.arbiter ~clients:4 in
+  let rng = Rng.create 43L in
+  for _ = 1 to 60 do
+    let req = Rng.int rng 16 and ptr = Rng.int rng 4 in
+    let inputs = Array.append (bits_of req 4) (bits_of ptr 2) in
+    let out = eval net inputs in
+    let grants = Array.to_list out in
+    let granted = List.filteri (fun i g -> ignore i; g) grants in
+    if req = 0 then check "no grant" true (granted = [])
+    else begin
+      check_int "single grant" 1 (List.length granted);
+      (* The grant goes to the first requester from ptr onward. *)
+      let expect =
+        let rec go d = if (req lsr ((ptr + d) mod 4)) land 1 = 1 then (ptr + d) mod 4 else go (d + 1) in
+        go 0
+      in
+      check "right client" true out.(expect)
+    end
+  done
+
+let test_crossbar () =
+  let net = Gen.Control.crossbar ~ports:2 ~width:4 in
+  let rng = Rng.create 47L in
+  for _ = 1 to 40 do
+    let b0 = Rng.int rng 16 and b1 = Rng.int rng 16 in
+    let s0 = Rng.int rng 2 and s1 = Rng.int rng 2 in
+    let inputs =
+      Array.concat [ bits_of b0 4; bits_of b1 4; bits_of s0 1; bits_of s1 1 ]
+    in
+    let out = eval net inputs in
+    let buses = [| b0; b1 |] in
+    check_int "out0" buses.(s0) (int_of_bits out 0 4);
+    check_int "out1" buses.(s1) (int_of_bits out 4 4)
+  done
+
+let test_random_logic_deterministic () =
+  let a = Gen.Control.random_logic ~seed:5L ~pis:8 ~gates:100 ~pos:4 in
+  let b = Gen.Control.random_logic ~seed:5L ~pis:8 ~gates:100 ~pos:4 in
+  check "deterministic" true (Aig.Aiger.write a = Aig.Aiger.write b);
+  let c = Gen.Control.random_logic ~seed:6L ~pis:8 ~gates:100 ~pos:4 in
+  check "seed matters" true (Aig.Aiger.write a <> Aig.Aiger.write c)
+
+let test_redundant_inject () =
+  let rng = Rng.create 53L in
+  for _ = 1 to 10 do
+    let base =
+      Gen.Control.random_logic ~seed:(Rng.int64 rng) ~pis:7 ~gates:60 ~pos:5
+    in
+    let red = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.5 base in
+    check "grew" true (A.num_ands red >= A.num_ands base);
+    match Sweep.Cec.check base red with
+    | Sweep.Cec.Equivalent -> ()
+    | _ -> Alcotest.fail "injection changed the function"
+  done
+
+let test_suites_build () =
+  (* Every named benchmark builds, is non-trivial, and is deterministic. *)
+  List.iter
+    (fun (name, net) ->
+      if A.num_ands net < 50 then
+        Alcotest.failf "epfl %s suspiciously small (%d)" name (A.num_ands net);
+      let again = Gen.Suites.epfl_by_name name in
+      if Aig.Aiger.write net <> Aig.Aiger.write again then
+        Alcotest.failf "epfl %s not deterministic" name)
+    (Gen.Suites.epfl ());
+  List.iter
+    (fun (name, net) ->
+      if A.num_ands net < 100 then
+        Alcotest.failf "hwmcc %s suspiciously small (%d)" name (A.num_ands net))
+    (Gen.Suites.hwmcc ())
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "arith",
+        [
+          Alcotest.test_case "adders" `Quick test_adders;
+          Alcotest.test_case "kogge-stone" `Quick test_kogge_stone;
+          Alcotest.test_case "wallace" `Quick test_wallace;
+          Alcotest.test_case "subtractor" `Quick test_subtractor;
+          Alcotest.test_case "multiplier" `Quick test_multiplier;
+          Alcotest.test_case "square" `Quick test_square;
+          Alcotest.test_case "divider" `Quick test_divider;
+          Alcotest.test_case "sqrt" `Quick test_sqrt;
+          Alcotest.test_case "barrel shifter" `Quick test_barrel_shifter;
+          Alcotest.test_case "max" `Quick test_max;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "int2float" `Quick test_int2float;
+          Alcotest.test_case "hyp and sin kernels" `Quick test_hyp_and_sin_build;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "decoder" `Quick test_decoder;
+          Alcotest.test_case "priority encoder" `Quick test_priority_encoder;
+          Alcotest.test_case "voter" `Quick test_voter;
+          Alcotest.test_case "parity and mux" `Quick test_parity_and_mux;
+          Alcotest.test_case "arbiter" `Quick test_arbiter;
+          Alcotest.test_case "crossbar" `Quick test_crossbar;
+          Alcotest.test_case "random logic" `Quick test_random_logic_deterministic;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "redundancy injection" `Quick test_redundant_inject;
+          Alcotest.test_case "suites build" `Slow test_suites_build;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* k-LUT network, cut enumeration and mapping tests. The reference
+   semantics is exhaustive AIG evaluation; mapping at every k must
+   preserve it. *)
+
+module A = Aig.Network
+module L = Aig.Lit
+module K = Klut.Network
+module T = Tt.Truth_table
+module Rng = Sutil.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_network rng ~pis ~gates ~pos =
+  let net = A.create () in
+  let inputs = Array.init pis (fun _ -> A.add_pi net) in
+  let all = ref (Array.to_list inputs) in
+  for _ = 1 to gates do
+    let pick () =
+      let l = List.nth !all (Rng.int rng (List.length !all)) in
+      L.xor_compl l (Rng.bool rng)
+    in
+    let l = A.add_and net (pick ()) (pick ()) in
+    if not (L.is_const l) then all := l :: !all
+  done;
+  for _ = 1 to pos do
+    let l = List.nth !all (Rng.int rng (List.length !all)) in
+    ignore (A.add_po net (L.xor_compl l (Rng.bool rng)))
+  done;
+  net
+
+let test_network_basics () =
+  let net = K.create () in
+  let a = K.add_pi net and b = K.add_pi net in
+  let nand = K.add_lut net [| a; b |] (T.of_bin "0111") in
+  ignore (K.add_po net nand false);
+  check_int "pis" 2 (K.num_pis net);
+  check_int "luts" 1 (K.num_luts net);
+  check_int "level" 1 (K.level net nand);
+  check_int "max fanin" 2 (K.max_fanin net);
+  check "is_lut" true (K.is_lut net nand);
+  check "is_pi" true (K.is_pi net a);
+  check_int "pi_index" 0 (K.pi_index net a);
+  check_int "fanout a" 1 (K.fanout_count net a);
+  (try
+     ignore (K.add_lut net [| a |] (T.of_bin "0111"));
+     Alcotest.fail "arity mismatch accepted"
+   with Invalid_argument _ -> ())
+
+let test_cut_enumeration () =
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net and c = A.add_pi net in
+  let ab = A.add_and net a b in
+  let abc = A.add_and net ab c in
+  ignore (A.add_po net abc);
+  let cuts = Klut.Cuts.enumerate net ~k:4 () in
+  let cut_sets nd =
+    List.map (fun c -> Array.to_list (Klut.Cuts.leaves c)) cuts.(nd)
+  in
+  (* Node abc has the trivial cut, {ab,c}, and {a,b,c}. *)
+  let sets = cut_sets (L.node abc) in
+  check "trivial" true (List.mem [ L.node abc ] sets);
+  check "fanin cut" true
+    (List.mem (List.sort compare [ L.node ab; L.node c ]) sets);
+  check "pi cut" true
+    (List.mem (List.sort compare [ L.node a; L.node b; L.node c ]) sets)
+
+let test_cut_function () =
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net and c = A.add_pi net in
+  let ab = A.add_and net a (L.not_ b) in
+  let abc = A.add_and net (L.not_ ab) c in
+  ignore (A.add_po net abc);
+  let cuts = Klut.Cuts.enumerate net ~k:3 () in
+  let full =
+    List.find
+      (fun cut -> Array.length (Klut.Cuts.leaves cut) = 3)
+      cuts.(L.node abc)
+  in
+  let f = Klut.Cuts.cut_function net (L.node abc) full in
+  (* f = !(a & !b) & c over leaves (a,b,c) ascending by node id. *)
+  let expect =
+    T.and_
+      (T.not_ (T.and_ (T.nth_var 3 0) (T.not_ (T.nth_var 3 1))))
+      (T.nth_var 3 2)
+  in
+  check "cut function" true (T.equal f expect)
+
+let test_map_preserves_function () =
+  let rng = Rng.create 31L in
+  for round = 1 to 25 do
+    let net = random_network rng ~pis:6 ~gates:40 ~pos:4 in
+    List.iter
+      (fun k ->
+        let lut = Klut.Mapper.map ~k net in
+        if not (Klut.Mapper.check_equivalent_small net lut) then
+          Alcotest.failf "round %d: %d-LUT mapping broke the function" round k;
+        if K.max_fanin lut > k then
+          Alcotest.failf "round %d: mapping exceeded k=%d" round k)
+      [ 2; 3; 4; 6 ]
+  done
+
+let test_map_compresses () =
+  (* A chain of 2-input gates must collapse into few 6-LUTs. *)
+  let net = A.create () in
+  let inputs = Array.init 12 (fun _ -> A.add_pi net) in
+  let acc = ref inputs.(0) in
+  for i = 1 to 11 do
+    acc := A.add_and net !acc (if i mod 2 = 0 then inputs.(i) else L.not_ inputs.(i))
+  done;
+  ignore (A.add_po net !acc);
+  let lut = Klut.Mapper.map ~k:6 net in
+  check "few luts" true (K.num_luts lut <= 3);
+  check "function" true (Klut.Mapper.check_equivalent_small net lut)
+
+let test_2lut_translation () =
+  let rng = Rng.create 77L in
+  for round = 1 to 25 do
+    let net = random_network rng ~pis:5 ~gates:25 ~pos:3 in
+    let lut = Klut.Mapper.of_aig_2lut net in
+    check_int "one LUT per AND" (A.num_ands net) (K.num_luts lut);
+    if not (Klut.Mapper.check_equivalent_small net lut) then
+      Alcotest.failf "round %d: 2-LUT translation broke the function" round
+  done
+
+let test_area_recovery () =
+  let rng = Rng.create 59L in
+  for _ = 1 to 10 do
+    let net = random_network rng ~pis:6 ~gates:60 ~pos:4 in
+    let dep = Klut.Mapper.map ~k:4 ~area_recovery:false net in
+    let area = Klut.Mapper.map ~k:4 ~area_recovery:true net in
+    check "function preserved" true (Klut.Mapper.check_equivalent_small net area);
+    check "never more luts" true (K.num_luts area <= K.num_luts dep);
+    check "depth not worse" true (K.depth area <= K.depth dep)
+  done
+
+let test_blif_roundtrip () =
+  let rng = Rng.create 91L in
+  for _ = 1 to 10 do
+    let aig = random_network rng ~pis:5 ~gates:30 ~pos:3 in
+    let lut = Klut.Mapper.map ~k:4 aig in
+    let text = Klut.Blif.write lut in
+    let back = Klut.Blif.read text in
+    (* Functional comparison through exhaustive evaluation. *)
+    if K.num_pis back <> K.num_pis lut || K.num_pos back <> K.num_pos lut then
+      Alcotest.fail "blif interface mismatch";
+    if not (Klut.Mapper.check_equivalent_small aig back) then
+      Alcotest.fail "blif roundtrip changed the function"
+  done
+
+let test_blif_fixed () =
+  let text =
+    ".model test\n.inputs a b\n.outputs y\n# a comment\n.names a b y\n11 1\n.end\n"
+  in
+  let net = Klut.Blif.read text in
+  check_int "pis" 2 (K.num_pis net);
+  check_int "pos" 1 (K.num_pos net);
+  (* y = a & b *)
+  let n, compl = K.po net 0 in
+  check "not compl" false compl;
+  check "and function" true
+    (T.equal (K.func net n) (T.and_ (T.nth_var 2 0) (T.nth_var 2 1)));
+  (* Off-set cover form. *)
+  let text2 =
+    ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+  in
+  let net2 = Klut.Blif.read text2 in
+  let n2, _ = K.po net2 0 in
+  check "offset cover" true
+    (T.equal (K.func net2 n2) (T.nand (T.nth_var 2 0) (T.nth_var 2 1)))
+
+let test_blif_errors () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Klut.Blif.read text);
+        Alcotest.failf "should not parse: %s" text
+      with Klut.Blif.Parse_error _ -> ())
+    [
+      ".model t\n.inputs a\n.outputs y\n.names b y\n1 1\n.end\n";
+      ".model t\n.inputs a\n.outputs y\n.latch a y\n.end\n";
+      ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
+      ".model t\n.inputs a\n.outputs y\n.end\n";
+    ]
+
+let () =
+  Alcotest.run "klut"
+    [
+      ( "network",
+        [ Alcotest.test_case "basics" `Quick test_network_basics ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "enumeration" `Quick test_cut_enumeration;
+          Alcotest.test_case "cut function" `Quick test_cut_function;
+        ] );
+      ( "mapper",
+        [
+          Alcotest.test_case "preserves function" `Quick
+            test_map_preserves_function;
+          Alcotest.test_case "compresses chains" `Quick test_map_compresses;
+          Alcotest.test_case "2-LUT translation" `Quick test_2lut_translation;
+          Alcotest.test_case "area recovery" `Quick test_area_recovery;
+        ] );
+      ( "blif",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "fixed" `Quick test_blif_fixed;
+          Alcotest.test_case "errors" `Quick test_blif_errors;
+        ] );
+    ]

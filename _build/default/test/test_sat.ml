@@ -1,0 +1,330 @@
+(* SAT solver validation: hand clauses, DIMACS, Tseitin equivalence
+   queries, and the crucial fuzz test — random CNF instances checked
+   against brute-force enumeration, with and without assumptions. *)
+
+module S = Sat.Solver
+module D = Sat.Dimacs
+module Ts = Sat.Tseitin
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+let check = Alcotest.(check bool)
+
+let result =
+  Alcotest.testable
+    (fun ppf -> function
+      | S.Sat -> Format.fprintf ppf "Sat"
+      | S.Unsat -> Format.fprintf ppf "Unsat"
+      | S.Unknown -> Format.fprintf ppf "Unknown")
+    ( = )
+
+let fresh n =
+  let s = S.create () in
+  let vars = Array.init n (fun _ -> S.new_var s) in
+  (s, vars)
+
+let test_trivial () =
+  let s, v = fresh 2 in
+  S.add_clause s [ S.lit v.(0) ];
+  S.add_clause s [ S.neg (S.lit v.(1)) ];
+  Alcotest.check result "sat" S.Sat (S.solve s);
+  check "v0 true" true (S.value s (S.lit v.(0)));
+  check "v1 false" false (S.value s (S.lit v.(1)))
+
+let test_unsat () =
+  let s, v = fresh 1 in
+  S.add_clause s [ S.lit v.(0) ];
+  S.add_clause s [ S.neg (S.lit v.(0)) ];
+  Alcotest.check result "unsat" S.Unsat (S.solve s);
+  Alcotest.check result "stays unsat" S.Unsat (S.solve s)
+
+let test_empty_clause () =
+  let s, _ = fresh 1 in
+  S.add_clause s [];
+  Alcotest.check result "unsat" S.Unsat (S.solve s)
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: classically unsat, needs real conflict analysis. *)
+  let s = S.create () in
+  let p = Array.init 4 (fun _ -> Array.init 3 (fun _ -> S.new_var s)) in
+  for i = 0 to 3 do
+    S.add_clause s (List.init 3 (fun j -> S.lit p.(i).(j)))
+  done;
+  for j = 0 to 2 do
+    for i1 = 0 to 3 do
+      for i2 = i1 + 1 to 3 do
+        S.add_clause s [ S.neg (S.lit p.(i1).(j)); S.neg (S.lit p.(i2).(j)) ]
+      done
+    done
+  done;
+  Alcotest.check result "php(4,3)" S.Unsat (S.solve s)
+
+let test_assumptions () =
+  let s, v = fresh 3 in
+  (* v0 -> v1, v1 -> v2 *)
+  S.add_clause s [ S.neg (S.lit v.(0)); S.lit v.(1) ];
+  S.add_clause s [ S.neg (S.lit v.(1)); S.lit v.(2) ];
+  Alcotest.check result "sat with v0" S.Sat
+    (S.solve ~assumptions:[ S.lit v.(0) ] s);
+  check "v2 forced" true (S.value s (S.lit v.(2)));
+  Alcotest.check result "conflicting assumptions" S.Unsat
+    (S.solve ~assumptions:[ S.lit v.(0); S.neg (S.lit v.(2)) ] s);
+  (* Solver survives and can still answer. *)
+  Alcotest.check result "recovers" S.Sat (S.solve s)
+
+let test_conflict_limit () =
+  (* php(7,6) is hard enough to exceed a tiny conflict budget. *)
+  let s = S.create () in
+  let n = 7 in
+  let p = Array.init n (fun _ -> Array.init (n - 1) (fun _ -> S.new_var s)) in
+  for i = 0 to n - 1 do
+    S.add_clause s (List.init (n - 1) (fun j -> S.lit p.(i).(j)))
+  done;
+  for j = 0 to n - 2 do
+    for i1 = 0 to n - 1 do
+      for i2 = i1 + 1 to n - 1 do
+        S.add_clause s [ S.neg (S.lit p.(i1).(j)); S.neg (S.lit p.(i2).(j)) ]
+      done
+    done
+  done;
+  Alcotest.check result "budget exhausted" S.Unknown
+    (S.solve ~conflict_limit:5 s);
+  Alcotest.check result "full run unsat" S.Unsat (S.solve s)
+
+let test_dimacs () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let nv, clauses = D.parse text in
+  Alcotest.(check int) "vars" 3 nv;
+  Alcotest.(check int) "clauses" 2 (List.length clauses);
+  let s = S.create () in
+  D.load s text;
+  Alcotest.check result "sat" S.Sat (S.solve s);
+  (* Roundtrip *)
+  let again = D.parse (D.print ~num_vars:nv clauses) in
+  check "roundtrip" true (again = (nv, clauses))
+
+(* Brute-force model check of a clause set. *)
+let brute_sat num_vars clauses =
+  let rec go i assign =
+    if i = num_vars then
+      List.for_all
+        (List.exists (fun l ->
+             let v = l lsr 1 and negd = l land 1 = 1 in
+             assign.(v) <> negd))
+        clauses
+    else begin
+      assign.(i) <- false;
+      go (i + 1) assign
+      ||
+      (assign.(i) <- true;
+       go (i + 1) assign)
+    end
+  in
+  go 0 (Array.make num_vars false)
+
+let random_cnf rng ~num_vars ~num_clauses ~width =
+  List.init num_clauses (fun _ ->
+      List.init (1 + Rng.int rng width) (fun _ ->
+          S.lit_of (Rng.int rng num_vars) (Rng.bool rng)))
+
+let test_fuzz_vs_brute () =
+  let rng = Rng.create 42L in
+  for round = 1 to 300 do
+    let num_vars = 3 + Rng.int rng 8 in
+    let num_clauses = 2 + Rng.int rng (3 * num_vars) in
+    let clauses = random_cnf rng ~num_vars ~num_clauses ~width:3 in
+    let s = S.create () in
+    for _ = 1 to num_vars do
+      ignore (S.new_var s)
+    done;
+    List.iter (S.add_clause s) clauses;
+    let expect = brute_sat num_vars clauses in
+    (match S.solve s with
+     | S.Sat ->
+       if not expect then Alcotest.failf "round %d: false Sat" round;
+       (* model check *)
+       List.iter
+         (fun clause ->
+           if not (List.exists (fun l -> S.value s l) clause) then
+             Alcotest.failf "round %d: bogus model" round)
+         clauses
+     | S.Unsat -> if expect then Alcotest.failf "round %d: false Unsat" round
+     | S.Unknown -> Alcotest.failf "round %d: unexpected Unknown" round)
+  done
+
+let test_fuzz_assumptions () =
+  let rng = Rng.create 7L in
+  for round = 1 to 200 do
+    let num_vars = 3 + Rng.int rng 6 in
+    let num_clauses = 2 + Rng.int rng (2 * num_vars) in
+    let clauses = random_cnf rng ~num_vars ~num_clauses ~width:3 in
+    let assumptions =
+      List.sort_uniq
+        (fun a b -> compare (a lsr 1) (b lsr 1))
+        (List.init (1 + Rng.int rng 3) (fun _ ->
+             S.lit_of (Rng.int rng num_vars) (Rng.bool rng)))
+    in
+    let s = S.create () in
+    for _ = 1 to num_vars do
+      ignore (S.new_var s)
+    done;
+    List.iter (S.add_clause s) clauses;
+    let expect =
+      brute_sat num_vars (clauses @ List.map (fun a -> [ a ]) assumptions)
+    in
+    (match S.solve ~assumptions s with
+     | S.Sat ->
+       if not expect then Alcotest.failf "round %d: false Sat" round;
+       List.iter
+         (fun a ->
+           if not (S.value s a) then
+             Alcotest.failf "round %d: assumption violated" round)
+         assumptions
+     | S.Unsat -> if expect then Alcotest.failf "round %d: false Unsat" round
+     | S.Unknown -> Alcotest.failf "round %d: unexpected Unknown" round);
+    (* Reuse the same solver without assumptions; must match plain CNF. *)
+    let expect_plain = brute_sat num_vars clauses in
+    (match S.solve s with
+     | S.Sat -> if not expect_plain then Alcotest.failf "round %d: reuse false Sat" round
+     | S.Unsat -> if expect_plain then Alcotest.failf "round %d: reuse false Unsat" round
+     | S.Unknown -> Alcotest.failf "round %d: reuse Unknown" round)
+  done
+
+let test_xor_chain_unsat () =
+  (* Parity contradiction: x1 ^ x2 ^ ... ^ xn = 0 and = 1 — forces real
+     clause learning, no pure-literal shortcuts. *)
+  let s = S.create () in
+  let n = 14 in
+  let xs = Array.init n (fun _ -> S.new_var s) in
+  (* chain variables c_i = x_1 ^ ... ^ x_i *)
+  let add_xor out a b =
+    (* out <-> a ^ b *)
+    S.add_clause s [ S.neg out; a; b ];
+    S.add_clause s [ S.neg out; S.neg a; S.neg b ];
+    S.add_clause s [ out; S.neg a; b ];
+    S.add_clause s [ out; a; S.neg b ]
+  in
+  let acc = ref (S.lit xs.(0)) in
+  for i = 1 to n - 1 do
+    let c = S.lit (S.new_var s) in
+    add_xor c !acc (S.lit xs.(i));
+    acc := c
+  done;
+  (* Assert both polarities of the chain in two different ways: unit on
+     the chain, and a duplicated chain forced opposite. *)
+  S.add_clause s [ !acc ];
+  let acc2 = ref (S.lit xs.(0)) in
+  for i = 1 to n - 1 do
+    let c = S.lit (S.new_var s) in
+    add_xor c !acc2 (S.lit xs.(i));
+    acc2 := c
+  done;
+  S.add_clause s [ S.neg !acc2 ];
+  Alcotest.check result "parity contradiction" S.Unsat (S.solve s);
+  check "learned something" true ((S.stats s).S.learned > 0)
+
+let test_many_solves_reuse () =
+  (* Incremental reuse under alternating outcomes. *)
+  let s, v = fresh 6 in
+  S.add_clause s [ S.lit v.(0); S.lit v.(1) ];
+  for round = 1 to 50 do
+    let a =
+      if round mod 2 = 0 then [ S.lit v.(0) ] else [ S.neg (S.lit v.(0)) ]
+    in
+    match S.solve ~assumptions:a s with
+    | S.Sat -> ()
+    | _ -> Alcotest.failf "round %d should be Sat" round
+  done;
+  S.add_clause s [ S.neg (S.lit v.(0)) ];
+  S.add_clause s [ S.neg (S.lit v.(1)) ];
+  Alcotest.check result "now unsat" S.Unsat (S.solve s)
+
+(* ---- Tseitin over AIGs ---- *)
+
+let xor_network () =
+  (* Two XOR implementations; PO0 = mux-style, PO1 = and-or style. *)
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net in
+  let x1 = A.add_xor net a b in
+  let t1 = A.add_and net a (L.not_ b) in
+  let t2 = A.add_and net (L.not_ a) b in
+  let x2 = A.add_or net t1 t2 in
+  ignore (A.add_po net x1);
+  ignore (A.add_po net x2);
+  (net, x1, x2, a, b)
+
+let test_tseitin_equiv () =
+  let net, x1, x2, a, _ = xor_network () in
+  let solver = S.create () in
+  let env = Ts.create net solver in
+  (match Ts.check_equiv env x1 x2 with
+   | Ts.Equivalent -> ()
+   | Ts.Counterexample _ -> Alcotest.fail "equivalent nodes reported different"
+   | Ts.Undetermined -> Alcotest.fail "undetermined");
+  (* x1 vs a must differ; counterexample must actually distinguish. *)
+  (match Ts.check_equiv env x1 a with
+   | Ts.Counterexample ce ->
+     let va = ce.(0) and vb = ce.(1) in
+     let x = va <> vb in
+     if x = va then Alcotest.fail "counterexample does not distinguish"
+   | Ts.Equivalent -> Alcotest.fail "different nodes reported equivalent"
+   | Ts.Undetermined -> Alcotest.fail "undetermined")
+
+let test_tseitin_const () =
+  let net = A.create () in
+  let a = A.add_pi net in
+  let contradiction = A.add_and net a (L.not_ a) in
+  ignore (A.add_po net contradiction);
+  let solver = S.create () in
+  let env = Ts.create net solver in
+  (match Ts.check_const env contradiction false with
+   | Ts.Equivalent -> ()
+   | _ -> Alcotest.fail "x & !x should be constant false");
+  (match Ts.check_const env a false with
+   | Ts.Counterexample ce -> check "ce sets a" true ce.(0)
+   | _ -> Alcotest.fail "a PI is not constant")
+
+let test_tseitin_lazy () =
+  (* Encoding one output's cone must not encode the other's. *)
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net and c = A.add_pi net in
+  let left = A.add_and net a b in
+  let right = A.add_and net b c in
+  ignore (A.add_po net left);
+  ignore (A.add_po net right);
+  let solver = S.create () in
+  let env = Ts.create net solver in
+  ignore (Ts.var_of_node env (L.node left));
+  check "left encoded" true (Ts.is_encoded env (L.node left));
+  check "right not encoded" false (Ts.is_encoded env (L.node right));
+  check "c not encoded" false (Ts.is_encoded env (L.node c))
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "unsat" `Quick test_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "conflict limit" `Quick test_conflict_limit;
+          Alcotest.test_case "xor chain unsat" `Quick test_xor_chain_unsat;
+          Alcotest.test_case "many solves reuse" `Quick test_many_solves_reuse;
+        ] );
+      ("dimacs", [ Alcotest.test_case "parse/print" `Quick test_dimacs ]);
+      ( "fuzz",
+        [
+          Alcotest.test_case "vs brute force" `Slow test_fuzz_vs_brute;
+          Alcotest.test_case "assumptions vs brute force" `Slow
+            test_fuzz_assumptions;
+        ] );
+      ( "tseitin",
+        [
+          Alcotest.test_case "equivalence" `Quick test_tseitin_equiv;
+          Alcotest.test_case "constants" `Quick test_tseitin_const;
+          Alcotest.test_case "lazy cones" `Quick test_tseitin_lazy;
+        ] );
+    ]

@@ -1,0 +1,512 @@
+(* Simulator tests: the bitwise baseline, the STP engine, the circuit-cut
+   algorithm, and exhaustive windows. The key properties: every engine
+   computes identical signatures, and mode-s simulation (cut + simulate
+   roots only) matches mode-a on the requested nodes. Includes the
+   paper's Fig. 1 / Section III-C example. *)
+
+module A = Aig.Network
+module L = Aig.Lit
+module K = Klut.Network
+module T = Tt.Truth_table
+module P = Sim.Patterns
+module Sg = Sim.Signature
+module Rng = Sutil.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- patterns ---- *)
+
+let test_patterns_basic () =
+  let p = P.random ~seed:1L ~num_pis:3 ~num_patterns:100 in
+  check_int "count" 100 (P.num_patterns p);
+  check_int "words" 4 (P.num_words p);
+  let p2 = P.random ~seed:1L ~num_pis:3 ~num_patterns:100 in
+  check "deterministic" true
+    (List.for_all
+       (fun w -> P.word p ~pi:1 w = P.word p2 ~pi:1 w)
+       [ 0; 1; 2; 3 ]);
+  let e = P.exhaustive ~num_pis:4 in
+  check_int "exhaustive count" 16 (P.num_patterns e);
+  for i = 0 to 15 do
+    for b = 0 to 3 do
+      if P.get e ~pi:b ~pattern:i <> ((i lsr b) land 1 = 1) then
+        Alcotest.failf "exhaustive layout wrong at %d/%d" i b
+    done
+  done
+
+let test_patterns_of_rows () =
+  (* The paper's ten patterns for the Fig. 1 circuit. *)
+  let rows =
+    [ "0101010101"; "1010101010"; "1111100000"; "0000011111"; "0011001100" ]
+  in
+  let p = P.of_rows rows in
+  check_int "pis" 5 (P.num_pis p);
+  check_int "patterns" 10 (P.num_patterns p);
+  (* First simulation pattern is the first column: 0,1,1,0,0. *)
+  check "pattern 0" true (P.pattern p 0 = [| false; true; true; false; false |])
+
+let test_patterns_grow () =
+  let p = P.create ~num_pis:2 in
+  for i = 0 to 99 do
+    P.add_pattern p [| i mod 2 = 0; i mod 3 = 0 |]
+  done;
+  check_int "grown" 100 (P.num_patterns p);
+  check "bit 98" true (P.get p ~pi:0 ~pattern:98);
+  check "bit 99" false (P.get p ~pi:0 ~pattern:99);
+  let rng = Rng.create 5L in
+  P.add_pattern_randomized p rng [| Some true; None |];
+  check "forced bit" true (P.get p ~pi:0 ~pattern:100)
+
+(* ---- reference evaluation ---- *)
+
+let eval_aig net inputs =
+  let v = Array.make (A.num_nodes net) false in
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi i -> v.(nd) <- inputs.(i)
+      | A.And ->
+        let f l = v.(L.node l) <> L.is_compl l in
+        v.(nd) <- f (A.fanin0 net nd) && f (A.fanin1 net nd));
+  v
+
+let random_aig rng ~pis ~gates ~pos =
+  let net = A.create () in
+  let inputs = Array.init pis (fun _ -> A.add_pi net) in
+  let all = ref (Array.to_list inputs) in
+  for _ = 1 to gates do
+    let pick () =
+      let l = List.nth !all (Rng.int rng (List.length !all)) in
+      L.xor_compl l (Rng.bool rng)
+    in
+    let l = A.add_and net (pick ()) (pick ()) in
+    if not (L.is_const l) then all := l :: !all
+  done;
+  for _ = 1 to pos do
+    let l = List.nth !all (Rng.int rng (List.length !all)) in
+    ignore (A.add_po net (L.xor_compl l (Rng.bool rng)))
+  done;
+  net
+
+let random_klut rng ~pis ~luts =
+  let net = K.create () in
+  let nodes = ref (List.init pis (fun _ -> K.add_pi net)) in
+  for _ = 1 to luts do
+    let arity = 1 + Rng.int rng 4 in
+    let fanins =
+      Array.init arity (fun _ ->
+          List.nth !nodes (Rng.int rng (List.length !nodes)))
+    in
+    let f = T.random ~seed:(Rng.int64 rng) arity in
+    nodes := K.add_lut net fanins f :: !nodes
+  done;
+  (* A few POs on the most recent nodes. *)
+  List.iteri (fun i n -> if i < 3 then ignore (K.add_po net n (i mod 2 = 1))) !nodes;
+  net
+
+(* ---- AIG simulation ---- *)
+
+let test_bitwise_aig_vs_eval () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 10 do
+    let net = random_aig rng ~pis:5 ~gates:30 ~pos:3 in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:5 ~num_patterns:70 in
+    let tbl = Sim.Bitwise.simulate_aig net pats in
+    for p = 0 to 69 do
+      let v = eval_aig net (P.pattern pats p) in
+      A.iter_nodes net (fun nd ->
+          if Sg.get tbl.(nd) p <> v.(nd) then
+            Alcotest.failf "bitwise AIG sim wrong at node %d pattern %d" nd p)
+    done
+  done
+
+let test_stp_aig_matches_bitwise () =
+  let rng = Rng.create 13L in
+  for _ = 1 to 10 do
+    let net = random_aig rng ~pis:6 ~gates:50 ~pos:3 in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:130 in
+    let a = Sim.Bitwise.simulate_aig net pats in
+    let b = Sim.Stp_sim.simulate_aig net pats in
+    check "equal tables" true (a = b)
+  done
+
+(* ---- k-LUT simulation ---- *)
+
+let test_klut_engines_agree () =
+  let rng = Rng.create 29L in
+  for _ = 1 to 15 do
+    let net = random_klut rng ~pis:6 ~luts:40 in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:99 in
+    let naive = Sim.Bitwise.simulate_klut net pats in
+    let stp = Sim.Stp_sim.simulate_klut net pats in
+    check "engines agree" true (naive = stp)
+  done
+
+let test_klut_sim_vs_eval () =
+  let rng = Rng.create 41L in
+  let net = random_klut rng ~pis:5 ~luts:25 in
+  let pats = P.exhaustive ~num_pis:5 in
+  let tbl = Sim.Stp_sim.simulate_klut net pats in
+  (* Evaluate node-by-node per pattern. *)
+  for p = 0 to 31 do
+    let inputs = P.pattern pats p in
+    let v = Array.make (K.num_nodes net) false in
+    K.iter_nodes net (fun nd ->
+        if K.is_pi net nd then v.(nd) <- inputs.(K.pi_index net nd)
+        else if K.is_lut net nd then
+          v.(nd) <-
+            T.eval (K.func net nd)
+              (Array.map (fun f -> v.(f)) (K.fanins net nd)));
+    K.iter_nodes net (fun nd ->
+        if Sg.get tbl.(nd) p <> v.(nd) then
+          Alcotest.failf "stp klut sim wrong at node %d pattern %d" nd p)
+  done
+
+let test_mapped_matches_aig () =
+  (* AIG simulation and k-LUT simulation of its mapping agree on POs. *)
+  let rng = Rng.create 53L in
+  for _ = 1 to 10 do
+    let net = random_aig rng ~pis:6 ~gates:40 ~pos:4 in
+    let lut = Klut.Mapper.map ~k:4 net in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:64 in
+    let atbl = Sim.Bitwise.simulate_aig net pats in
+    let ltbl = Sim.Stp_sim.simulate_klut lut pats in
+    for o = 0 to A.num_pos net - 1 do
+      let al = A.po net o in
+      let asig =
+        Sim.Bitwise.po_signature atbl ~num_patterns:64 ~lit:al
+      in
+      let lnode, lcompl = K.po lut o in
+      let lsig =
+        if lcompl then Sg.complement_of ~num_patterns:64 ltbl.(lnode)
+        else ltbl.(lnode)
+      in
+      if asig <> lsig then Alcotest.failf "output %d differs" o
+    done
+  done
+
+(* ---- circuit cut ---- *)
+
+let fig1_network () =
+  (* Section III-C: five PIs, six NAND nodes. Node numbering follows the
+     paper: 6=NAND(1,3), 7=NAND(2,3), 8=NAND(7,4), 9=NAND(4,5),
+     10=NAND(6,7), 11=NAND(8,9); po1=10, po2=11. *)
+  let net = K.create () in
+  let pi = Array.init 5 (fun _ -> K.add_pi net) in
+  let nand = T.of_bin "0111" in
+  let n6 = K.add_lut net [| pi.(0); pi.(2) |] nand in
+  let n7 = K.add_lut net [| pi.(1); pi.(2) |] nand in
+  let n8 = K.add_lut net [| n7; pi.(3) |] nand in
+  let n9 = K.add_lut net [| pi.(3); pi.(4) |] nand in
+  let n10 = K.add_lut net [| n6; n7 |] nand in
+  let n11 = K.add_lut net [| n8; n9 |] nand in
+  ignore (K.add_po net n10 false);
+  ignore (K.add_po net n11 false);
+  (net, pi, n6, n7, n8, n9, n10, n11)
+
+let test_circuit_cut_fig1 () =
+  let net, _, n6, n7, n8, n9, n10, n11 = fig1_network () in
+  (* Ten patterns -> limit 3, as in the paper. *)
+  let { Sim.Circuit_cut.network = cut_net; node_map; roots } =
+    Sim.Circuit_cut.cut net ~limit:3 ~targets:[ n10; n11; n7; n8 ]
+  in
+  (* The paper's four cuts: roots 10 (absorbing 6), 11 (absorbing 9), and
+     the boundary nodes 7, 8. *)
+  check "roots" true (List.sort compare roots = List.sort compare [ n7; n8; n10; n11 ]);
+  check "6 collapsed" true (node_map.(n6) = -1);
+  check "9 collapsed" true (node_map.(n9) = -1);
+  check_int "cut network luts" 4 (K.num_luts cut_net);
+  (* Cut (6,10) has leaves 1,3,7 (three inputs, within the limit). *)
+  let leaves_of root =
+    Array.to_list (K.fanins cut_net node_map.(root)) |> List.sort compare
+  in
+  let orig_of n =
+    (* invert node_map for PIs *)
+    let found = ref (-1) in
+    Array.iteri (fun o m -> if m = n then found := o) node_map;
+    !found
+  in
+  check "cut(6,10) leaves" true
+    (List.map orig_of (leaves_of n10) = [ 1; 3; n7 ]);
+  check "cut(9,11) leaves" true
+    (List.map orig_of (leaves_of n11) = [ 4; 5; n8 ])
+
+let test_circuit_cut_function_preserved () =
+  let net, _, _, n7, n8, _, n10, n11 = fig1_network () in
+  let rows =
+    [ "0101010101"; "1010101010"; "1111100000"; "0000011111"; "0011001100" ]
+  in
+  let pats = P.of_rows rows in
+  let full = Sim.Stp_sim.simulate_klut net pats in
+  let specified =
+    Sim.Stp_sim.simulate_specified net pats ~targets:[ n7; n8; n10; n11 ]
+  in
+  List.iter
+    (fun (node, s) ->
+      if s <> full.(node) then
+        Alcotest.failf "specified-node signature differs at node %d" node)
+    specified
+
+let test_circuit_cut_random () =
+  let rng = Rng.create 61L in
+  for _ = 1 to 15 do
+    let net = random_klut rng ~pis:6 ~luts:30 in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:50 in
+    let full = Sim.Stp_sim.simulate_klut net pats in
+    (* Pick a few random LUT targets. *)
+    let luts = ref [] in
+    K.iter_luts net (fun n -> luts := n :: !luts);
+    let luts = Array.of_list !luts in
+    let targets =
+      List.init 4 (fun _ -> luts.(Rng.int rng (Array.length luts)))
+      |> List.sort_uniq compare
+    in
+    let result = Sim.Stp_sim.simulate_specified net pats ~targets in
+    List.iter
+      (fun (node, s) ->
+        if s <> full.(node) then Alcotest.failf "node %d differs" node)
+      result
+  done
+
+let test_circuit_cut_respects_limit () =
+  let rng = Rng.create 67L in
+  let net = random_klut rng ~pis:8 ~luts:60 in
+  let luts = ref [] in
+  K.iter_luts net (fun n -> luts := n :: !luts);
+  let targets = [ List.hd !luts ] in
+  List.iter
+    (fun limit ->
+      let { Sim.Circuit_cut.network = cut_net; _ } =
+        Sim.Circuit_cut.cut net ~limit ~targets
+      in
+      check
+        (Printf.sprintf "limit %d respected" limit)
+        true
+        (K.max_fanin cut_net <= max limit (K.max_fanin net)))
+    [ 2; 3; 4; 8 ]
+
+(* ---- windows ---- *)
+
+let test_window_exact_equivalence () =
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net and c = A.add_pi net in
+  let x1 = A.add_xor net a b in
+  (* A NAND-style duplicate of the same xor. *)
+  let n1 = L.not_ (A.add_and net a b) in
+  let n2 = L.not_ (A.add_and net a n1) in
+  let n3 = L.not_ (A.add_and net b n1) in
+  let x2 = L.not_ (A.add_and net n2 n3) in
+  let other = A.add_and net a c in
+  ignore (A.add_po net x1);
+  ignore (A.add_po net x2);
+  ignore (A.add_po net other);
+  check "equal impls" true
+    (Sim.Window.equivalent_in_window net (L.node x1) (L.node x2)
+       ~max_leaves:16
+     = (if L.is_compl x1 = L.is_compl x2 then `Equal else `Compl));
+  check "different" true
+    (Sim.Window.equivalent_in_window net (L.node x1) (L.node other)
+       ~max_leaves:16
+     = `Different)
+
+let test_window_too_wide () =
+  let net = A.create () in
+  let pis = Array.init 20 (fun _ -> A.add_pi net) in
+  let acc = ref pis.(0) in
+  Array.iteri (fun i p -> if i > 0 then acc := A.add_and net !acc p) pis;
+  ignore (A.add_po net !acc);
+  check "unknown" true
+    (Sim.Window.equivalent_in_window net (L.node !acc) (L.node pis.(0))
+       ~max_leaves:16
+     = `Unknown)
+
+let test_window_tts () =
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net in
+  let g = A.add_and net a (L.not_ b) in
+  ignore (A.add_po net g);
+  match Sim.Window.signatures net ~targets:[ L.node g ] ~max_leaves:4 with
+  | Some ([ la; lb ], [| tt |]) ->
+    check "leaves are the PIs" true (la = L.node a && lb = L.node b);
+    check "tt" true (T.equal tt (T.and_ (T.nth_var 2 0) (T.not_ (T.nth_var 2 1))))
+  | _ -> Alcotest.fail "expected a 2-leaf window"
+
+let test_window_lift_consistency () =
+  (* The sweeping engine compares nodes by lifting per-node window
+     tables onto a joint support. Validate that mechanism against the
+     direct joint-window computation. *)
+  let module T = Tt.Truth_table in
+  let rng = Rng.create 83L in
+  for _ = 1 to 15 do
+    let net = random_aig rng ~pis:6 ~gates:40 ~pos:3 in
+    (* Pick two AND nodes. *)
+    let ands = ref [] in
+    A.iter_ands net (fun n -> ands := n :: !ands);
+    match !ands with
+    | a :: b :: _ -> (
+      match Sim.Window.signatures net ~targets:[ a; b ] ~max_leaves:16 with
+      | None -> ()
+      | Some (joint, [| ta; tb |]) -> (
+        (* Individual windows lifted onto the joint support. *)
+        let lift node =
+          match Sim.Window.signatures net ~targets:[ node ] ~max_leaves:16 with
+          | Some (own, [| tt |]) ->
+            let joint_arr = Array.of_list joint in
+            let positions =
+              Array.of_list
+                (List.map
+                   (fun leaf ->
+                     let rec find i =
+                       if joint_arr.(i) = leaf then i else find (i + 1)
+                     in
+                     find 0)
+                   own)
+            in
+            T.remap tt ~positions ~arity:(List.length joint)
+          | _ -> Alcotest.fail "individual window missing"
+        in
+        if not (T.equal (lift a) ta && T.equal (lift b) tb) then
+          Alcotest.fail "lifted window disagrees with joint window")
+      | Some _ -> Alcotest.fail "arity")
+    | _ -> ()
+  done
+
+(* ---- incremental simulation ---- *)
+
+let test_incremental_matches_full () =
+  let rng = Rng.create 71L in
+  for _ = 1 to 8 do
+    let net = random_aig rng ~pis:6 ~gates:40 ~pos:3 in
+    let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:50 in
+    let inc = Sim.Incremental.create net pats in
+    (* Append a bunch of patterns one at a time. *)
+    for _ = 1 to 45 do
+      Sim.Incremental.add_pattern inc
+        (Array.init 6 (fun _ -> Rng.bool rng))
+    done;
+    Sim.Incremental.refresh inc;
+    let full = Sim.Bitwise.simulate_aig net pats in
+    let got = Sim.Incremental.signatures inc in
+    A.iter_nodes net (fun nd ->
+        if got.(nd) <> full.(nd) then
+          Alcotest.failf "incremental differs at node %d" nd)
+  done
+
+let test_incremental_is_incremental () =
+  let rng = Rng.create 73L in
+  let net = random_aig rng ~pis:6 ~gates:60 ~pos:3 in
+  let pats = P.random ~seed:5L ~num_pis:6 ~num_patterns:320 in
+  let inc = Sim.Incremental.create net pats in
+  check_int "nothing recomputed yet" 0 (Sim.Incremental.words_recomputed inc);
+  (* 32 appended patterns live in at most 2 words. *)
+  for _ = 1 to 32 do
+    Sim.Incremental.add_pattern inc (Array.make 6 true)
+  done;
+  Sim.Incremental.refresh inc;
+  let per_word = A.num_nodes net in
+  check "at most two words per node" true
+    (Sim.Incremental.words_recomputed inc <= 2 * per_word);
+  check_int "patterns counted" 352 (Sim.Incremental.num_patterns inc)
+
+(* ---- activity ---- *)
+
+let test_activity () =
+  let module Act = Sim.Activity in
+  (* Brute-force cross-check on random signatures. *)
+  let rng = Rng.create 101L in
+  for _ = 1 to 30 do
+    let np = 1 + Rng.int rng 100 in
+    let nw = (np + 31) / 32 in
+    let s = Array.init nw (fun _ -> Rng.bits32 rng) in
+    Sg.num_patterns_mask np s;
+    let stats = Act.of_signature ~num_patterns:np s in
+    let bits = List.init np (fun i -> Sg.get s i) in
+    let ones = List.length (List.filter Fun.id bits) in
+    let toggles =
+      let rec go = function
+        | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + go rest
+        | _ -> 0
+      in
+      go bits
+    in
+    if stats.Act.ones <> ones then
+      Alcotest.failf "ones: got %d want %d (np=%d)" stats.Act.ones ones np;
+    if stats.Act.toggles <> toggles then
+      Alcotest.failf "toggles: got %d want %d (np=%d)" stats.Act.toggles toggles np
+  done;
+  (* Metrics. *)
+  let alt = Act.of_signature ~num_patterns:8 [| 0b01010101 |] in
+  check "toggle rate 1" true (Act.toggle_rate alt = 1.);
+  check "bias half" true (Act.bias alt = 0.5);
+  check "not constant" false (Act.is_constant alt);
+  let const = Act.of_signature ~num_patterns:8 [| 0 |] in
+  check "constant" true (Act.is_constant const);
+  check "near constant" true (Act.near_constant const)
+
+(* ---- signatures ---- *)
+
+let test_signature_helpers () =
+  let s = [| 0b1010; 0 |] in
+  check "get" true (Sg.get s 1);
+  check "get0" false (Sg.get s 0);
+  let c = Sg.complement_of ~num_patterns:40 s in
+  check "compl bit" true (Sg.get c 0);
+  check "equal up to compl" true (Sg.equal_up_to_compl ~num_patterns:40 s c);
+  let norm, flipped = Sg.normalize ~num_patterns:40 c in
+  check "normalized flipped" true flipped;
+  check "normalized value" true (norm = s);
+  check_int "count" 2 (Sg.count_ones s);
+  check "const0" true (Sg.is_const0 [| 0; 0 |]);
+  check "const1" true (Sg.is_const1 ~num_patterns:40 [| -1 land 0xFFFFFFFF; 0xFF |])
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "basic" `Quick test_patterns_basic;
+          Alcotest.test_case "of_rows (paper)" `Quick test_patterns_of_rows;
+          Alcotest.test_case "growth" `Quick test_patterns_grow;
+        ] );
+      ( "aig",
+        [
+          Alcotest.test_case "bitwise vs eval" `Quick test_bitwise_aig_vs_eval;
+          Alcotest.test_case "stp matches bitwise" `Quick
+            test_stp_aig_matches_bitwise;
+        ] );
+      ( "klut",
+        [
+          Alcotest.test_case "engines agree" `Quick test_klut_engines_agree;
+          Alcotest.test_case "stp vs eval" `Quick test_klut_sim_vs_eval;
+          Alcotest.test_case "mapped matches aig" `Quick test_mapped_matches_aig;
+        ] );
+      ( "circuit_cut",
+        [
+          Alcotest.test_case "fig1 cuts" `Quick test_circuit_cut_fig1;
+          Alcotest.test_case "fig1 signatures" `Quick
+            test_circuit_cut_function_preserved;
+          Alcotest.test_case "random targets" `Quick test_circuit_cut_random;
+          Alcotest.test_case "limit respected" `Quick
+            test_circuit_cut_respects_limit;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "exact equivalence" `Quick
+            test_window_exact_equivalence;
+          Alcotest.test_case "too wide" `Quick test_window_too_wide;
+          Alcotest.test_case "truth tables" `Quick test_window_tts;
+          Alcotest.test_case "lift consistency" `Quick
+            test_window_lift_consistency;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "matches full simulation" `Quick
+            test_incremental_matches_full;
+          Alcotest.test_case "recomputes only the tail" `Quick
+            test_incremental_is_incremental;
+        ] );
+      ("activity", [ Alcotest.test_case "stats" `Quick test_activity ]);
+      ( "signature",
+        [ Alcotest.test_case "helpers" `Quick test_signature_helpers ] );
+    ]

@@ -1,0 +1,375 @@
+(* Tests for the STP algebra: dense matrices, logic matrices, canonical
+   forms (semantic vs algebraic), and the reasoning layer. Includes the
+   paper's Example 1 (implication identity) and Example 2 (liar puzzle). *)
+
+module M = Stp.Matrix
+module L = Stp.Logic_matrix
+module E = Stp.Expr
+module C = Stp.Canonical
+module R = Stp.Reasoning
+module T = Tt.Truth_table
+
+let check = Alcotest.(check bool)
+let matrix = Alcotest.testable M.pp M.equal
+
+let qtest name ?(count = 100) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---- dense matrices ---- *)
+
+let test_mul () =
+  let a = M.of_lists [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = M.of_lists [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.check matrix "mul" (M.of_lists [ [ 19; 22 ]; [ 43; 50 ] ]) (M.mul a b);
+  Alcotest.check matrix "identity" a (M.mul a (M.identity 2));
+  Alcotest.check matrix "transpose" (M.of_lists [ [ 1; 3 ]; [ 2; 4 ] ]) (M.transpose a)
+
+let test_kron () =
+  let a = M.of_lists [ [ 1; 2 ] ] in
+  let b = M.of_lists [ [ 0; 1 ]; [ 1; 0 ] ] in
+  Alcotest.check matrix "kron"
+    (M.of_lists [ [ 0; 1; 0; 2 ]; [ 1; 0; 2; 0 ] ])
+    (M.kron a b)
+
+let test_stp_generalizes_mul () =
+  let a = M.of_lists [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = M.of_lists [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.check matrix "stp = mul on matching dims" (M.mul a b) (M.stp a b)
+
+let test_stp_example1 () =
+  (* Example 1: M_or x M_not = M_implies. *)
+  let m_or = L.to_matrix L.m_or in
+  let m_not = L.to_matrix L.m_not in
+  let m_implies = L.to_matrix L.m_implies in
+  Alcotest.check matrix "M_or M_not = M_implies" m_implies (M.stp m_or m_not)
+
+let test_swap_property () =
+  (* W_{[2,2]} (x (x) y) = y (x) x for Boolean pairs. *)
+  let vec b = M.of_lists (if b then [ [ 1 ]; [ 0 ] ] else [ [ 0 ]; [ 1 ] ]) in
+  let w = M.swap 2 2 in
+  List.iter
+    (fun (bx, by) ->
+      let x = vec bx and y = vec by in
+      Alcotest.check matrix "swap"
+        (M.kron y x)
+        (M.mul w (M.kron x y)))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_power_reducing () =
+  let vec b = M.of_lists (if b then [ [ 1 ]; [ 0 ] ] else [ [ 0 ]; [ 1 ] ]) in
+  List.iter
+    (fun b ->
+      let x = vec b in
+      Alcotest.check matrix "Mr x = x (x) x" (M.kron x x)
+        (M.mul M.power_reducing x))
+    [ true; false ]
+
+let test_swap_matrix_identity () =
+  (* Property 1 with a general matrix: A ⋉ Z_r = Z_r ⋉ (I_t (x) A). *)
+  let a = M.of_lists [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let zr = M.of_lists [ [ 5; 6; 7 ] ] in
+  Alcotest.check matrix "row swap identity" (M.stp a zr)
+    (M.stp zr (M.kron (M.identity 3) a));
+  let zc = M.transpose zr in
+  Alcotest.check matrix "col swap identity" (M.stp zc a)
+    (M.stp (M.kron (M.identity 3) a) zc)
+
+(* ---- logic matrices ---- *)
+
+let test_logic_matrix_roundtrip () =
+  let nand = L.of_bin "0111" in
+  check "is_logic_matrix" true (M.is_logic_matrix (L.to_matrix nand));
+  check "roundtrip" true (L.equal nand (L.of_matrix (L.to_matrix nand)))
+
+let test_logic_matrix_apply () =
+  check "nand(T,T)=F" false
+    L.(bool_of_bvec (apply m_nand [ True; True ]));
+  check "nand(T,F)=T" true L.(bool_of_bvec (apply m_nand [ True; False ]));
+  check "implies(F,F)=T" true L.(bool_of_bvec (apply m_implies [ False; False ]));
+  check "implies(T,F)=F" false L.(bool_of_bvec (apply m_implies [ True; False ]))
+
+let test_stp_bvec_vs_dense () =
+  (* Column-half selection must agree with the dense STP against a
+     Boolean column vector. *)
+  let f = L.of_tt (T.random ~seed:17L 3) in
+  let dense = L.to_matrix f in
+  let vec b = M.of_lists (if b then [ [ 1 ]; [ 0 ] ] else [ [ 0 ]; [ 1 ] ]) in
+  List.iter
+    (fun b ->
+      let fast = L.to_matrix (L.stp_bvec f (L.bvec_of_bool b)) in
+      let slow = M.stp dense (vec b) in
+      Alcotest.check matrix "stp_bvec agrees" slow fast)
+    [ true; false ]
+
+let test_compose_matches_dense () =
+  (* Composition on logic matrices = STP product on dense ones. *)
+  let g1 = L.of_tt (T.nth_var 2 1) in
+  let g2 = L.of_tt (T.xor (T.nth_var 2 1) (T.nth_var 2 0)) in
+  let composed = L.compose L.m_and [ g1; g2 ] in
+  (* and(x1, x1 xor x0) has table over (x1 msb, x0 lsb). *)
+  let expect = T.and_ (T.nth_var 2 1) (T.xor (T.nth_var 2 1) (T.nth_var 2 0)) in
+  check "compose" true (T.equal (L.to_tt composed) expect)
+
+let test_boolean_calculus () =
+  (* d(xor)/da = 1; d(and a b)/da = b; positions are STP order
+     (leading first). *)
+  check "d xor" true (T.is_const1 (L.to_tt (L.derivative L.m_xor 0)));
+  let d_and = L.derivative L.m_and 0 in
+  check "d and da = b" true (T.equal (L.to_tt d_and) (T.nth_var 1 0));
+  (* cofactor of implies on the leading factor (a): a=1 -> b; a=0 -> 1. *)
+  check "implies|a=1" true
+    (T.equal (L.to_tt (L.cofactor L.m_implies 0 true)) (T.nth_var 1 0));
+  check "implies|a=0" true (T.is_const1 (L.to_tt (L.cofactor L.m_implies 0 false)));
+  (* depends_on via derivative. *)
+  let f = L.of_tt (T.and_ (T.nth_var 3 2) (T.nth_var 3 0)) in
+  (* STP factor 0 = table var 2; factor 1 = table var 1; factor 2 = var 0 *)
+  check "depends factor 0" true (L.depends_on f 0);
+  check "independent factor 1" false (L.depends_on f 1);
+  check "depends factor 2" true (L.depends_on f 2);
+  (* Cofactor against semantic definition on random tables. *)
+  for seed = 1 to 10 do
+    let tt = T.random ~seed:(Int64.of_int seed) 3 in
+    let m = L.of_tt tt in
+    for i = 0 to 2 do
+      let v = 2 - i in
+      List.iter
+        (fun b ->
+          let direct = L.to_tt (L.cofactor m i b) in
+          let expect =
+            T.of_fun 2 (fun x ->
+                let y = Array.make 3 false in
+                let pos = ref 0 in
+                for tv = 0 to 2 do
+                  if tv = v then y.(tv) <- b
+                  else begin
+                    y.(tv) <- x.(!pos);
+                    incr pos
+                  end
+                done;
+                T.eval tt y)
+          in
+          if not (T.equal direct expect) then
+            Alcotest.failf "cofactor wrong seed=%d i=%d" seed i)
+        [ true; false ]
+    done
+  done
+
+(* ---- expressions ---- *)
+
+let test_parser () =
+  let e = E.of_string "a & !b | c -> d <-> e" in
+  Alcotest.(check string)
+    "print" "a & !b | c -> d <-> e" (E.to_string e);
+  let e2 = E.of_string (E.to_string e) in
+  check "reparse" true (e = e2);
+  let f = E.of_string "(a <-> !b) & (b <-> !c)" in
+  check "eval" true
+    (E.eval (function "a" -> true | "b" -> false | _ -> true) f);
+  Alcotest.(check (list string)) "vars" [ "a"; "b"; "c" ] (E.vars f)
+
+let test_parser_errors () =
+  List.iter
+    (fun s ->
+      try
+        ignore (E.of_string s);
+        Alcotest.failf "should not parse: %s" s
+      with Invalid_argument _ -> ())
+    [ ""; "a &"; "(a"; "a b"; "a @ b"; "->" ]
+
+let arb_expr =
+  let open QCheck.Gen in
+  let variables = [ "a"; "b"; "c"; "d" ] in
+  let rec gen depth =
+    if depth = 0 then
+      oneof [ map E.var (oneofl variables); map (fun b -> E.Const b) bool ]
+    else
+      frequency
+        [
+          (1, map E.var (oneofl variables));
+          (2, map E.not_ (gen (depth - 1)));
+          (8,
+           let sub = gen (depth - 1) in
+           let op =
+             oneofl
+               [ (fun a b -> E.And (a, b));
+                 (fun a b -> E.Or (a, b));
+                 (fun a b -> E.Xor (a, b));
+                 (fun a b -> E.Nand (a, b));
+                 (fun a b -> E.Nor (a, b));
+                 (fun a b -> E.Implies (a, b));
+                 (fun a b -> E.Iff (a, b)) ]
+           in
+           map3 (fun f a b -> f a b) op sub sub);
+        ]
+  in
+  QCheck.make ~print:E.to_string (int_range 0 4 >>= gen)
+
+(* ---- canonical forms ---- *)
+
+let assignments_of order i =
+  (* Assignment where order element k (leading first) takes bit
+     (n-1-k) of i. *)
+  let n = List.length order in
+  List.mapi (fun k v -> (v, (i lsr (n - 1 - k)) land 1 = 1)) order
+
+let test_canonical_example2 () =
+  (* The liar puzzle. Canonical matrix from the paper:
+     top row 0 0 0 0 0 1 0 0 over columns abc = 111..000. *)
+  let phi =
+    E.of_string "(a <-> !b) & (b <-> !c) & (c <-> !a & !b)"
+  in
+  let m, order = C.of_expr phi in
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order;
+  (* Column 5 of the dense matrix (0-based) is the only [1;0] column.
+     Column j corresponds to assignment with index 7 - j: j=5 -> idx 2 =
+     binary 010 -> a=0 b=1 c=0. *)
+  let dense = L.to_matrix m in
+  for j = 0 to 7 do
+    let expect = if j = 5 then 1 else 0 in
+    Alcotest.(check int) (Printf.sprintf "col %d" j) expect (M.get dense 0 j)
+  done;
+  (* Simulation of pattern 010 yields True, as in the paper. *)
+  check "simulate 010" true (C.simulate m [ false; true; false ]);
+  check "simulate 110" false (C.simulate m [ true; true; false ]);
+  (* Unique model: b honest, a and c liars. *)
+  match R.satisfying_assignments phi with
+  | [ model ] ->
+    Alcotest.(check (list (pair string bool)))
+      "model" [ ("a", false); ("b", true); ("c", false) ] model
+  | models -> Alcotest.failf "expected 1 model, got %d" (List.length models)
+
+let test_algebraic_matches_semantic_fixed () =
+  List.iter
+    (fun s ->
+      let e = E.of_string s in
+      let m_sem, order = C.of_expr e in
+      let m_alg, order' = C.of_expr_algebraic e in
+      Alcotest.(check (list string)) ("order " ^ s) order order';
+      Alcotest.check matrix ("canonical " ^ s) (L.to_matrix m_sem) m_alg)
+    [
+      "a";
+      "!a";
+      "a & b";
+      "a & a";
+      "a | !a";
+      "a -> b";
+      "b -> a";
+      "a & b | a & !b";
+      "(a <-> !b) & (b <-> !c) & (c <-> !a & !b)";
+      "a ^ b ^ c ^ a";
+      "(a | b) & (b | c) & (c | a)";
+      "1 & a";
+      "a & 0";
+      "(a nand b) nand (a nand b)";
+    ]
+
+let test_canonical_explicit_order () =
+  let e = E.of_string "a & b" in
+  let m, order = C.of_expr ~order:[ "b"; "a"; "z" ] e in
+  Alcotest.(check (list string)) "order kept" [ "b"; "a"; "z" ] order;
+  (* z is a don't-care: check via evaluation at all 8 assignments. *)
+  for i = 0 to 7 do
+    let env = assignments_of order i in
+    let lookup v = List.assoc v env in
+    let expect = lookup "a" && lookup "b" in
+    let got = C.simulate m (List.map snd env) in
+    if got <> expect then Alcotest.failf "order eval wrong at %d" i
+  done
+
+let prop_canonical_agree =
+  qtest "algebraic = semantic canonical" ~count:150 arb_expr (fun e ->
+      let m_sem, order = C.of_expr e in
+      let m_alg, order' = C.of_expr_algebraic e in
+      order = order' && M.equal (L.to_matrix m_sem) m_alg)
+
+let prop_canonical_evaluates =
+  qtest "canonical form simulates like eval" ~count:150 arb_expr (fun e ->
+      let m, order = C.of_expr e in
+      let n = List.length order in
+      let ok = ref true in
+      for i = 0 to (1 lsl n) - 1 do
+        let env = assignments_of order i in
+        let expect = E.eval (fun v -> List.assoc v env) e in
+        if C.simulate m (List.map snd env) <> expect then ok := false
+      done;
+      !ok)
+
+(* ---- reasoning ---- *)
+
+let test_reasoning () =
+  check "taut" true (R.is_tautology (E.of_string "a | !a"));
+  check "not taut" false (R.is_tautology (E.of_string "a | b"));
+  check "sat" true (R.is_satisfiable (E.of_string "a & b"));
+  check "unsat" false (R.is_satisfiable (E.of_string "a & !a"));
+  check "example1 identity" true
+    (R.equivalent (E.of_string "a -> b") (E.of_string "!a | b"));
+  check "de morgan" true
+    (R.equivalent (E.of_string "!(a & b)") (E.of_string "!a | !b"));
+  check "not equiv" false
+    (R.equivalent (E.of_string "a & b") (E.of_string "a | b"));
+  check "different vars" true
+    (R.equivalent (E.of_string "a & b") (E.of_string "b & a"));
+  check "implies" true (R.implies (E.of_string "a & b") (E.of_string "a"));
+  check "implies not" false (R.implies (E.of_string "a") (E.of_string "a & b"))
+
+let prop_equivalent_is_semantic =
+  qtest "equivalent = brute force" ~count:100
+    (QCheck.pair arb_expr arb_expr)
+    (fun (e1, e2) ->
+      let vars =
+        let v1 = E.vars e1 and v2 = E.vars e2 in
+        v1 @ List.filter (fun v -> not (List.mem v v1)) v2
+      in
+      let n = List.length vars in
+      let brute = ref true in
+      for i = 0 to (1 lsl n) - 1 do
+        let env v =
+          let rec idx k = function
+            | [] -> assert false
+            | x :: rest -> if String.equal x v then k else idx (k + 1) rest
+          in
+          (i lsr idx 0 vars) land 1 = 1
+        in
+        if E.eval env e1 <> E.eval env e2 then brute := false
+      done;
+      R.equivalent e1 e2 = !brute)
+
+let () =
+  Alcotest.run "stp"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "kron" `Quick test_kron;
+          Alcotest.test_case "stp generalizes mul" `Quick test_stp_generalizes_mul;
+          Alcotest.test_case "example 1" `Quick test_stp_example1;
+          Alcotest.test_case "swap property" `Quick test_swap_property;
+          Alcotest.test_case "power reducing" `Quick test_power_reducing;
+          Alcotest.test_case "swap identities" `Quick test_swap_matrix_identity;
+        ] );
+      ( "logic_matrix",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_logic_matrix_roundtrip;
+          Alcotest.test_case "apply" `Quick test_logic_matrix_apply;
+          Alcotest.test_case "stp_bvec vs dense" `Quick test_stp_bvec_vs_dense;
+          Alcotest.test_case "compose vs dense" `Quick test_compose_matches_dense;
+          Alcotest.test_case "boolean calculus" `Quick test_boolean_calculus;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "parser" `Quick test_parser;
+          Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        ] );
+      ( "canonical",
+        [
+          Alcotest.test_case "example 2 (liar puzzle)" `Quick test_canonical_example2;
+          Alcotest.test_case "algebraic = semantic (fixed)" `Quick
+            test_algebraic_matches_semantic_fixed;
+          Alcotest.test_case "explicit order" `Quick test_canonical_explicit_order;
+          prop_canonical_agree;
+          prop_canonical_evaluates;
+        ] );
+      ( "reasoning",
+        [ Alcotest.test_case "basics" `Quick test_reasoning;
+          prop_equivalent_is_semantic ] );
+    ]

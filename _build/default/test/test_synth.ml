@@ -1,0 +1,192 @@
+(* NPN canonization, exact synthesis, and rewriting tests. *)
+
+module T = Tt.Truth_table
+module Npn = Tt.Npn
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- NPN ---- *)
+
+let qtest name ?(count = 60) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let arb_small_tt =
+  QCheck.make
+    ~print:(fun t -> T.to_bin t)
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n ->
+      map (fun s -> T.random ~seed:(Int64.of_int s) n) int)
+
+let arb_transform_pair =
+  QCheck.make
+    ~print:(fun (t, _) -> T.to_bin t)
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n ->
+      int >>= fun s ->
+      int_range 0 ((1 lsl n) - 1) >>= fun negs ->
+      bool >>= fun oneg ->
+      (* random permutation via sorting seeds *)
+      let rng = Sutil.Rng.create (Int64.of_int (s + 17)) in
+      let perm = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Sutil.Rng.int rng (i + 1) in
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- tmp
+      done;
+      return
+        ( T.random ~seed:(Int64.of_int s) n,
+          { Npn.input_negations = negs; permutation = perm; output_negation = oneg } ))
+
+let npn_tests =
+  [
+    Alcotest.test_case "identity" `Quick (fun () ->
+        let t = T.random ~seed:3L 3 in
+        check "id transform" true
+          (T.equal t (Npn.apply t (Npn.identity_transform 3))));
+    Alcotest.test_case "known classes" `Quick (fun () ->
+        (* and(a,b), and(!a,b), nor, nand are all one NPN class. *)
+        let reps =
+          List.map
+            (fun s -> fst (Npn.canonical (T.of_bin s)))
+            [ "1000"; "0100"; "0001"; "0111"; "1110" ]
+        in
+        match reps with
+        | first :: rest ->
+          List.iter (fun r -> check "same class" true (T.equal first r)) rest
+        | [] -> assert false);
+    Alcotest.test_case "xor separate from and" `Quick (fun () ->
+        let cx = fst (Npn.canonical (T.of_bin "0110")) in
+        let ca = fst (Npn.canonical (T.of_bin "1000")) in
+        check "different classes" false (T.equal cx ca));
+    Alcotest.test_case "2-var class count" `Quick (fun () ->
+        (* All 16 two-variable functions fall into exactly 4 NPN classes. *)
+        let fns = List.init 16 (fun i ->
+            T.of_words 2 [| i |]) in
+        check_int "classes" 4 (List.length (Npn.classify fns)));
+    qtest "apply/inverse roundtrip" arb_transform_pair (fun (t, tr) ->
+        T.equal t (Npn.apply (Npn.apply t tr) (Npn.inverse tr)));
+    qtest "canonical is invariant" arb_transform_pair (fun (t, tr) ->
+        let c1, _ = Npn.canonical t in
+        let c2, _ = Npn.canonical (Npn.apply t tr) in
+        T.equal c1 c2);
+    qtest "canonical transform checks out" arb_small_tt (fun t ->
+        let c, tr = Npn.canonical t in
+        T.equal c (Npn.apply t tr));
+  ]
+
+(* ---- exact synthesis ---- *)
+
+let eval_impl net x =
+  let v = Array.make (A.num_nodes net) false in
+  A.iter_nodes net (fun nd ->
+      match A.kind net nd with
+      | A.Const -> ()
+      | A.Pi i -> v.(nd) <- x.(i)
+      | A.And ->
+        let f l = v.(L.node l) <> L.is_compl l in
+        v.(nd) <- f (A.fanin0 net nd) && f (A.fanin1 net nd));
+  let po = A.po net 0 in
+  v.(L.node po) <> L.is_compl po
+
+let realizes net tt =
+  let n = T.num_vars tt in
+  let ok = ref true in
+  for i = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun v -> (i lsr v) land 1 = 1) in
+    if eval_impl net x <> T.get tt i then ok := false
+  done;
+  !ok
+
+let test_exact_known () =
+  List.iter
+    (fun (tt, expected) ->
+      match Synth.Exact.synthesize tt with
+      | Some r ->
+        check_int (T.to_bin tt) expected r.Synth.Exact.gates;
+        check "realizes" true (realizes r.Synth.Exact.network tt)
+      | None -> Alcotest.failf "no implementation for %s" (T.to_bin tt))
+    [
+      (T.of_bin "1000", 1) (* and *);
+      (T.of_bin "1110", 1) (* or: one AND with complements *);
+      (T.of_bin "0110", 3) (* xor *);
+      (T.of_hex 3 "e8", 4) (* maj *);
+      (T.of_hex 3 "96", 6) (* xor3 *);
+      (T.of_hex 3 "ca", 3) (* mux *);
+      (T.nth_var 4 2, 0);
+      (T.not_ (T.nth_var 2 0), 0);
+      (T.const0 3, 0);
+    ]
+
+let test_exact_random () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 6 do
+    let tt = T.random ~seed:(Rng.int64 rng) 3 in
+    match Synth.Exact.synthesize tt with
+    | Some r -> check "realizes random" true (realizes r.Synth.Exact.network tt)
+    | None -> Alcotest.fail "3-var function must synthesize"
+  done
+
+let test_exact_budget () =
+  (* With max_gates too small, synthesis must give up, not lie. *)
+  check "xor3 needs 6" true (Synth.Exact.synthesize ~max_gates:5 (T.of_hex 3 "96") = None)
+
+(* ---- rewriting ---- *)
+
+let test_rewrite_preserves () =
+  let rng = Rng.create 19L in
+  for _ = 1 to 5 do
+    let base =
+      Gen.Control.random_logic ~seed:(Rng.int64 rng) ~pis:7 ~gates:80 ~pos:5
+    in
+    let net, _ = A.cleanup base in
+    let out, stats = Synth.Rewrite.rewrite net in
+    check "no growth" true (A.num_ands out <= A.num_ands net);
+    check "stats sane" true (stats.Synth.Rewrite.applied >= 0);
+    match Sweep.Cec.check net out with
+    | Sweep.Cec.Equivalent -> ()
+    | _ -> Alcotest.fail "rewrite changed the function"
+  done
+
+let test_rewrite_finds_gains () =
+  (* voter's majority tree has known rewrite gains. *)
+  let net = Gen.Suites.epfl_by_name "voter" in
+  let out, stats = Synth.Rewrite.rewrite net in
+  check "applied some" true (stats.Synth.Rewrite.applied > 0);
+  check "shrank" true (A.num_ands out < A.num_ands net);
+  match Sweep.Cec.check net out with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "voter rewrite changed the function"
+
+let test_sweep_then_rewrite () =
+  (* The full flow: redundancy -> sweep -> rewrite, all exact. *)
+  let base = Gen.Arith.carry_lookahead_adder ~width:16 in
+  let net = Gen.Redundant.inject ~seed:4L ~fraction:0.4 base in
+  let swept, _ = Sweep.Stp_sweep.sweep net in
+  let final, _ = Synth.Rewrite.rewrite swept in
+  check "flow shrinks" true (A.num_ands final <= A.num_ands net);
+  match Sweep.Cec.check base final with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "flow changed the function"
+
+let () =
+  Alcotest.run "synth"
+    [
+      ("npn", npn_tests);
+      ( "exact",
+        [
+          Alcotest.test_case "known minima" `Quick test_exact_known;
+          Alcotest.test_case "random 3-var" `Quick test_exact_random;
+          Alcotest.test_case "budget respected" `Quick test_exact_budget;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "preserves function" `Quick test_rewrite_preserves;
+          Alcotest.test_case "finds gains" `Slow test_rewrite_finds_gains;
+          Alcotest.test_case "sweep then rewrite" `Slow test_sweep_then_rewrite;
+        ] );
+    ]

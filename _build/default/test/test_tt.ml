@@ -1,0 +1,281 @@
+(* Unit and property tests for the bit-packed truth tables. *)
+
+module T = Tt.Truth_table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let tt = Alcotest.testable T.pp T.equal
+
+(* A qcheck generator for truth tables of up to [max_vars] variables. *)
+let arb_tt ?(min_vars = 0) ?(max_vars = 9) () =
+  let gen =
+    QCheck.Gen.(
+      int_range min_vars max_vars >>= fun n ->
+      map (fun seed -> T.random ~seed:(Int64.of_int seed) n) int)
+  in
+  QCheck.make ~print:(fun t -> T.to_bin t) gen
+
+let arb_pair =
+  (* Two random tables over the same variable count. *)
+  let gen =
+    QCheck.Gen.(
+      int_range 0 9 >>= fun n ->
+      pair int int >>= fun (s1, s2) ->
+      return (T.random ~seed:(Int64.of_int s1) n, T.random ~seed:(Int64.of_int s2) n))
+  in
+  QCheck.make ~print:(fun (a, b) -> T.to_bin a ^ " / " ^ T.to_bin b) gen
+
+let qtest name ?(count = 200) arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---- unit tests ---- *)
+
+let test_consts () =
+  check "const0 is const0" true (T.is_const0 (T.const0 4));
+  check "const1 is const1" true (T.is_const1 (T.const1 4));
+  check "const0 7 vars" true (T.is_const0 (T.const0 7));
+  check "const1 7 vars" true (T.is_const1 (T.const1 7));
+  check_int "count_ones const1 6" 64 (T.count_ones (T.const1 6));
+  check_int "count_ones const0 6" 0 (T.count_ones (T.const0 6));
+  check_int "count_ones const1 0" 1 (T.count_ones (T.const1 0))
+
+let test_nth_var () =
+  for n = 1 to 8 do
+    for i = 0 to n - 1 do
+      let v = T.nth_var n i in
+      for bit = 0 to (1 lsl n) - 1 do
+        let expect = (bit lsr i) land 1 = 1 in
+        if T.get v bit <> expect then
+          Alcotest.failf "nth_var %d %d wrong at bit %d" n i bit
+      done
+    done
+  done
+
+let test_of_bin_paper () =
+  (* The paper's node 6: TT "0111" = 2-input NAND, inputs in order. *)
+  let nand = T.of_bin "0111" in
+  check "nand(1,1)=0" false (T.eval nand [| true; true |]);
+  check "nand(1,0)=1" true (T.eval nand [| false; true |]);
+  (* eval array index 0 = variable 0 = least significant = second input. *)
+  check "nand(0,0)=1" true (T.eval nand [| false; false |]);
+  check_str "roundtrip" "0111" (T.to_bin nand)
+
+let test_hex () =
+  let maj = T.of_hex 3 "e8" in
+  check "maj(1,1,0)" true (T.eval maj [| false; true; true |]);
+  check "maj(1,0,0)" false (T.eval maj [| false; false; true |]);
+  check_str "to_hex" "e8" (T.to_hex maj);
+  let nand = T.of_hex 2 "7" in
+  check_str "nand hex/bin" "0111" (T.to_bin nand);
+  let x = T.random ~seed:99L 7 in
+  check "hex roundtrip 7 vars" true (T.equal x (T.of_hex 7 (T.to_hex x)))
+
+let test_ops_small () =
+  let a = T.nth_var 2 1 and b = T.nth_var 2 0 in
+  check_str "and" "1000" (T.to_bin (T.and_ a b));
+  check_str "or" "1110" (T.to_bin (T.or_ a b));
+  check_str "xor" "0110" (T.to_bin (T.xor a b));
+  check_str "nand" "0111" (T.to_bin (T.nand a b));
+  check_str "not a" "0011" (T.to_bin (T.not_ a));
+  check_str "implies" "1011" (T.to_bin (T.implies a b))
+
+let test_cofactor () =
+  let a = T.nth_var 3 2 and b = T.nth_var 3 1 and c = T.nth_var 3 0 in
+  let f = T.or_ (T.and_ a b) c in
+  let f_a1 = T.cofactor f 2 true in
+  let expect = T.or_ b c in
+  check "cofactor a=1" true (T.equal f_a1 expect);
+  let f_a0 = T.cofactor f 2 false in
+  check "cofactor a=0" true (T.equal f_a0 c);
+  (* Cofactor on a variable beyond word granularity. *)
+  let g = T.and_ (T.nth_var 7 6) (T.nth_var 7 0) in
+  check "hi cofactor 1" true (T.equal (T.cofactor g 6 true) (T.extend (T.nth_var 7 0) 7));
+  check "hi cofactor 0" true (T.is_const0 (T.cofactor g 6 false))
+
+let test_support () =
+  let f = T.and_ (T.nth_var 5 3) (T.nth_var 5 1) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (T.support f);
+  check "depends 3" true (T.depends_on f 3);
+  check "depends 0" false (T.depends_on f 0)
+
+let test_permute () =
+  let f = T.and_ (T.nth_var 3 2) (T.or_ (T.nth_var 3 1) (T.nth_var 3 0)) in
+  let p = [| 2; 0; 1 |] in
+  (* Variable i of result behaves as p.(i) of f. *)
+  let g = T.permute f p in
+  for i = 0 to 7 do
+    let x = [| i land 1 = 1; (i lsr 1) land 1 = 1; (i lsr 2) land 1 = 1 |] in
+    let y = Array.make 3 false in
+    Array.iteri (fun j pj -> y.(pj) <- x.(j)) p;
+    if T.eval g x <> T.eval f y then Alcotest.failf "permute wrong at %d" i
+  done
+
+let test_compose () =
+  (* f = x0 AND x1 composed with g0 = a OR b, g1 = NOT a over 2 vars. *)
+  let f = T.and_ (T.nth_var 2 1) (T.nth_var 2 0) in
+  let a = T.nth_var 2 0 and b = T.nth_var 2 1 in
+  let g0 = T.or_ a b and g1 = T.not_ a in
+  let h = T.compose f [| g0; g1 |] in
+  (* h = (a|b) & !a = b & !a *)
+  check "compose" true (T.equal h (T.and_ b (T.not_ a)))
+
+let test_extend () =
+  let f = T.xor (T.nth_var 2 1) (T.nth_var 2 0) in
+  let g = T.extend f 7 in
+  check "extend preserves" true
+    (T.equal g (T.xor (T.nth_var 7 1) (T.nth_var 7 0)));
+  check "extend equal arity" true (T.equal f (T.extend f 2))
+
+let test_insert_var () =
+  (* insert at every position of a known function, all widths *)
+  for n = 0 to 7 do
+    let t = T.random ~seed:(Int64.of_int (100 + n)) n in
+    for p = 0 to n do
+      let u = T.insert_var t p in
+      if T.num_vars u <> n + 1 then Alcotest.failf "arity %d/%d" n p;
+      for i = 0 to (1 lsl (n + 1)) - 1 do
+        let x = Array.init (n + 1) (fun v -> (i lsr v) land 1 = 1) in
+        let y = Array.init n (fun v -> if v < p then x.(v) else x.(v + 1)) in
+        if T.eval u x <> T.eval t y then
+          Alcotest.failf "insert_var wrong: n=%d p=%d i=%d" n p i
+      done
+    done
+  done
+
+let test_remap () =
+  let t = T.of_bin "0111" (* nand over vars 0,1 *) in
+  let u = T.remap t ~positions:[| 1; 3 |] ~arity:4 in
+  for i = 0 to 15 do
+    let x = Array.init 4 (fun v -> (i lsr v) land 1 = 1) in
+    let expect = not (x.(1) && x.(3)) in
+    if T.eval u x <> expect then Alcotest.failf "remap wrong at %d" i
+  done;
+  (* Identity remap. *)
+  let t8 = T.random ~seed:7L 6 in
+  check "identity remap" true
+    (T.equal t8 (T.remap t8 ~positions:(Array.init 6 (fun i -> i)) ~arity:6));
+  (try
+     ignore (T.remap t ~positions:[| 3; 1 |] ~arity:4);
+     Alcotest.fail "non-increasing accepted"
+   with Invalid_argument _ -> ())
+
+let test_words () =
+  let f = T.random ~seed:5L 8 in
+  let w = T.to_words f in
+  check_int "word count 8 vars" 8 (Array.length w);
+  check "of_words roundtrip" true (T.equal f (T.of_words 8 w));
+  check_int "get_word agree" w.(3) (T.get_word f 3)
+
+let test_errors () =
+  Alcotest.check_raises "of_bin bad length" (Invalid_argument
+    "Truth_table.of_bin: length must be a power of two") (fun () ->
+      ignore (T.of_bin "011"));
+  (try ignore (T.nth_var 3 3); Alcotest.fail "nth_var range" with Invalid_argument _ -> ());
+  (try ignore (T.and_ (T.const0 2) (T.const0 3)); Alcotest.fail "arity" with Invalid_argument _ -> ());
+  (try ignore (T.const0 30); Alcotest.fail "too many vars" with Invalid_argument _ -> ())
+
+(* ---- property tests ---- *)
+
+let props =
+  [
+    qtest "not involutive" (arb_tt ()) (fun t -> T.equal (T.not_ (T.not_ t)) t);
+    qtest "de morgan" arb_pair (fun (a, b) ->
+        T.equal (T.not_ (T.and_ a b)) (T.or_ (T.not_ a) (T.not_ b)));
+    qtest "xor self is zero" (arb_tt ()) (fun t -> T.is_const0 (T.xor t t));
+    qtest "or absorb" arb_pair (fun (a, b) ->
+        T.equal (T.or_ a (T.and_ a b)) a);
+    qtest "mux decomposes" arb_pair (fun (a, b) ->
+        let n = T.num_vars a in
+        if n = 0 then true
+        else
+          let s = T.nth_var n (n - 1) in
+          T.equal (T.mux s a b)
+            (T.or_ (T.and_ s a) (T.and_ (T.not_ s) b)));
+    qtest "count_ones via get" (arb_tt ~max_vars:7 ()) (fun t ->
+        let c = ref 0 in
+        for i = 0 to T.num_bits t - 1 do
+          if T.get t i then incr c
+        done;
+        !c = T.count_ones t);
+    qtest "bin roundtrip" (arb_tt ()) (fun t -> T.equal t (T.of_bin (T.to_bin t)));
+    qtest "hex roundtrip" (arb_tt ()) (fun t ->
+        T.equal t (T.of_hex (T.num_vars t) (T.to_hex t)));
+    qtest "shannon rebuild" (arb_tt ~min_vars:1 ()) (fun t ->
+        let n = T.num_vars t in
+        let i = n - 1 in
+        let hi, lo = T.shannon_expand t i in
+        let v = T.nth_var n i in
+        T.equal t (T.or_ (T.and_ v hi) (T.and_ (T.not_ v) lo)));
+    qtest "cofactor removes dependence" (arb_tt ~min_vars:1 ()) (fun t ->
+        not (T.depends_on (T.cofactor t 0 true) 0));
+    qtest "set/get" (arb_tt ~min_vars:1 ~max_vars:8 ()) (fun t ->
+        let i = T.num_bits t / 2 in
+        let t1 = T.set t i true and t0 = T.set t i false in
+        T.get t1 i && not (T.get t0 i));
+    qtest "eval agrees with get" (arb_tt ~min_vars:1 ~max_vars:6 ()) (fun t ->
+        let n = T.num_vars t in
+        let ok = ref true in
+        for i = 0 to T.num_bits t - 1 do
+          let x = Array.init n (fun v -> (i lsr v) land 1 = 1) in
+          if T.eval t x <> T.get t i then ok := false
+        done;
+        !ok);
+    qtest "of_fun tabulates" (arb_tt ~max_vars:6 ()) (fun t ->
+        let n = T.num_vars t in
+        T.equal t (T.of_fun n (fun x -> T.eval t x)));
+    qtest "compose associativity with projections" (arb_tt ~min_vars:1 ~max_vars:5 ())
+      (fun f ->
+        let n = T.num_vars f in
+        let projections = Array.init n (fun i -> T.nth_var n i) in
+        T.equal f (T.compose f projections));
+    qtest "permute identity" (arb_tt ~min_vars:1 ()) (fun t ->
+        let n = T.num_vars t in
+        T.equal t (T.permute t (Array.init n (fun i -> i))));
+    qtest "insert then cofactor is identity" (arb_tt ~max_vars:8 ()) (fun t ->
+        let n = T.num_vars t in
+        let ok = ref true in
+        for p = 0 to n do
+          let u = T.insert_var t p in
+          (* The inserted variable is a don't-care... *)
+          if T.depends_on u p then ok := false;
+          (* ...and cofactoring it away recovers t at either polarity. *)
+          let back b =
+            T.of_fun n (fun x ->
+                let y = Array.init (n + 1) (fun v ->
+                    if v < p then x.(v) else if v = p then b else x.(v - 1))
+                in
+                T.eval u y)
+          in
+          if not (T.equal (back true) t && T.equal (back false) t) then
+            ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "truth_table"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "consts" `Quick test_consts;
+          Alcotest.test_case "nth_var" `Quick test_nth_var;
+          Alcotest.test_case "of_bin paper" `Quick test_of_bin_paper;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "ops small" `Quick test_ops_small;
+          Alcotest.test_case "cofactor" `Quick test_cofactor;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "permute" `Quick test_permute;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "insert_var" `Quick test_insert_var;
+          Alcotest.test_case "remap" `Quick test_remap;
+          Alcotest.test_case "words" `Quick test_words;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("properties", props);
+    ]
+
+(* silence unused warning for the testable we keep for debugging *)
+let _ = tt
