@@ -2,6 +2,7 @@
    groups for the design choices DESIGN.md calls out.
 
    - table1/*:    the four Table I engines on one mid-size benchmark
+   - parallel/*:  word-sharded domain parallelism swept over 1/2/4 domains
    - table2/*:    both sweepers on one redundant benchmark
    - cut-limit/*: Algorithm 1's [limit] parameter swept over 2..16
    - config/*:    engine-feature ablation (guided init, window refine)
@@ -55,6 +56,26 @@ let table1 =
         (Staged.stage (fun () -> Sim.Bitwise.simulate_klut sim_lut sim_pats));
       Test.make ~name:"lut6-stp"
         (Staged.stage (fun () -> Sim.Stp_sim.simulate_klut sim_lut sim_pats));
+    ]
+
+let parallel =
+  (* Word-range sharding across OCaml domains, on the table1 fixture.
+     2048 patterns = 64 words split across the domains; the interesting
+     output is time(1 domain) / time(4 domains) per engine — roughly the
+     core count on an unloaded multicore box, and flat on one core. All
+     variants produce bit-identical tables, so only time moves. *)
+  let doms = [ 1; 2; 4 ] in
+  Test.make_grouped ~name:"parallel"
+    [
+      Test.make_indexed ~name:"aig-bitwise" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Bitwise.simulate_aig ~domains:d sim_aig sim_pats));
+      Test.make_indexed ~name:"lut6-bitwise" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Bitwise.simulate_klut ~domains:d sim_lut sim_pats));
+      Test.make_indexed ~name:"lut6-stp" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Stp_sim.simulate_klut ~domains:d sim_lut sim_pats));
     ]
 
 let table2 =
@@ -159,8 +180,8 @@ let incremental =
 let all_tests =
   Test.make_grouped ~name:"stp_sweep"
     [
-      table1; table2; cut_limit; config_ablation; tfi_bound; window_leaves;
-      mode_s; incremental;
+      table1; parallel; table2; cut_limit; config_ablation; tfi_bound;
+      window_leaves; mode_s; incremental;
     ]
 
 let () =

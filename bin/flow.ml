@@ -17,7 +17,7 @@ let load ~circuit ~file =
     prerr_endline "exactly one of --circuit or --aig is required";
     exit 2
 
-let run circuit file engine verify output no_rewrite no_balance () =
+let run circuit file engine domains verify output no_rewrite no_balance () =
   let name, net = load ~circuit ~file in
   let show stage n =
     Printf.printf "%-14s %s\n%!" stage (Format.asprintf "%a" Aig.Network.pp_stats n)
@@ -25,8 +25,8 @@ let run circuit file engine verify output no_rewrite no_balance () =
   show name net;
   let swept, stats =
     match engine with
-    | `Stp -> Sweep.Stp_sweep.sweep net
-    | `Fraig -> Sweep.Fraig.sweep net
+    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains net
+    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains net
   in
   show "sweep" swept;
   Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
@@ -70,6 +70,10 @@ let file = Arg.(value & opt (some file) None & info [ "aig" ] ~doc:"ASCII AIGER 
 let engine =
   Arg.(value & opt (enum [ ("stp", `Stp); ("fraig", `Fraig) ]) `Stp
        & info [ "engine"; "e" ] ~doc:"Sweeping engine.")
+let domains =
+  Arg.(value & opt int 1
+       & info [ "domains"; "d" ]
+           ~doc:"OCaml domains for the sweeper's bulk resimulation passes.")
 let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
 let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output AIGER path.")
 let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
@@ -78,7 +82,8 @@ let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balanc
 let cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
-    Term.(const (fun a b c d e f g -> run a b c d e f g ())
-          $ circuit $ file $ engine $ verify $ output $ no_rewrite $ no_balance)
+    Term.(const (fun a b c d e f g h -> run a b c d e f g h ())
+          $ circuit $ file $ engine $ domains $ verify $ output $ no_rewrite
+          $ no_balance)
 
 let () = exit (Cmd.eval cmd)

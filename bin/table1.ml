@@ -13,15 +13,16 @@
 
 open Stp_sweep
 
-let run ~num_patterns ~names () =
+let run ~num_patterns ~domains ~names () =
   let suite =
     match names with
     | [] -> Gen.Suites.epfl ()
     | names -> List.map (fun n -> (n, Gen.Suites.epfl_by_name n)) names
   in
   Printf.printf
-    "Table I: circuit simulation, %d random patterns per benchmark\n\n"
-    num_patterns;
+    "Table I: circuit simulation, %d random patterns per benchmark, %d domain%s\n\n"
+    num_patterns domains
+    (if domains = 1 then "" else "s");
   let rows = ref [] in
   let ratios_ta = ref [] and ratios_tl = ref [] in
   List.iter
@@ -32,20 +33,25 @@ let run ~num_patterns ~names () =
           ~num_patterns
       in
       let t_a_bitwise =
-        Report.time_repeat (fun () -> ignore (Sim.Bitwise.simulate_aig aig pats))
+        Report.time_repeat (fun () ->
+            ignore (Sim.Bitwise.simulate_aig ~domains aig pats))
       in
       let t_a_stp =
-        Report.time_repeat (fun () -> ignore (Sim.Stp_sim.simulate_aig aig pats))
+        Report.time_repeat (fun () ->
+            ignore (Sim.Stp_sim.simulate_aig ~domains aig pats))
       in
       let t_l_bitwise =
-        Report.time_repeat (fun () -> ignore (Sim.Bitwise.simulate_klut lut pats))
+        Report.time_repeat (fun () ->
+            ignore (Sim.Bitwise.simulate_klut ~domains lut pats))
       in
       let t_l_stp =
-        Report.time_repeat (fun () -> ignore (Sim.Stp_sim.simulate_klut lut pats))
+        Report.time_repeat (fun () ->
+            ignore (Sim.Stp_sim.simulate_klut ~domains lut pats))
       in
-      (* Cross-check while we are here: engines must agree bit-exactly. *)
+      (* Cross-check while we are here: engines must agree bit-exactly,
+         and the sharded run must match the sequential reference. *)
       let ref_sig = Sim.Bitwise.simulate_klut lut pats in
-      let stp_sig = Sim.Stp_sim.simulate_klut lut pats in
+      let stp_sig = Sim.Stp_sim.simulate_klut ~domains lut pats in
       if ref_sig <> stp_sig then
         failwith (name ^ ": engines disagree — benchmark invalid");
       let xa = t_a_bitwise /. t_a_stp and xl = t_l_bitwise /. t_l_stp in
@@ -81,12 +87,22 @@ open Cmdliner
 let patterns =
   Arg.(value & opt int 10_000 & info [ "patterns"; "p" ] ~doc:"Random patterns to simulate.")
 
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains"; "d" ]
+        ~doc:
+          "OCaml domains for word-sharded parallel simulation (1 = \
+           sequential). Results are bit-identical for any value.")
+
 let names =
   Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmarks (default: all twenty).")
 
 let cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (simulation runtime)")
-    Term.(const (fun p n -> run ~num_patterns:p ~names:n ()) $ patterns $ names)
+    Term.(
+      const (fun p d n -> run ~num_patterns:p ~domains:d ~names:n ())
+      $ patterns $ domains $ names)
 
 let () = exit (Cmd.eval cmd)

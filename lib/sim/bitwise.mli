@@ -8,13 +8,19 @@
     k-LUT networks ("most simulators are limited to extracting individual
     bits of the LUT and simulating them separately"): for every pattern it
     pulls one bit out of each fanin signature, forms the LUT index and
-    looks the value up — Table I's "Mockturtle [T_L]" column. *)
+    looks the value up — Table I's "Mockturtle [T_L]" column.
 
-val simulate_aig : Aig.Network.t -> Patterns.t -> Signature.table
+    Both engines accept [?domains]: with [n > 1] the packed pattern words
+    are split into [n] contiguous ranges and each range is simulated in
+    its own domain (each domain writes a disjoint word slice of every
+    node's signature), so the tables are bit-identical to the sequential
+    run. Default 1 = sequential. *)
+
+val simulate_aig : ?domains:int -> Aig.Network.t -> Patterns.t -> Signature.table
 (** Signature per node id. PIs take their pattern rows; constant node is
     all zeros; complemented edges are free word inversions. *)
 
-val simulate_klut : Klut.Network.t -> Patterns.t -> Signature.table
+val simulate_klut : ?domains:int -> Klut.Network.t -> Patterns.t -> Signature.table
 
 val po_signature :
   Signature.table -> num_patterns:int -> lit:Aig.Lit.t -> int array

@@ -25,9 +25,34 @@ let normalize ~num_patterns s =
 
 let is_const0 s = Array.for_all (fun w -> w = 0) s
 
-let is_const1 ~num_patterns s = is_const0 (complement_of ~num_patterns s)
+(* Bits at positions >= num_patterns are ignored, matching what the
+   complement-then-mask formulation computed — without allocating the
+   complement signature. *)
+let is_const1 ~num_patterns s =
+  let nw = Array.length s in
+  if nw = 0 then true
+  else begin
+    let tail = num_patterns land 31 in
+    let full = if tail = 0 then nw else nw - 1 in
+    let ok = ref true in
+    for w = 0 to full - 1 do
+      if Array.unsafe_get s w <> word_mask then ok := false
+    done;
+    if tail <> 0 then begin
+      let m = (1 lsl tail) - 1 in
+      if s.(nw - 1) land m <> m then ok := false
+    end;
+    !ok
+  end
 
-let hash s = Hashtbl.hash (Array.to_list s)
+(* FNV-style word fold; any deterministic function of the words works
+   for bucketing, and this one allocates nothing. *)
+let hash s =
+  let h = ref 0x811C9DC5 in
+  for i = 0 to Array.length s - 1 do
+    h := (!h lxor Array.unsafe_get s i) * 0x01000193
+  done;
+  !h land max_int
 
 let get s i = (s.(i lsr 5) lsr (i land 31)) land 1 = 1
 

@@ -80,14 +80,42 @@ let compile_matrix tt =
     root;
   }
 
-let run_compiled c (inputs : int array array) nw out =
+(* k-LUT networks reuse a small set of functions (a 6-LUT mapping of a
+   big adder is mostly a handful of carry/sum shapes), so the selection
+   cascade is compiled once per distinct truth table and shared across
+   nodes — and, when the caller passes the cache around, across repeated
+   simulations of the same network. *)
+module Compile_cache = struct
+  type t = {
+    tbl : (T.t, compiled) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+  let hits c = c.hits
+  let misses c = c.misses
+
+  let get c tt =
+    match Hashtbl.find_opt c.tbl tt with
+    | Some comp ->
+      c.hits <- c.hits + 1;
+      comp
+    | None ->
+      let comp = compile_matrix tt in
+      c.misses <- c.misses + 1;
+      Hashtbl.replace c.tbl tt comp;
+      comp
+end
+
+let run_compiled c (inputs : int array array) ~lo ~hi out =
   let n = Array.length c.sel_var in
-  let slots = Array.make (n + 2) 0 in
-  slots.(1) <- word_mask;
-  if c.root = 0 then Array.fill out 0 nw 0
-  else if c.root = 1 then Array.fill out 0 nw word_mask
-  else
-    for w = 0 to nw - 1 do
+  if c.root = 0 then Array.fill out lo (hi - lo) 0
+  else if c.root = 1 then Array.fill out lo (hi - lo) word_mask
+  else begin
+    let slots = Array.make (n + 2) 0 in
+    slots.(1) <- word_mask;
+    for w = lo to hi - 1 do
       for i = 0 to n - 1 do
         let x =
           Array.unsafe_get (Array.unsafe_get inputs (Array.unsafe_get c.sel_var i)) w
@@ -98,41 +126,64 @@ let run_compiled c (inputs : int array array) nw out =
       done;
       Array.unsafe_set out w (Array.unsafe_get slots c.root land word_mask)
     done
+  end
 
-let simulate_klut net pats =
+(* What a LUT node executes per word range. Planned sequentially (the
+   compile cache is a plain Hashtbl) so the parallel fill phase touches
+   only immutable plans and disjoint signature slices. *)
+type plan = Narrow of compiled | Wide of int array
+
+let simulate_klut ?(domains = 1) ?cache net pats =
   let n = K.num_nodes net in
   let nw = max 1 (Patterns.num_words pats) in
+  let cache =
+    match cache with Some c -> c | None -> Compile_cache.create ()
+  in
   let tbl = Array.make n [||] in
   tbl.(0) <- Array.make nw 0;
+  let plans = Array.make n None in
   K.iter_nodes net (fun nd ->
-      if K.is_pi net nd then
-        tbl.(nd) <-
-          Array.init nw (fun w -> Patterns.word pats ~pi:(K.pi_index net nd) w)
+      if K.is_pi net nd then tbl.(nd) <- Array.make nw 0
       else if K.is_lut net nd then begin
-        let fanins = K.fanins net nd in
-        let k = Array.length fanins in
-        let inputs = Array.map (fun f -> tbl.(f)) fanins in
-        let out = Array.make nw 0 in
-        if k <= 8 then
-          (* One compiled matrix pass: the cascade of STP half-selections
-             evaluated word-parallel. *)
-          run_compiled (compile_matrix (K.func net nd)) inputs nw out
-        else begin
-          (* Wide LUT (cut-composed cones): column-index gather. *)
-          let ttw = T.to_words (K.func net nd) in
-          for w = 0 to nw - 1 do
-            Array.unsafe_set out w (matrix_pass_word ttw inputs k w)
-          done
-        end;
-        tbl.(nd) <- out
+        tbl.(nd) <- Array.make nw 0;
+        let k = Array.length (K.fanins net nd) in
+        plans.(nd) <-
+          Some
+            (if k <= 8 then Narrow (Compile_cache.get cache (K.func net nd))
+             else
+               (* Wide LUT (cut-composed cones): column-index gather. *)
+               Wide (T.to_words (K.func net nd)))
       end);
+  let fill ~lo ~hi =
+    K.iter_nodes net (fun nd ->
+        if K.is_pi net nd then begin
+          let row = tbl.(nd) and pi = K.pi_index net nd in
+          for w = lo to hi - 1 do
+            Array.unsafe_set row w (Patterns.word pats ~pi w)
+          done
+        end
+        else
+          match plans.(nd) with
+          | None -> ()
+          | Some plan ->
+            let inputs = Array.map (fun f -> tbl.(f)) (K.fanins net nd) in
+            let out = tbl.(nd) in
+            (match plan with
+            | Narrow c -> run_compiled c inputs ~lo ~hi out
+            | Wide ttw ->
+              let k = Array.length inputs in
+              for w = lo to hi - 1 do
+                Array.unsafe_set out w (matrix_pass_word ttw inputs k w)
+              done))
+  in
+  Sutil.Par.for_ranges ~domains nw fill;
   let np = Patterns.num_patterns pats in
   Array.iter
     (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s)
     tbl;
   tbl
 
-let simulate_aig net pats =
+let simulate_aig ?(domains = 1) net pats =
   (* The 2-input structural matrix of an AND with complement flags folded
      in reduces to word logic; this engine matches the bitwise one and
      exists so Table I's T_A column can be measured for "STP" too. *)
@@ -143,19 +194,28 @@ let simulate_aig net pats =
   A.iter_nodes net (fun nd ->
       match A.kind net nd with
       | A.Const -> ()
-      | A.Pi i ->
-        tbl.(nd) <- Array.init nw (fun w -> Patterns.word pats ~pi:i w)
-      | A.And ->
-        let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
-        let s0 = tbl.(L.node f0) and s1 = tbl.(L.node f1) in
-        let m0 = if L.is_compl f0 then word_mask else 0 in
-        let m1 = if L.is_compl f1 then word_mask else 0 in
-        let out = Array.make nw 0 in
-        for w = 0 to nw - 1 do
-          Array.unsafe_set out w
-            ((Array.unsafe_get s0 w lxor m0) land (Array.unsafe_get s1 w lxor m1))
-        done;
-        tbl.(nd) <- out);
+      | A.Pi _ | A.And -> tbl.(nd) <- Array.make nw 0);
+  let fill ~lo ~hi =
+    A.iter_nodes net (fun nd ->
+        match A.kind net nd with
+        | A.Const -> ()
+        | A.Pi i ->
+          let row = tbl.(nd) in
+          for w = lo to hi - 1 do
+            Array.unsafe_set row w (Patterns.word pats ~pi:i w)
+          done
+        | A.And ->
+          let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
+          let s0 = tbl.(L.node f0) and s1 = tbl.(L.node f1) in
+          let m0 = if L.is_compl f0 then word_mask else 0 in
+          let m1 = if L.is_compl f1 then word_mask else 0 in
+          let out = tbl.(nd) in
+          for w = lo to hi - 1 do
+            Array.unsafe_set out w
+              ((Array.unsafe_get s0 w lxor m0) land (Array.unsafe_get s1 w lxor m1))
+          done)
+  in
+  Sutil.Par.for_ranges ~domains nw fill;
   let np = Patterns.num_patterns pats in
   Array.iter
     (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s)
@@ -166,12 +226,12 @@ let floor_log2 n =
   let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
   go n 0
 
-let simulate_specified net pats ~targets =
+let simulate_specified ?domains net pats ~targets =
   let limit = min 16 (max 2 (floor_log2 (max 2 (Patterns.num_patterns pats)))) in
   let { Circuit_cut.network = cut_net; node_map; roots = _ } =
     Circuit_cut.cut net ~limit ~targets
   in
-  let tbl = simulate_klut cut_net pats in
+  let tbl = simulate_klut ?domains cut_net pats in
   List.map
     (fun t ->
       let mapped = node_map.(t) in

@@ -9,17 +9,43 @@
     [simulate_specified] is Algorithm 1's mode [s]: the network is first
     restructured by the circuit-cut algorithm (multi-fanout-free regions
     collapse into single k-LUTs whose matrices are composed by STP), then
-    only the cut roots are simulated. *)
+    only the cut roots are simulated.
 
-val simulate_klut : Klut.Network.t -> Patterns.t -> Signature.table
+    [?domains] (default 1) shards the packed pattern words into
+    contiguous ranges simulated in independent OCaml domains; matrices
+    are compiled sequentially first, so the parallel tables are
+    bit-identical to the sequential ones. *)
+
+(** Compiled selection-cascade matrices, memoized by truth table. One
+    cache is created per simulation by default; pass your own to share
+    compilations across repeated simulations of the same network. *)
+module Compile_cache : sig
+  type t
+
+  val create : unit -> t
+
+  val hits : t -> int
+  (** LUT nodes whose matrix was found already compiled. *)
+
+  val misses : t -> int
+  (** Distinct truth tables actually compiled. *)
+end
+
+val simulate_klut :
+  ?domains:int ->
+  ?cache:Compile_cache.t ->
+  Klut.Network.t ->
+  Patterns.t ->
+  Signature.table
 (** Mode [a]: all nodes, topological order, one matrix pass per node. *)
 
-val simulate_aig : Aig.Network.t -> Patterns.t -> Signature.table
+val simulate_aig : ?domains:int -> Aig.Network.t -> Patterns.t -> Signature.table
 (** AIG simulation through 2-input structural matrices. Word-parallel like
     the bitwise engine (an AND's logic matrix selection over packed words
     {e is} the AND of the words), hence the paper's [T_A ~ 1x]. *)
 
 val simulate_specified :
+  ?domains:int ->
   Klut.Network.t ->
   Patterns.t ->
   targets:int list ->

@@ -14,6 +14,8 @@ type config = {
   guided_queries : int;
   window_refine : bool;
   window_max_leaves : int;
+  sim_domains : int;
+  par_threshold : int;
 }
 
 let fraig_config =
@@ -27,6 +29,8 @@ let fraig_config =
     guided_queries = 0;
     window_refine = false;
     window_max_leaves = 16;
+    sim_domains = 1;
+    par_threshold = 2048;
   }
 
 let stp_config =
@@ -128,7 +132,13 @@ let lift_tt tt own_support joint =
       (List.map
          (fun leaf ->
            let rec find i =
-             if joint_arr.(i) = leaf then i else find (i + 1)
+             if i >= Array.length joint_arr then
+               invalid_arg
+                 (Printf.sprintf
+                    "Sweep.Engine.lift_tt: leaf %d missing from joint support"
+                    leaf)
+             else if joint_arr.(i) = leaf then i
+             else find (i + 1)
            in
            find 0)
          own_support)
@@ -183,6 +193,13 @@ let compute_node_sig st nd =
     Sg.num_patterns_mask st.sim_np out;
     out
 
+(* Parallel simulation pays off only when there are enough pattern words
+   to shard; below the configured threshold the sequential path wins. *)
+let sim_domains st =
+  if st.cfg.sim_domains > 1 && P.num_patterns st.pats >= st.cfg.par_threshold
+  then st.cfg.sim_domains
+  else 1
+
 (* Register every fresh node created since the last registration. This
    incremental signature computation is the engine's "initial
    simulation" work, so it counts into sim_time. *)
@@ -191,11 +208,27 @@ let register_new_nodes st =
   if n > st.sig_count then
     timed st (fun () ->
         ensure_sig_capacity st (n - 1);
-        for nd = st.sig_count to n - 1 do
-          st.sigs.(nd) <- compute_node_sig st nd;
-          st.supports.(nd) <- node_support st nd;
-          Equiv_classes.add st.classes nd st.sigs.(nd)
-        done;
+        let domains = sim_domains st in
+        (* Bulk registrations (the initial pass over the PIs, or any
+           large append) go through the sharded full-network simulator;
+           it computes the same per-node words as [compute_node_sig] as
+           long as the signatures are current w.r.t. the pattern set.
+           Steady-state single-node appends keep the incremental path. *)
+        if domains > 1 && n - st.sig_count > 64 && st.sim_np = P.num_patterns st.pats
+        then begin
+          let tbl = Sim.Bitwise.simulate_aig ~domains st.fresh st.pats in
+          for nd = st.sig_count to n - 1 do
+            st.sigs.(nd) <- tbl.(nd);
+            st.supports.(nd) <- node_support st nd;
+            Equiv_classes.add st.classes nd st.sigs.(nd)
+          done
+        end
+        else
+          for nd = st.sig_count to n - 1 do
+            st.sigs.(nd) <- compute_node_sig st nd;
+            st.supports.(nd) <- node_support st nd;
+            Equiv_classes.add st.classes nd st.sigs.(nd)
+          done;
         st.sig_count <- n)
 
 (* Full resimulation after a batch of counter-examples: refresh all
@@ -203,7 +236,7 @@ let register_new_nodes st =
 let resimulate st =
   st.stats.Stats.resimulations <- st.stats.Stats.resimulations + 1;
   timed st (fun () ->
-      let tbl = Sim.Bitwise.simulate_aig st.fresh st.pats in
+      let tbl = Sim.Bitwise.simulate_aig ~domains:(sim_domains st) st.fresh st.pats in
       ensure_sig_capacity st (A.num_nodes st.fresh - 1);
       Array.blit tbl 0 st.sigs 0 (Array.length tbl);
       for nd = st.sig_count to A.num_nodes st.fresh - 1 do

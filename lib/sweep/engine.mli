@@ -30,6 +30,13 @@ type config = {
   guided_queries : int;  (** query budget for guided initialization *)
   window_refine : bool;
   window_max_leaves : int;
+  sim_domains : int;
+      (** OCaml domains for bulk (re)simulation passes; [1] = sequential.
+          The word-sharded parallel simulators are bit-identical to the
+          sequential ones, so this is purely a throughput knob. *)
+  par_threshold : int;
+      (** minimum pattern count before the parallel path is taken — below
+          it the fork-join overhead outweighs the sharded work *)
 }
 
 val fraig_config : config

@@ -1,4 +1,4 @@
-let config ?seed ?initial_words ?conflict_limit () =
+let config ?seed ?initial_words ?conflict_limit ?sim_domains () =
   let base = Engine.fraig_config in
   {
     base with
@@ -6,7 +6,8 @@ let config ?seed ?initial_words ?conflict_limit () =
     initial_words = Option.value initial_words ~default:base.Engine.initial_words;
     conflict_limit =
       (match conflict_limit with Some l -> Some l | None -> base.Engine.conflict_limit);
+    sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
   }
 
-let sweep ?seed ?initial_words ?conflict_limit net =
-  Engine.run ~config:(config ?seed ?initial_words ?conflict_limit ()) net
+let sweep ?seed ?initial_words ?conflict_limit ?sim_domains net =
+  Engine.run ~config:(config ?seed ?initial_words ?conflict_limit ?sim_domains ()) net

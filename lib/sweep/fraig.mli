@@ -7,6 +7,7 @@ val sweep :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?sim_domains:int ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -14,5 +15,6 @@ val config :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?sim_domains:int ->
   unit ->
   Engine.config

@@ -1,4 +1,4 @@
-let config ?seed ?initial_words ?conflict_limit ?window_max_leaves () =
+let config ?seed ?initial_words ?conflict_limit ?window_max_leaves ?sim_domains () =
   let base = Engine.stp_config in
   {
     base with
@@ -8,9 +8,11 @@ let config ?seed ?initial_words ?conflict_limit ?window_max_leaves () =
       (match conflict_limit with Some l -> Some l | None -> base.Engine.conflict_limit);
     window_max_leaves =
       Option.value window_max_leaves ~default:base.Engine.window_max_leaves;
+    sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
   }
 
-let sweep ?seed ?initial_words ?conflict_limit ?window_max_leaves net =
+let sweep ?seed ?initial_words ?conflict_limit ?window_max_leaves ?sim_domains net =
   Engine.run
-    ~config:(config ?seed ?initial_words ?conflict_limit ?window_max_leaves ())
+    ~config:
+      (config ?seed ?initial_words ?conflict_limit ?window_max_leaves ?sim_domains ())
     net

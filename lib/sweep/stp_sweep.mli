@@ -8,6 +8,7 @@ val sweep :
   ?initial_words:int ->
   ?conflict_limit:int ->
   ?window_max_leaves:int ->
+  ?sim_domains:int ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -16,5 +17,6 @@ val config :
   ?initial_words:int ->
   ?conflict_limit:int ->
   ?window_max_leaves:int ->
+  ?sim_domains:int ->
   unit ->
   Engine.config

@@ -444,6 +444,99 @@ let test_activity () =
   check "constant" true (Act.is_constant const);
   check "near constant" true (Act.near_constant const)
 
+(* ---- parallel (domain-sharded) simulation ---- *)
+
+let qcheck_case ~name ~count arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* seed, domains 1..4, pattern count deliberately spanning non-multiples
+   of 32 so the tail-word fix-up is exercised. *)
+let arb_par_case =
+  QCheck.make
+    ~print:(fun (s, d, np) -> Printf.sprintf "seed=%Ld domains=%d patterns=%d" s d np)
+    QCheck.Gen.(
+      let* s = ui64 in
+      let* d = int_range 1 4 in
+      let* np = int_range 1 200 in
+      return (s, d, np))
+
+let prop_parallel_aig (seed, domains, np) =
+  let rng = Rng.create seed in
+  let net = random_aig rng ~pis:6 ~gates:50 ~pos:3 in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:np in
+  let ref_bitwise = Sim.Bitwise.simulate_aig net pats in
+  Sim.Bitwise.simulate_aig ~domains net pats = ref_bitwise
+  && Sim.Stp_sim.simulate_aig ~domains net pats
+     = Sim.Stp_sim.simulate_aig net pats
+
+let prop_parallel_klut (seed, domains, np) =
+  let rng = Rng.create seed in
+  let net = random_klut rng ~pis:6 ~luts:40 in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:np in
+  let ref_stp = Sim.Stp_sim.simulate_klut net pats in
+  Sim.Stp_sim.simulate_klut ~domains net pats = ref_stp
+  && Sim.Bitwise.simulate_klut ~domains net pats
+     = Sim.Bitwise.simulate_klut net pats
+
+let test_par_split () =
+  for n = 0 to 130 do
+    for chunks = 1 to 6 do
+      let ranges = Sutil.Par.split ~chunks n in
+      (* Ranges are non-empty, contiguous, and cover [0, n). *)
+      let expected = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          if lo <> !expected || hi <= lo then
+            Alcotest.failf "bad range (%d,%d) for n=%d chunks=%d" lo hi n chunks;
+          expected := hi)
+        ranges;
+      if !expected <> n then
+        Alcotest.failf "ranges cover %d of %d (chunks=%d)" !expected n chunks;
+      if Array.length ranges > chunks then Alcotest.fail "too many ranges"
+    done
+  done
+
+let test_pool_reuse () =
+  Sutil.Par.Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "width" 3 (Sutil.Par.Pool.domains pool);
+      (* Several jobs through the same workers; each job writes disjoint
+         slots, sums checked after the join. *)
+      for round = 1 to 5 do
+        let slots = Array.make 3 0 in
+        Sutil.Par.Pool.run pool (fun i -> slots.(i) <- round * (i + 1));
+        Alcotest.(check int)
+          (Printf.sprintf "round %d" round)
+          (round * 6)
+          (Array.fold_left ( + ) 0 slots)
+      done;
+      Sutil.Par.Pool.for_ranges pool 100 (fun ~lo ~hi ->
+          if lo < 0 || hi > 100 then Alcotest.fail "range out of bounds"))
+
+let test_compile_cache () =
+  let module SS = Sim.Stp_sim in
+  let net = K.create () in
+  let pis = Array.init 4 (fun _ -> K.add_pi net) in
+  let nand = T.of_bin "0111" in
+  let xor2 = T.of_bin "0110" in
+  (* Four NANDs sharing one function, one XOR: 2 distinct tables. *)
+  let a = K.add_lut net [| pis.(0); pis.(1) |] nand in
+  let b = K.add_lut net [| pis.(2); pis.(3) |] nand in
+  let c = K.add_lut net [| a; b |] nand in
+  let d = K.add_lut net [| pis.(1); pis.(2) |] nand in
+  let e = K.add_lut net [| c; d |] xor2 in
+  ignore (K.add_po net e false);
+  let pats = P.random ~seed:9L ~num_pis:4 ~num_patterns:77 in
+  let cache = SS.Compile_cache.create () in
+  let t1 = SS.simulate_klut ~cache net pats in
+  check_int "misses = distinct functions" 2 (SS.Compile_cache.misses cache);
+  check_int "hits = shared functions" 3 (SS.Compile_cache.hits cache);
+  (* Re-simulating with the same cache recompiles nothing. *)
+  let t2 = SS.simulate_klut ~cache net pats in
+  check_int "second pass misses" 2 (SS.Compile_cache.misses cache);
+  check_int "second pass hits" 8 (SS.Compile_cache.hits cache);
+  check "cached result identical" true (t1 = t2);
+  check "matches bitwise" true (t1 = Sim.Bitwise.simulate_klut net pats)
+
 (* ---- signatures ---- *)
 
 let test_signature_helpers () =
@@ -505,6 +598,16 @@ let () =
             test_incremental_matches_full;
           Alcotest.test_case "recomputes only the tail" `Quick
             test_incremental_is_incremental;
+        ] );
+      ( "parallel",
+        [
+          qcheck_case ~name:"aig: sharded = sequential" ~count:60 arb_par_case
+            prop_parallel_aig;
+          qcheck_case ~name:"klut: sharded = sequential" ~count:60 arb_par_case
+            prop_parallel_klut;
+          Alcotest.test_case "range splitting" `Quick test_par_split;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "compile cache" `Quick test_compile_cache;
         ] );
       ("activity", [ Alcotest.test_case "stats" `Quick test_activity ]);
       ( "signature",

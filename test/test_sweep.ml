@@ -271,6 +271,32 @@ let test_window_merges_happen () =
   check "windows did work" true
     (stats.Sweep.Stats.window_merges + stats.Sweep.Stats.window_splits > 0)
 
+let test_parallel_sweep_identical () =
+  (* The sharded simulators are bit-identical, so the whole sweep — every
+     merge decision included — must be deterministic in sim_domains. The
+     tiny par_threshold forces the parallel path from the first
+     resimulation on. *)
+  let rng = Rng.create 0xD011A1L in
+  for _ = 1 to 3 do
+    let net = random_network rng ~pis:8 ~gates:120 ~pos:4 in
+    let run domains =
+      Sweep.Engine.run
+        ~config:
+          {
+            Sweep.Engine.stp_config with
+            Sweep.Engine.sim_domains = domains;
+            par_threshold = 32;
+          }
+        net
+    in
+    let seq, seq_stats = run 1 in
+    let par, par_stats = run 3 in
+    check "same node count" true (A.num_nodes seq = A.num_nodes par);
+    check_int "same merges" seq_stats.Sweep.Stats.merges
+      par_stats.Sweep.Stats.merges;
+    check "function preserved" true (exhaustive_equal net par)
+  done
+
 let () =
   Alcotest.run "sweep"
     [
@@ -294,5 +320,7 @@ let () =
           Alcotest.test_case "stats invariants" `Quick test_stats_invariants;
           Alcotest.test_case "ablation configs preserve function" `Slow
             test_engine_ablation_configs;
+          Alcotest.test_case "parallel sweep identical" `Quick
+            test_parallel_sweep_identical;
         ] );
     ]
