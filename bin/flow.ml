@@ -17,11 +17,23 @@ let load ~circuit ~file =
     prerr_endline "exactly one of --circuit or --aig is required";
     exit 2
 
-let run circuit file engine domains verify output no_rewrite no_balance () =
+let stage_json name n =
+  Obs.Json.Obj
+    [
+      ("stage", Obs.Json.String name);
+      ("ands", Obs.Json.Int (Aig.Network.num_ands n));
+      ("depth", Obs.Json.Int (Aig.Network.depth n));
+    ]
+
+let run circuit file engine domains verify output no_rewrite no_balance json
+    trace () =
+  if trace then Obs.Trace.enable ();
   let name, net = load ~circuit ~file in
   let show stage n =
     Printf.printf "%-14s %s\n%!" stage (Format.asprintf "%a" Aig.Network.pp_stats n)
   in
+  let t_flow = Obs.Clock.now () in
+  let stages = ref [ stage_json "input" net ] in
   show name net;
   let swept, stats =
     match engine with
@@ -30,6 +42,7 @@ let run circuit file engine domains verify output no_rewrite no_balance () =
   in
   show "sweep" swept;
   Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  stages := stage_json "sweep" swept :: !stages;
   let rewritten =
     if no_rewrite then swept
     else begin
@@ -37,6 +50,7 @@ let run circuit file engine domains verify output no_rewrite no_balance () =
       show "rewrite" r;
       Printf.printf "  applied=%d classes=%d\n" st.Synth.Rewrite.applied
         st.Synth.Rewrite.classes_synthesized;
+      stages := stage_json "rewrite" r :: !stages;
       r
     end
   in
@@ -45,23 +59,49 @@ let run circuit file engine domains verify output no_rewrite no_balance () =
     else begin
       let b, _ = Aig.Balance.balance rewritten in
       show "balance" b;
+      stages := stage_json "balance" b :: !stages;
       b
     end
   in
-  if verify then begin
-    match Sweep.Cec.check net final with
-    | Sweep.Cec.Equivalent -> print_endline "cec: equivalent"
-    | Sweep.Cec.Different { po; _ } ->
-      Printf.printf "cec: DIFFERENT at output %d\n" po;
-      exit 1
-    | Sweep.Cec.Undetermined po ->
-      Printf.printf "cec: undetermined at output %d\n" po
-  end;
-  match output with
+  let cec =
+    if not verify then None
+    else
+      match Sweep.Cec.check net final with
+      | Sweep.Cec.Equivalent ->
+        print_endline "cec: equivalent";
+        Some "equivalent"
+      | Sweep.Cec.Different { po; _ } ->
+        Printf.printf "cec: DIFFERENT at output %d\n" po;
+        Some "different"
+      | Sweep.Cec.Undetermined po ->
+        Printf.printf "cec: undetermined at output %d\n" po;
+        Some "undetermined"
+  in
+  let total_s = Obs.Clock.now () -. t_flow in
+  (match output with
   | Some path ->
     Aig.Aiger.write_file path final;
     Printf.printf "wrote: %s\n" path
+  | None -> ());
+  (match json with
   | None -> ()
+  | Some path ->
+    let open Obs.Json in
+    to_file path
+      (Obj
+         (Report.run_meta ~tool:"flow"
+         @ [
+             ("circuit", String name);
+             ("engine", String (match engine with `Stp -> "stp" | `Fraig -> "fraig"));
+             ("domains", Int domains);
+             ("stages", List (List.rev !stages));
+             ("sweep", Sweep.Stats.to_json stats);
+             ( "cec",
+               match cec with Some s -> String s | None -> Null );
+             ("flow_total_s", Float total_s);
+           ]));
+    Printf.printf "wrote: %s\n" path);
+  if cec = Some "different" then exit 1
 
 open Cmdliner
 
@@ -79,11 +119,22 @@ let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"
 let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
 let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balance stage.")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a machine-readable run report here.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream sweep progress to stderr (or STP_SWEEP_TRACE=1).")
+
 let cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
-    Term.(const (fun a b c d e f g h -> run a b c d e f g h ())
+    Term.(const (fun a b c d e f g h i j -> run a b c d e f g h i j ())
           $ circuit $ file $ engine $ domains $ verify $ output $ no_rewrite
-          $ no_balance)
+          $ no_balance $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,24 @@
 
 open Stp_sweep
 
-let run path conflict_limit =
+let write_json json solver answer =
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Obs.Json in
+    to_file path
+      (Obj
+         (Report.run_meta ~tool:"sat"
+         @ [
+             ("answer", String answer);
+             ( "sat_solver",
+               Obj
+                 (List.map
+                    (fun (k, v) -> (k, Int v))
+                    (Sat.Solver.stats_assoc solver)) );
+           ]))
+
+let run path conflict_limit json =
   let text =
     let ic = open_in_bin path in
     Fun.protect
@@ -33,13 +50,16 @@ let run path conflict_limit =
     Buffer.add_string buf " 0";
     print_endline (Buffer.contents buf);
     Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+    write_json json solver "sat";
     exit 10
   | Sat.Solver.Unsat ->
     print_endline "s UNSATISFIABLE";
     Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+    write_json json solver "unsat";
     exit 20
   | Sat.Solver.Unknown ->
     print_endline "s UNKNOWN";
+    write_json json solver "unknown";
     exit 0
 
 open Cmdliner
@@ -47,8 +67,14 @@ open Cmdliner
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf")
 let limit = Arg.(value & opt (some int) None & info [ "conflicts" ] ~doc:"Conflict budget.")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a machine-readable run report here.")
+
 let cmd =
   Cmd.v (Cmd.info "sat" ~doc:"CDCL solver on a DIMACS file")
-    Term.(const run $ file $ limit)
+    Term.(const run $ file $ limit $ json)
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,8 @@ let load ~circuit ~file =
     prerr_endline "exactly one of --circuit or --aig is required";
     exit 2
 
-let run circuit file engine verify output () =
+let run circuit file engine verify output json trace () =
+  if trace then Obs.Trace.enable ();
   let name, net = load ~circuit ~file in
   Printf.printf "circuit %s: %s\n" name
     (Format.asprintf "%a" Aig.Network.pp_stats net);
@@ -25,20 +26,42 @@ let run circuit file engine verify output () =
   in
   Printf.printf "swept:   %s\n" (Format.asprintf "%a" Aig.Network.pp_stats swept);
   Printf.printf "stats:   %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
-  if verify then begin
-    match Sweep.Cec.check net swept with
-    | Sweep.Cec.Equivalent -> print_endline "cec:     equivalent"
-    | Sweep.Cec.Different { po; _ } ->
-      Printf.printf "cec:     DIFFERENT at output %d\n" po;
-      exit 1
-    | Sweep.Cec.Undetermined po ->
-      Printf.printf "cec:     undetermined at output %d\n" po
-  end;
-  match output with
+  let cec =
+    if not verify then None
+    else
+      match Sweep.Cec.check net swept with
+      | Sweep.Cec.Equivalent ->
+        print_endline "cec:     equivalent";
+        Some "equivalent"
+      | Sweep.Cec.Different { po; _ } ->
+        Printf.printf "cec:     DIFFERENT at output %d\n" po;
+        Some "different"
+      | Sweep.Cec.Undetermined po ->
+        Printf.printf "cec:     undetermined at output %d\n" po;
+        Some "undetermined"
+  in
+  (match output with
   | Some path ->
     Aig.Aiger.write_file path swept;
     Printf.printf "wrote:   %s\n" path
+  | None -> ());
+  (match json with
   | None -> ()
+  | Some path ->
+    let open Obs.Json in
+    to_file path
+      (Obj
+         (Report.run_meta ~tool:"sweep"
+         @ [
+             ("circuit", String name);
+             ("engine", String (match engine with `Stp -> "stp" | `Fraig -> "fraig"));
+             ("input_ands", Int (Aig.Network.num_ands net));
+             ("result_ands", Int (Aig.Network.num_ands swept));
+             ("sweep", Sweep.Stats.to_json stats);
+             ("cec", match cec with Some s -> String s | None -> Null);
+           ]));
+    Printf.printf "wrote:   %s\n" path);
+  if cec = Some "different" then exit 1
 
 open Cmdliner
 
@@ -56,9 +79,22 @@ let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result."
 let output =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write the swept AIG here.")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a machine-readable run report here.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream sweep progress to stderr (or STP_SWEEP_TRACE=1).")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
-    Term.(const (fun a b c d e -> run a b c d e ()) $ circuit $ file $ engine $ verify $ output)
+    Term.(
+      const (fun a b c d e f g -> run a b c d e f g ())
+      $ circuit $ file $ engine $ verify $ output $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

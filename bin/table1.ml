@@ -13,7 +13,7 @@
 
 open Stp_sweep
 
-let run ~num_patterns ~domains ~names () =
+let run ~num_patterns ~domains ~names ~json () =
   let suite =
     match names with
     | [] -> Gen.Suites.epfl ()
@@ -24,6 +24,7 @@ let run ~num_patterns ~domains ~names () =
     num_patterns domains
     (if domains = 1 then "" else "s");
   let rows = ref [] in
+  let json_rows = ref [] in
   let ratios_ta = ref [] and ratios_tl = ref [] in
   List.iter
     (fun (name, aig) ->
@@ -57,6 +58,21 @@ let run ~num_patterns ~domains ~names () =
       let xa = t_a_bitwise /. t_a_stp and xl = t_l_bitwise /. t_l_stp in
       ratios_ta := xa :: !ratios_ta;
       ratios_tl := xl :: !ratios_tl;
+      let open Obs.Json in
+      json_rows :=
+        Obj
+          [
+            ("name", String name);
+            ("ands", Int (Aig.Network.num_ands aig));
+            ("luts", Int (Klut.Network.num_luts lut));
+            ("t_a_bitwise_s", Float t_a_bitwise);
+            ("t_a_stp_s", Float t_a_stp);
+            ("t_l_bitwise_s", Float t_l_bitwise);
+            ("t_l_stp_s", Float t_l_stp);
+            ("speedup_t_a", Float xa);
+            ("speedup_t_l", Float xl);
+          ]
+        :: !json_rows;
       rows :=
         [
           name;
@@ -80,7 +96,26 @@ let run ~num_patterns ~domains ~names () =
   print_string (Report.render_table ~header (List.rev !rows));
   Printf.printf "\nGeo. mean speedup  T_A: %.2fx   T_L: %.2fx\n"
     (Report.geomean !ratios_ta) (Report.geomean !ratios_tl);
-  Printf.printf "(paper: T_A 0.99x, T_L 7.18x)\n"
+  Printf.printf "(paper: T_A 0.99x, T_L 7.18x)\n";
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Obs.Json in
+    to_file path
+      (Obj
+         (Report.run_meta ~tool:"table1"
+         @ [
+             ("patterns", Int num_patterns);
+             ("domains", Int domains);
+             ("benchmarks", List (List.rev !json_rows));
+             ( "geomean_speedup",
+               Obj
+                 [
+                   ("t_a", Float (Report.geomean !ratios_ta));
+                   ("t_l", Float (Report.geomean !ratios_tl));
+                 ] );
+           ]));
+    Printf.printf "wrote: %s\n" path
 
 open Cmdliner
 
@@ -98,11 +133,17 @@ let domains =
 let names =
   Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmarks (default: all twenty).")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a machine-readable run report here.")
+
 let cmd =
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate the paper's Table I (simulation runtime)")
     Term.(
-      const (fun p d n -> run ~num_patterns:p ~domains:d ~names:n ())
-      $ patterns $ domains $ names)
+      const (fun p d n j -> run ~num_patterns:p ~domains:d ~names:n ~json:j ())
+      $ patterns $ domains $ names $ json)
 
 let () = exit (Cmd.eval cmd)

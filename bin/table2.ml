@@ -7,7 +7,8 @@
 
 open Stp_sweep
 
-let run ~names ~verify () =
+let run ~names ~verify ~json ~trace () =
+  if trace then Obs.Trace.enable ();
   let suite =
     match names with
     | [] -> Gen.Suites.hwmcc ()
@@ -15,6 +16,7 @@ let run ~names ~verify () =
   in
   Printf.printf "Table II: SAT sweeping, &fraig-style baseline vs STP engine\n\n";
   let rows = ref [] in
+  let json_rows = ref [] in
   let g_sat = ref ([], []) and g_total = ref ([], []) in
   let g_sim = ref ([], []) and g_time = ref ([], []) in
   let g_result = ref ([], []) in
@@ -36,11 +38,33 @@ let run ~names ~verify () =
       push g_total !g_total
         (float_of_int (total_sat_calls st_f))
         (float_of_int (total_sat_calls st_s));
-      push g_sim !g_sim st_f.sim_time st_s.sim_time;
+      push g_sim !g_sim (simulation_time st_f) (simulation_time st_s);
       push g_time !g_time st_f.total_time st_s.total_time;
       push g_result !g_result
         (float_of_int (Aig.Network.num_ands swept_f))
         (float_of_int (Aig.Network.num_ands swept_s));
+      let engine_json swept st =
+        Obs.Json.Obj
+          (("result_ands", Obs.Json.Int (Aig.Network.num_ands swept))
+          :: (match Sweep.Stats.to_json st with
+             | Obs.Json.Obj fields -> fields
+             | other -> [ ("sweep", other) ]))
+      in
+      json_rows :=
+        Obs.Json.Obj
+          [
+            ("name", Obs.Json.String name);
+            ("pis", Obs.Json.Int (Aig.Network.num_pis net));
+            ("pos", Obs.Json.Int (Aig.Network.num_pos net));
+            ("depth", Obs.Json.Int (Aig.Network.depth net));
+            ("ands", Obs.Json.Int (Aig.Network.num_ands net));
+            ("fraig", engine_json swept_f st_f);
+            ("stp", engine_json swept_s st_s);
+            ( "runtime_ratio_stp_over_fraig",
+              Obs.Json.Float
+                (st_s.total_time /. Float.max 1e-9 st_f.total_time) );
+          ]
+        :: !json_rows;
       rows :=
         [
           name;
@@ -52,8 +76,9 @@ let run ~names ~verify () =
             (Aig.Network.num_ands swept_s);
           Printf.sprintf "%d|%d" st_f.sat_sat st_s.sat_sat;
           Printf.sprintf "%d|%d" (total_sat_calls st_f) (total_sat_calls st_s);
-          Printf.sprintf "%s|%s" (Report.fmt_time st_f.sim_time)
-            (Report.fmt_time st_s.sim_time);
+          Printf.sprintf "%s|%s"
+            (Report.fmt_time (simulation_time st_f))
+            (Report.fmt_time (simulation_time st_s));
           Printf.sprintf "%s|%s" (Report.fmt_time st_f.total_time)
             (Report.fmt_time st_s.total_time);
           Report.fmt_ratio
@@ -76,7 +101,28 @@ let run ~names ~verify () =
     (ratio !g_time);
   Printf.printf
     "(paper: Result 1.00, SAT calls 0.09, Total calls 0.91, Sim time 1.99, \
-     Runtime 0.65)\n"
+     Runtime 0.65)\n";
+  match json with
+  | None -> ()
+  | Some path ->
+    let open Obs.Json in
+    to_file path
+      (Obj
+         (Report.run_meta ~tool:"table2"
+         @ [
+             ("verify", Bool verify);
+             ("benchmarks", List (List.rev !json_rows));
+             ( "geomean_stp_over_fraig",
+               Obj
+                 [
+                   ("result", Float (ratio !g_result));
+                   ("sat_calls", Float (ratio !g_sat));
+                   ("total_calls", Float (ratio !g_total));
+                   ("sim_time", Float (ratio !g_sim));
+                   ("runtime", Float (ratio !g_time));
+                 ] );
+           ]));
+    Printf.printf "wrote: %s\n" path
 
 open Cmdliner
 
@@ -86,9 +132,22 @@ let names =
 let verify =
   Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify every sweep against its input.")
 
+let json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Write a machine-readable run report here.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream sweep progress to stderr (or STP_SWEEP_TRACE=1).")
+
 let cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table II (SAT sweeping)")
-    Term.(const (fun n v -> run ~names:n ~verify:v ()) $ names $ verify)
+    Term.(
+      const (fun n v j t -> run ~names:n ~verify:v ~json:j ~trace:t ())
+      $ names $ verify $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

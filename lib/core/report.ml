@@ -1,13 +1,12 @@
-let time f =
-  let t0 = Sys.time () in
-  let r = f () in
-  (Sys.time () -. t0, r)
+(* Wall clock, not [Sys.time]: CPU time sums over domains, so it would
+   report a parallel engine as ~N x slower under perfect scaling. *)
+let time f = Obs.Clock.span f
 
 let time_repeat ?(min_time = 0.2) f =
-  let t0 = Sys.time () in
+  let t0 = Obs.Clock.now () in
   let rec go runs =
     f ();
-    let elapsed = Sys.time () -. t0 in
+    let elapsed = Obs.Clock.now () -. t0 in
     if elapsed >= min_time then elapsed /. float_of_int runs else go (runs + 1)
   in
   go 1
@@ -45,3 +44,13 @@ let render_table ~header rows =
 
 let fmt_time t = Printf.sprintf "%.3f" t
 let fmt_ratio r = Printf.sprintf "%.2f" r
+
+let run_meta ~tool =
+  [
+    ("schema_version", Obs.Json.Int 1);
+    ("tool", Obs.Json.String tool);
+    ("generated_at_unix_s", Obs.Json.Float (Obs.Clock.now ()));
+    ( "argv",
+      Obs.Json.List
+        (Array.to_list (Array.map (fun a -> Obs.Json.String a) Sys.argv)) );
+  ]

@@ -1,13 +1,14 @@
-(** Small helpers shared by the table harnesses and benches: CPU timing,
-    geometric means, and fixed-width table rendering. *)
+(** Small helpers shared by the table harnesses and benches: wall-clock
+    timing, geometric means, and fixed-width table rendering. *)
 
 val time : (unit -> 'a) -> float * 'a
-(** CPU seconds spent in the thunk. *)
+(** Wall-clock seconds spent in the thunk ({!Obs.Clock}; [Sys.time]
+    would sum CPU time over domains and invert parallel speedups). *)
 
 val time_repeat : ?min_time:float -> (unit -> unit) -> float
-(** Runs the thunk enough times to accumulate [min_time] CPU seconds
-    (default 0.2) and returns the per-run mean — stabilizes short
-    measurements. *)
+(** Runs the thunk enough times to accumulate [min_time] wall-clock
+    seconds (default 0.2) and returns the per-run mean — stabilizes
+    short measurements. *)
 
 val geomean : float list -> float
 (** Geometric mean; zero entries are clamped to a small epsilon so a
@@ -20,3 +21,8 @@ val fmt_time : float -> string
 (** Seconds with three decimals. *)
 
 val fmt_ratio : float -> string
+
+val run_meta : tool:string -> (string * Obs.Json.t) list
+(** The header fields every [--json] run report starts with:
+    [schema_version], [tool], [generated_at_unix_s], [argv]. Schema
+    documented in EXPERIMENTS.md. *)

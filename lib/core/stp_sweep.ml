@@ -7,6 +7,7 @@
     mapping. *)
 
 module Util = Sutil
+module Obs = Obs
 module Tt = Tt
 module Stp = Stp
 module Aig = Aig

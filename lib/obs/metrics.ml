@@ -1,0 +1,48 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, float ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
+
+let cell tbl make name =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Hashtbl.add tbl name c;
+    c
+
+let incr ?(by = 1) t name =
+  let c = cell t.counters (fun () -> ref 0) name in
+  c := !c + by
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+
+let add_time t name secs =
+  let c = cell t.timers (fun () -> ref 0.) name in
+  c := !c +. secs
+
+let time t name f =
+  let t0 = Clock.now () in
+  let r = f () in
+  add_time t name (Clock.now () -. t0);
+  r
+
+let phase_time t name =
+  match Hashtbl.find_opt t.timers name with Some c -> !c | None -> 0.
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted t.counters
+let phases t = sorted t.timers
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ("phases_s", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (phases t)));
+    ]

@@ -1,0 +1,35 @@
+(** Named counters and phase timers.
+
+    One [t] per run (a sweep, a table regeneration): counters count
+    events, phases accumulate wall-clock seconds per named stage. Both
+    export to {!Json} for the run report. Not synchronized — record from
+    the orchestrating domain only (the parallel simulators do not touch
+    metrics; they are timed from outside). *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+(** Bumps a counter, creating it at zero on first use. *)
+
+val counter : t -> string -> int
+(** Current value; 0 if never incremented. *)
+
+val add_time : t -> string -> float -> unit
+(** Adds seconds to a named phase. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk and bills its wall-clock span to the phase. *)
+
+val phase_time : t -> string -> float
+(** Accumulated seconds; 0. if the phase never ran. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val phases : t -> (string * float) list
+(** All phase timers, sorted by name. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "phases_s": {...}}], keys sorted. *)

@@ -578,6 +578,15 @@ let stats t =
     solve_calls = t.st_solves;
   }
 
+let stats_assoc t =
+  [
+    ("decisions", t.st_decisions);
+    ("conflicts", t.st_conflicts);
+    ("propagations", t.st_props);
+    ("learned", t.st_learned);
+    ("solve_calls", t.st_solves);
+  ]
+
 let pp_stats ppf t =
   Format.fprintf ppf "vars=%d clauses=%d decisions=%d conflicts=%d props=%d"
     t.nvars t.num_clauses t.st_decisions t.st_conflicts t.st_props

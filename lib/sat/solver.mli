@@ -59,4 +59,10 @@ val failed_assumptions : t -> int list
     them when the conflict is global). *)
 
 val stats : t -> stats
+(** Cumulative counters over the solver's lifetime (all solve calls). *)
+
+val stats_assoc : t -> (string * int) list
+(** The {!stats} counters as name/value pairs in declaration order — the
+    shape structured run reports consume. *)
+
 val pp_stats : Format.formatter -> t -> unit

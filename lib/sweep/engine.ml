@@ -71,10 +71,19 @@ type state = {
   env : Sat.Tseitin.env;
 }
 
-let timed st f =
-  let t0 = Sys.time () in
+(* Phase accounting. Wall clock ([Obs.Clock]), never [Sys.time]: CPU
+   time sums across domains, so it would bill a parallel resimulation at
+   ~N x its real duration. Each instrumented stretch goes to exactly one
+   phase, so the phases sum to <= total_time. *)
+let timed st phase f =
+  let t0 = Obs.Clock.now () in
   let r = f () in
-  st.stats.Stats.sim_time <- st.stats.Stats.sim_time +. (Sys.time () -. t0);
+  let dt = Obs.Clock.now () -. t0 in
+  (match phase with
+  | `Sim -> st.stats.Stats.sim_time <- st.stats.Stats.sim_time +. dt
+  | `Resim -> st.stats.Stats.resim_time <- st.stats.Stats.resim_time +. dt
+  | `Window -> st.stats.Stats.window_time <- st.stats.Stats.window_time +. dt
+  | `Sat -> st.stats.Stats.sat_time <- st.stats.Stats.sat_time +. dt);
   r
 
 let word_mask = 0xFFFFFFFF
@@ -93,23 +102,31 @@ let ensure_sig_capacity st n =
     st.window_tts <- bigger_tt
   end
 
-(* Merge two sorted leaf lists; None once the size exceeds [cap]. *)
+(* Merge two sorted leaf lists; None once the size exceeds [cap]. The
+   remaining lengths are threaded through the loop so the early-exit
+   check never rescans a tail with [List.length]. *)
 let merge_support cap a b =
-  let rec go n xs ys =
+  let rec go n xs lx ys ly =
     if n > cap then None
     else
       match (xs, ys) with
-      | [], rest | rest, [] ->
-        if n + List.length rest > cap then None else Some rest
+      | [], rest -> if n + ly > cap then None else Some rest
+      | rest, [] -> if n + lx > cap then None else Some rest
       | x :: xs', y :: ys' ->
         if x = y then
-          match go (n + 1) xs' ys' with Some r -> Some (x :: r) | None -> None
+          match go (n + 1) xs' (lx - 1) ys' (ly - 1) with
+          | Some r -> Some (x :: r)
+          | None -> None
         else if x < y then
-          match go (n + 1) xs' ys with Some r -> Some (x :: r) | None -> None
+          match go (n + 1) xs' (lx - 1) ys ly with
+          | Some r -> Some (x :: r)
+          | None -> None
         else
-          match go (n + 1) xs ys' with Some r -> Some (y :: r) | None -> None
+          match go (n + 1) xs lx ys' (ly - 1) with
+          | Some r -> Some (y :: r)
+          | None -> None
   in
-  go 0 a b
+  go 0 a (List.length a) b (List.length b)
 
 let node_support st nd =
   match A.kind st.fresh nd with
@@ -206,7 +223,7 @@ let sim_domains st =
 let register_new_nodes st =
   let n = A.num_nodes st.fresh in
   if n > st.sig_count then
-    timed st (fun () ->
+    timed st `Sim (fun () ->
         ensure_sig_capacity st (n - 1);
         let domains = sim_domains st in
         (* Bulk registrations (the initial pass over the PIs, or any
@@ -235,7 +252,10 @@ let register_new_nodes st =
    signatures and rebuild the candidate classes. *)
 let resimulate st =
   st.stats.Stats.resimulations <- st.stats.Stats.resimulations + 1;
-  timed st (fun () ->
+  Obs.Trace.emitf "resim #%d: %d nodes, %d patterns"
+    st.stats.Stats.resimulations (A.num_nodes st.fresh)
+    (P.num_patterns st.pats);
+  timed st `Resim (fun () ->
       let tbl = Sim.Bitwise.simulate_aig ~domains:(sim_domains st) st.fresh st.pats in
       ensure_sig_capacity st (A.num_nodes st.fresh - 1);
       Array.blit tbl 0 st.sigs 0 (Array.length tbl);
@@ -292,7 +312,7 @@ let try_merge st nd =
               match merge_support st.cfg.window_max_leaves sa sb with
               | None -> `Unknown
               | Some joint ->
-                timed st (fun () ->
+                timed st `Window (fun () ->
                     let module T = Tt.Truth_table in
                     (* Structural duplicates usually share the support
                        exactly; skip the lift then. *)
@@ -319,8 +339,9 @@ let try_merge st nd =
           attempt tried rest
         | `Unknown -> (
           match
-            Sat.Tseitin.check_equiv ?conflict_limit:st.cfg.conflict_limit
-              st.env (L.of_node nd false) (L.of_node r compl)
+            timed st `Sat (fun () ->
+                Sat.Tseitin.check_equiv ?conflict_limit:st.cfg.conflict_limit
+                  st.env (L.of_node nd false) (L.of_node r compl))
           with
           | Sat.Tseitin.Equivalent ->
             st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
@@ -337,10 +358,12 @@ let try_merge st nd =
   attempt 0 reps
 
 let run ?(config = stp_config) old_net =
-  let t_start = Sys.time () in
+  let t_start = Obs.Clock.now () in
   let stats = Stats.create () in
   let rng = Rng.create config.seed in
   let num_pis = A.num_pis old_net in
+  Obs.Trace.emitf "sweep start: %d PIs, %d ANDs, %d POs" num_pis
+    (A.num_ands old_net) (A.num_pos old_net);
   (* Initial patterns: random words, optionally refined by SAT-guided
      generation on the old network. *)
   let pats =
@@ -348,13 +371,15 @@ let run ?(config = stp_config) old_net =
       ~num_patterns:(32 * max 1 config.initial_words)
   in
   if config.guided_init then begin
-    let t0 = Sys.time () in
-    let _outcome =
+    let t0 = Obs.Clock.now () in
+    let outcome =
       Guided_patterns.generate ~max_queries:config.guided_queries old_net
         pats ~seed:(Rng.int64 rng)
     in
-    stats.Stats.sim_time <-
-      stats.Stats.sim_time +. (Sys.time () -. t0)
+    stats.Stats.guided_time <-
+      stats.Stats.guided_time +. (Obs.Clock.now () -. t0);
+    Obs.Trace.emitf "guided init: +%d patterns, %d queries"
+      outcome.Guided_patterns.patterns_added outcome.Guided_patterns.queries
   end;
   stats.Stats.initial_patterns <- P.num_patterns pats;
   let fresh = A.create ~capacity:(A.num_nodes old_net) () in
@@ -388,7 +413,14 @@ let run ?(config = stp_config) old_net =
     assert (m >= 0);
     L.xor_compl m (L.is_compl l)
   in
+  let trace_every = 4096 in
+  let processed = ref 0 in
   A.iter_ands old_net (fun nd ->
+      incr processed;
+      if Obs.Trace.enabled () && !processed mod trace_every = 0 then
+        Obs.Trace.emitf "progress: %d/%d ANDs, %d merges, %d SAT calls"
+          !processed (A.num_ands old_net) st.stats.Stats.merges
+          (Stats.total_sat_calls st.stats);
       let before = A.num_nodes st.fresh in
       let l = A.add_and st.fresh (tr (A.fanin0 old_net nd)) (tr (A.fanin1 old_net nd)) in
       if A.num_nodes st.fresh = before then
@@ -409,5 +441,13 @@ let run ?(config = stp_config) old_net =
   (* The fresh network still holds nodes that lost their fanout to a
      merge; a cleanup pass drops them. *)
   let result, _ = A.cleanup st.fresh in
-  stats.Stats.total_time <- Sys.time () -. t_start;
+  let s = Sat.Solver.stats solver in
+  stats.Stats.sat_decisions <- s.Sat.Solver.decisions;
+  stats.Stats.sat_conflicts <- s.Sat.Solver.conflicts;
+  stats.Stats.sat_propagations <- s.Sat.Solver.propagations;
+  stats.Stats.sat_learned <- s.Sat.Solver.learned;
+  stats.Stats.total_time <- Obs.Clock.now () -. t_start;
+  Obs.Trace.emitf "sweep done: %d -> %d ANDs, %d merges, %.3fs"
+    (A.num_ands old_net) (A.num_ands result) stats.Stats.merges
+    stats.Stats.total_time;
   (result, stats)

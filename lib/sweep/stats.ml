@@ -10,7 +10,15 @@ type t = {
   mutable initial_patterns : int;
   mutable resimulations : int;
   mutable sim_time : float;
+  mutable guided_time : float;
+  mutable resim_time : float;
+  mutable window_time : float;
+  mutable sat_time : float;
   mutable total_time : float;
+  mutable sat_decisions : int;
+  mutable sat_conflicts : int;
+  mutable sat_propagations : int;
+  mutable sat_learned : int;
 }
 
 let create () =
@@ -26,14 +34,70 @@ let create () =
     initial_patterns = 0;
     resimulations = 0;
     sim_time = 0.;
+    guided_time = 0.;
+    resim_time = 0.;
+    window_time = 0.;
+    sat_time = 0.;
     total_time = 0.;
+    sat_decisions = 0;
+    sat_conflicts = 0;
+    sat_propagations = 0;
+    sat_learned = 0;
   }
 
 let total_sat_calls t = t.sat_sat + t.sat_unsat + t.sat_undet
 
+let simulation_time t =
+  t.sim_time +. t.guided_time +. t.resim_time +. t.window_time
+
+let phase_times t =
+  [
+    ("sim", t.sim_time);
+    ("guided", t.guided_time);
+    ("resim", t.resim_time);
+    ("window", t.window_time);
+    ("sat", t.sat_time);
+  ]
+
+let to_json t =
+  let open Obs.Json in
+  Obj
+    [
+      ( "counters",
+        Obj
+          [
+            ("sat_sat", Int t.sat_sat);
+            ("sat_unsat", Int t.sat_unsat);
+            ("sat_undet", Int t.sat_undet);
+            ("total_sat_calls", Int (total_sat_calls t));
+            ("merges", Int t.merges);
+            ("const_merges", Int t.const_merges);
+            ("window_merges", Int t.window_merges);
+            ("window_splits", Int t.window_splits);
+            ("ce_patterns", Int t.ce_patterns);
+            ("initial_patterns", Int t.initial_patterns);
+            ("resimulations", Int t.resimulations);
+          ] );
+      ( "phases_s",
+        Obj
+          (List.map (fun (k, v) -> (k, Float v)) (phase_times t)
+          @ [ ("total", Float t.total_time) ]) );
+      ( "sat_solver",
+        Obj
+          [
+            ("decisions", Int t.sat_decisions);
+            ("conflicts", Int t.sat_conflicts);
+            ("propagations", Int t.sat_propagations);
+            ("learned", Int t.sat_learned);
+          ] );
+    ]
+
 let pp ppf t =
   Format.fprintf ppf
     "sat=%d unsat=%d undet=%d merges=%d const=%d win_merge=%d win_split=%d \
-     ce=%d sim=%.3fs total=%.3fs"
+     ce=%d sim=%.3fs guided=%.3fs resim=%.3fs window=%.3fs sat_t=%.3fs \
+     total=%.3fs decisions=%d conflicts=%d props=%d learned=%d"
     t.sat_sat t.sat_unsat t.sat_undet t.merges t.const_merges t.window_merges
-    t.window_splits t.ce_patterns t.sim_time t.total_time
+    t.window_splits t.ce_patterns t.sim_time t.guided_time t.resim_time
+    t.window_time t.sat_time t.total_time t.sat_decisions t.sat_conflicts
+    t.sat_propagations t.sat_learned

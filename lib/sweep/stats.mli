@@ -1,10 +1,22 @@
-(** Sweeping statistics — the quantities Table II reports.
+(** Sweeping statistics — the quantities Table II reports, plus the
+    phase breakdown and SAT-solver internals the run reports expose.
 
     "SAT calls" in the paper counts satisfiable outcomes; "Total SAT
-    calls" adds unsatisfiable and undetermined ones. Simulation time
-    covers initial-pattern generation and counter-example resimulation.
-    Window refinements are the STP engine's SAT-free merge/split
-    decisions. *)
+    calls" adds unsatisfiable and undetermined ones. Window refinements
+    are the STP engine's SAT-free merge/split decisions.
+
+    All times are wall-clock seconds ({!Obs.Clock}) — CPU time would sum
+    over domains and misreport parallel runs. The phases partition the
+    engine's instrumented work:
+
+    - [sim_time] — incremental signature computation while rebuilding
+      (the engine's "initial simulation" work);
+    - [guided_time] — SAT-guided initial pattern generation;
+    - [resim_time] — batch counter-example resimulations;
+    - [window_time] — exhaustive-window table construction/comparison;
+    - [sat_time] — equivalence queries in the CDCL solver;
+    - [total_time] — the whole sweep, including untimed glue, so the sum
+      of the phases is always <= [total_time]. *)
 
 type t = {
   mutable sat_sat : int;  (** satisfiable SAT calls *)
@@ -17,10 +29,32 @@ type t = {
   mutable ce_patterns : int;  (** counter-example patterns appended *)
   mutable initial_patterns : int;
   mutable resimulations : int;
-  mutable sim_time : float;  (** seconds, CPU *)
+  mutable sim_time : float;
+  mutable guided_time : float;
+  mutable resim_time : float;
+  mutable window_time : float;
+  mutable sat_time : float;
   mutable total_time : float;
+  mutable sat_decisions : int;  (** solver internals, whole sweep *)
+  mutable sat_conflicts : int;
+  mutable sat_propagations : int;
+  mutable sat_learned : int;
 }
 
 val create : unit -> t
 val total_sat_calls : t -> int
+
+val simulation_time : t -> float
+(** The scope of the paper's Table II "Simulation" column: all non-SAT
+    instrumented work — [sim + guided + resim + window]. *)
+
+val phase_times : t -> (string * float) list
+(** The five instrumented phases, in a stable order (not including
+    [total_time]). *)
+
+val to_json : t -> Obs.Json.t
+(** The sweep section of a run report: counters, [phases_s] (with
+    [total]), and a [sat_solver] object with decisions / conflicts /
+    propagations / learned. Schema documented in EXPERIMENTS.md. *)
+
 val pp : Format.formatter -> t -> unit

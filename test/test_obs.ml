@@ -1,0 +1,232 @@
+(* Observability-layer tests: the clock is monotonic wall time (the
+   PR-2 bug was CPU time inverting parallel speedups), metrics account
+   exactly, and the JSON printer/parser round-trip — reports must be
+   readable back by any consumer. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let qcheck_case ~name ~count arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* ---- clock ---- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Obs.Clock.now () in
+    if t < !prev then Alcotest.fail "clock went backwards";
+    prev := t
+  done
+
+let test_clock_spans () =
+  let dt, r = Obs.Clock.span (fun () -> 42) in
+  check_int "span result" 42 r;
+  check "span nonnegative" true (dt >= 0.);
+  (* A busy loop must register wall time: sleep-free lower bound via
+     repeated clock reads until some time visibly passes. *)
+  let dt, () =
+    Obs.Clock.span (fun () ->
+        let t0 = Obs.Clock.now () in
+        while Obs.Clock.now () -. t0 < 0.01 do
+          ()
+        done)
+  in
+  check "span sees wall time" true (dt >= 0.01);
+  let cell = ref 0. in
+  let r = Obs.Clock.accumulate cell (fun () -> "ok") in
+  check_str "accumulate result" "ok" r;
+  check "accumulate nonnegative" true (!cell >= 0.);
+  let before = !cell in
+  ignore (Obs.Clock.accumulate cell (fun () -> ()));
+  check "accumulate adds" true (!cell >= before)
+
+let test_clock_wall_not_cpu () =
+  (* The defining property vs [Sys.time]: sleeping costs wall time but
+     almost no CPU time. 20ms sleep must show up on the wall clock. *)
+  let dt, () = Obs.Clock.span (fun () -> Unix.sleepf 0.02) in
+  check "sleep registers on wall clock" true (dt >= 0.015)
+
+(* ---- metrics ---- *)
+
+let test_metrics_counters () =
+  let m = Obs.Metrics.create () in
+  check_int "unset counter is 0" 0 (Obs.Metrics.counter m "x");
+  Obs.Metrics.incr m "x";
+  Obs.Metrics.incr m "x" ~by:41;
+  Obs.Metrics.incr m "y";
+  check_int "x accumulated" 42 (Obs.Metrics.counter m "x");
+  check_int "y accumulated" 1 (Obs.Metrics.counter m "y");
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("x", 42); ("y", 1) ]
+    (Obs.Metrics.counters m)
+
+let test_metrics_phases () =
+  let m = Obs.Metrics.create () in
+  check "unset phase is 0" true (Obs.Metrics.phase_time m "sim" = 0.);
+  Obs.Metrics.add_time m "sim" 0.5;
+  Obs.Metrics.add_time m "sim" 0.25;
+  check "phase accumulates" true (Obs.Metrics.phase_time m "sim" = 0.75);
+  let r = Obs.Metrics.time m "sat" (fun () -> 7) in
+  check_int "timed result" 7 r;
+  check "timed phase nonnegative" true (Obs.Metrics.phase_time m "sat" >= 0.);
+  match Obs.Metrics.to_json m with
+  | Obs.Json.Obj [ ("counters", _); ("phases_s", Obs.Json.Obj phases) ] ->
+    check "phases exported" true (List.mem_assoc "sim" phases)
+  | _ -> Alcotest.fail "unexpected metrics JSON shape"
+
+(* ---- json ---- *)
+
+let sample =
+  Obs.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("t", Bool true);
+        ("f", Bool false);
+        ("int", Int (-42));
+        ("float", Float 3.5);
+        ("tiny", Float 1.0000000000000002);
+        ("str", String "line\n\"quoted\"\ttab \\ slash");
+        ("list", List [ Int 1; Float 2.5; String "x"; List []; Obj [] ]);
+        ("nested", Obj [ ("k", List [ Bool false; Null ]) ]);
+      ])
+
+let test_json_roundtrip_sample () =
+  let s = Obs.Json.to_string sample in
+  (match Obs.Json.of_string s with
+   | Ok v -> check "compact round-trip" true (v = sample)
+   | Error e -> Alcotest.fail e);
+  let s = Obs.Json.to_string ~pretty:true sample in
+  match Obs.Json.of_string s with
+  | Ok v -> check "pretty round-trip" true (v = sample)
+  | Error e -> Alcotest.fail e
+
+let test_json_floats_stay_floats () =
+  (* A float that happens to be integral must parse back as Float, not
+     Int, or report consumers see the field type flip run to run. *)
+  let s = Obs.Json.to_string (Obs.Json.Float 1.) in
+  check_str "integral float keeps a dot" "1.0" s;
+  (match Obs.Json.of_string s with
+   | Ok (Obs.Json.Float 1.) -> ()
+   | _ -> Alcotest.fail "1.0 must parse as Float");
+  check_str "non-finite becomes null" "null" (Obs.Json.to_string (Obs.Json.Float nan))
+
+let test_json_parser_details () =
+  let ok s v =
+    match Obs.Json.of_string s with
+    | Ok v' -> check ("parse " ^ s) true (v = v')
+    | Error e -> Alcotest.fail e
+  in
+  ok " [1, 2,\t3]\n" (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 2; Obs.Json.Int 3 ]);
+  ok {|"aAb"|} (Obs.Json.String "aAb");
+  ok {|"é"|} (Obs.Json.String "\xc3\xa9");
+  ok "1e3" (Obs.Json.Float 1000.);
+  ok "-0.5" (Obs.Json.Float (-0.5));
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+let test_json_member () =
+  check "member hit" true
+    (Obs.Json.member "int" sample = Some (Obs.Json.Int (-42)));
+  check "member miss" true (Obs.Json.member "nope" sample = None);
+  check "member on non-obj" true (Obs.Json.member "x" Obs.Json.Null = None);
+  check "to_float int" true (Obs.Json.to_float (Obs.Json.Int 2) = Some 2.);
+  check "to_float float" true (Obs.Json.to_float (Obs.Json.Float 2.5) = Some 2.5);
+  check "to_float string" true (Obs.Json.to_float (Obs.Json.String "2") = None)
+
+let test_json_to_file () =
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Json.to_file path sample;
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.of_string s with
+      | Ok v -> check "file round-trip" true (v = sample)
+      | Error e -> Alcotest.fail e)
+
+(* Random JSON values: printable-ASCII strings plus escapes, finite
+   floats, nesting bounded by the size parameter. *)
+let arb_json =
+  let open QCheck.Gen in
+  let str =
+    string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 12)
+  in
+  let leaf =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map
+          (fun f -> Obs.Json.Float (if Float.is_finite f then f else 0.))
+          float;
+        map (fun s -> Obs.Json.String s) str;
+      ]
+  in
+  let value =
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (2, leaf);
+                 (1, map (fun l -> Obs.Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                 ( 1,
+                   map
+                     (fun kvs -> Obs.Json.Obj kvs)
+                     (list_size (int_range 0 4) (pair str (self (n / 2)))) );
+               ])
+  in
+  QCheck.make ~print:(fun v -> Obs.Json.to_string ~pretty:true v) value
+
+let prop_json_roundtrip v =
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> v = v'
+  | Error _ -> false
+
+let prop_json_roundtrip_pretty v =
+  match Obs.Json.of_string (Obs.Json.to_string ~pretty:true v) with
+  | Ok v' -> v = v'
+  | Error _ -> false
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "spans" `Quick test_clock_spans;
+          Alcotest.test_case "wall not cpu" `Quick test_clock_wall_not_cpu;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "phases" `Quick test_metrics_phases;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip sample" `Quick test_json_roundtrip_sample;
+          Alcotest.test_case "floats stay floats" `Quick test_json_floats_stay_floats;
+          Alcotest.test_case "parser details" `Quick test_json_parser_details;
+          Alcotest.test_case "member/to_float" `Quick test_json_member;
+          Alcotest.test_case "to_file" `Quick test_json_to_file;
+          qcheck_case ~name:"qcheck round-trip compact" ~count:500 arb_json
+            prop_json_roundtrip;
+          qcheck_case ~name:"qcheck round-trip pretty" ~count:500 arb_json
+            prop_json_roundtrip_pretty;
+        ] );
+    ]

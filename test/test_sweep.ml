@@ -216,12 +216,73 @@ let test_sweep_idempotent () =
     (A.num_ands twice = A.num_ands once);
   check "second sweep is cheap" true (stats.Sweep.Stats.merges = 0)
 
+(* Wall-clock phase accounting: every phase is nonnegative, every phase
+   is within total_time, and — since each instrumented stretch bills to
+   exactly one phase — the phases sum to at most total_time (small
+   epsilon for float accumulation). *)
+let check_phase_accounting label st =
+  let open Sweep.Stats in
+  let eps = 1e-6 in
+  let phases = phase_times st in
+  List.iter
+    (fun (name, t) ->
+      if t < 0. then Alcotest.failf "%s: phase %s negative" label name;
+      if t > st.total_time +. eps then
+        Alcotest.failf "%s: phase %s (%g) exceeds total (%g)" label name t
+          st.total_time)
+    phases;
+  let sum = List.fold_left (fun acc (_, t) -> acc +. t) 0. phases in
+  if sum > st.total_time +. eps then
+    Alcotest.failf "%s: phases sum (%g) exceeds total (%g)" label sum
+      st.total_time;
+  check (label ^ ": simulation_time consistent") true
+    (Float.abs
+       (simulation_time st
+       -. (st.sim_time +. st.guided_time +. st.resim_time +. st.window_time))
+    < eps)
+
+(* The JSON report must survive a print/parse cycle and carry the full
+   phase breakdown plus the SAT solver internals. *)
+let check_report_roundtrip label st =
+  let open Sweep.Stats in
+  let j = to_json st in
+  (match Obs.Json.of_string (Obs.Json.to_string ~pretty:true j) with
+   | Ok j' ->
+     if j <> j' then Alcotest.failf "%s: JSON report does not round-trip" label
+   | Error e -> Alcotest.failf "%s: report unparseable: %s" label e);
+  let phases =
+    match Obs.Json.member "phases_s" j with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | _ -> Alcotest.failf "%s: no phases_s object" label
+  in
+  List.iter
+    (fun k ->
+      if not (List.mem_assoc k phases) then
+        Alcotest.failf "%s: phase %s missing from report" label k)
+    [ "sim"; "guided"; "resim"; "window"; "sat"; "total" ];
+  let solver =
+    match Obs.Json.member "sat_solver" j with
+    | Some (Obs.Json.Obj kvs) -> kvs
+    | _ -> Alcotest.failf "%s: no sat_solver object" label
+  in
+  List.iter
+    (fun k ->
+      if not (List.mem_assoc k solver) then
+        Alcotest.failf "%s: solver stat %s missing from report" label k)
+    [ "decisions"; "conflicts"; "propagations"; "learned" ];
+  (* Work the solver did must be visible: any completed SAT call implies
+     propagations. *)
+  if
+    total_sat_calls st > st.sat_undet
+    && Obs.Json.member "propagations" (Obs.Json.Obj solver) = Some (Obs.Json.Int 0)
+  then Alcotest.failf "%s: SAT calls ran but zero propagations reported" label
+
 let test_stats_invariants () =
   let rng = Rng.create 2718L in
   let base = random_network rng ~pis:7 ~gates:100 ~pos:5 in
   let net = Gen.Redundant.inject ~seed:6L ~fraction:0.4 base in
-  List.iter
-    (fun (swept, st) ->
+  List.iter2
+    (fun label (swept, st) ->
       let open Sweep.Stats in
       check "total = sat+unsat+undet" true
         (total_sat_calls st = st.sat_sat + st.sat_unsat + st.sat_undet);
@@ -230,8 +291,33 @@ let test_stats_invariants () =
       check "ce = sat outcomes" true (st.ce_patterns = st.sat_sat);
       check "times nonnegative" true (st.sim_time >= 0. && st.total_time >= st.sim_time);
       check "initial patterns recorded" true (st.initial_patterns >= 32);
-      check "swept not larger" true (A.num_ands swept <= A.num_ands net))
+      check "swept not larger" true (A.num_ands swept <= A.num_ands net);
+      check_phase_accounting label st;
+      check_report_roundtrip label st)
+    [ "fraig"; "stp" ]
     [ Sweep.Fraig.sweep net; Sweep.Stp_sweep.sweep net ]
+
+(* qcheck: the phase/report invariants hold on arbitrary circuits under
+   both engines, not just the hand-picked ones above. *)
+let arb_sweep_case =
+  QCheck.make
+    ~print:(fun (seed, gates, stp) ->
+      Printf.sprintf "seed=%Ld gates=%d engine=%s" seed gates
+        (if stp then "stp" else "fraig"))
+    QCheck.Gen.(
+      let* seed = ui64 in
+      let* gates = int_range 10 120 in
+      let* stp = bool in
+      return (seed, gates, stp))
+
+let prop_phase_accounting (seed, gates, stp) =
+  let rng = Rng.create seed in
+  let base = random_network rng ~pis:6 ~gates ~pos:4 in
+  let net = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.3 base in
+  let _, st = if stp then Sweep.Stp_sweep.sweep net else Sweep.Fraig.sweep net in
+  check_phase_accounting "qcheck" st;
+  check_report_roundtrip "qcheck" st;
+  true
 
 let test_engine_ablation_configs () =
   (* Every knob combination must preserve the function. *)
@@ -318,6 +404,9 @@ let () =
           Alcotest.test_case "window merges happen" `Quick
             test_window_merges_happen;
           Alcotest.test_case "stats invariants" `Quick test_stats_invariants;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"phase accounting + report round-trip"
+               ~count:30 arb_sweep_case prop_phase_accounting);
           Alcotest.test_case "ablation configs preserve function" `Slow
             test_engine_ablation_configs;
           Alcotest.test_case "parallel sweep identical" `Quick
