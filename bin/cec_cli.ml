@@ -7,6 +7,7 @@
 open Stp_sweep
 
 let run a b =
+  Report.cli_guard @@ fun () ->
   let net_a = Aig.Aiger.read_file a and net_b = Aig.Aiger.read_file b in
   Printf.printf "%s: %s\n" a (Format.asprintf "%a" Aig.Network.pp_stats net_a);
   Printf.printf "%s: %s\n" b (Format.asprintf "%a" Aig.Network.pp_stats net_b);

@@ -25,8 +25,9 @@ let stage_json name n =
       ("depth", Obs.Json.Int (Aig.Network.depth n));
     ]
 
-let run circuit file engine domains verify output no_rewrite no_balance json
-    trace () =
+let run circuit file engine domains timeout verify output no_rewrite
+    no_balance json trace () =
+  Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = load ~circuit ~file in
   let show stage n =
@@ -37,11 +38,18 @@ let run circuit file engine domains verify output no_rewrite no_balance json
   show name net;
   let swept, stats =
     match engine with
-    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains net
-    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains net
+    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains ?timeout net
+    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains ?timeout net
   in
   show "sweep" swept;
   Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  (match stats.Sweep.Stats.budget_exhausted with
+  | Some { Sweep.Stats.reason; phase } ->
+    Printf.printf
+      "  budget exhausted (%s) during %s — partial sweep, every applied \
+       merge is proven\n"
+      reason phase
+  | None -> ());
   stages := stage_json "sweep" swept :: !stages;
   let rewritten =
     if no_rewrite then swept
@@ -66,7 +74,10 @@ let run circuit file engine domains verify output no_rewrite no_balance json
   let cec =
     if not verify then None
     else
-      match Sweep.Cec.check net final with
+      (* The verification oracle is not itself a fault target: with
+         STP_SWEEP_FAULTS armed this check judges the degraded flow,
+         so it runs with injection suspended. *)
+      match Obs.Fault.bypass (fun () -> Sweep.Cec.check net final) with
       | Sweep.Cec.Equivalent ->
         print_endline "cec: equivalent";
         Some "equivalent"
@@ -114,6 +125,15 @@ let domains =
   Arg.(value & opt int 1
        & info [ "domains"; "d" ]
            ~doc:"OCaml domains for the sweeper's bulk resimulation passes.")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget for the sweep stage; on exhaustion the sweep \
+           degrades to structural translation and the flow continues.")
 let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
 let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output AIGER path.")
 let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
@@ -133,8 +153,8 @@ let trace =
 let cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
-    Term.(const (fun a b c d e f g h i j -> run a b c d e f g h i j ())
-          $ circuit $ file $ engine $ domains $ verify $ output $ no_rewrite
-          $ no_balance $ json $ trace)
+    Term.(const (fun a b c d e f g h i j k -> run a b c d e f g h i j k ())
+          $ circuit $ file $ engine $ domains $ timeout $ verify $ output
+          $ no_rewrite $ no_balance $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -22,7 +22,8 @@ let write_json json solver answer =
                     (Sat.Solver.stats_assoc solver)) );
            ]))
 
-let run path conflict_limit json =
+let run path conflict_limit timeout json =
+  Report.cli_guard @@ fun () ->
   let text =
     let ic = open_in_bin path in
     Fun.protect
@@ -30,11 +31,9 @@ let run path conflict_limit json =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let solver = Sat.Solver.create () in
-  (try Sat.Dimacs.load solver text
-   with Sat.Dimacs.Parse_error msg ->
-     Printf.eprintf "parse error: %s\n" msg;
-     exit 2);
-  match Sat.Solver.solve ?conflict_limit solver with
+  Sat.Dimacs.load solver text;
+  let deadline = Option.map (fun s -> Obs.Clock.now () +. s) timeout in
+  match Sat.Solver.solve ?conflict_limit ?deadline solver with
   | Sat.Solver.Sat ->
     print_endline "s SATISFIABLE";
     let buf = Buffer.create 256 in
@@ -67,6 +66,13 @@ open Cmdliner
 let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf")
 let limit = Arg.(value & opt (some int) None & info [ "conflicts" ] ~doc:"Conflict budget.")
 
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:"Wall-clock budget; expiry yields UNKNOWN (exit 0).")
+
 let json =
   Arg.(
     value
@@ -75,6 +81,6 @@ let json =
 
 let cmd =
   Cmd.v (Cmd.info "sat" ~doc:"CDCL solver on a DIMACS file")
-    Term.(const run $ file $ limit $ json)
+    Term.(const run $ file $ limit $ timeout $ json)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,7 @@ let digest tbl =
     17 tbl
 
 let run circuit file engine num_patterns k mode seed () =
+  Report.cli_guard @@ fun () ->
   let name, aig = load ~circuit ~file in
   let pats =
     Sim.Patterns.random ~seed:(Int64.of_int seed)

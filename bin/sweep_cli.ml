@@ -14,18 +14,31 @@ let load ~circuit ~file =
     prerr_endline "exactly one of --circuit or --aig is required";
     exit 2
 
-let run circuit file engine verify output json trace () =
+let run circuit file engine timeout retries self_verify verify output json
+    trace () =
+  Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = load ~circuit ~file in
   Printf.printf "circuit %s: %s\n" name
     (Format.asprintf "%a" Aig.Network.pp_stats net);
   let swept, stats =
     match engine with
-    | `Stp -> Sweep.Stp_sweep.sweep net
-    | `Fraig -> Sweep.Fraig.sweep net
+    | `Stp ->
+      Sweep.Stp_sweep.sweep ?timeout ?retry_schedule:retries
+        ~verify:self_verify net
+    | `Fraig ->
+      Sweep.Fraig.sweep ?timeout ?retry_schedule:retries ~verify:self_verify
+        net
   in
   Printf.printf "swept:   %s\n" (Format.asprintf "%a" Aig.Network.pp_stats swept);
   Printf.printf "stats:   %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  (match stats.Sweep.Stats.budget_exhausted with
+  | Some { Sweep.Stats.reason; phase } ->
+    Printf.printf
+      "budget:  exhausted (%s) during %s — partial sweep, every applied \
+       merge is proven\n"
+      reason phase
+  | None -> ());
   let cec =
     if not verify then None
     else
@@ -74,6 +87,34 @@ let engine =
   Arg.(value & opt (enum [ ("stp", `Stp); ("fraig", `Fraig) ]) `Stp
        & info [ "engine"; "e" ] ~doc:"Sweeping engine.")
 
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget for the sweep. On exhaustion the engine stops \
+           proving, translates the rest structurally and reports \
+           budget_exhausted; the partial result is still equivalent to the \
+           input.")
+
+let retries =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "retry-schedule" ] ~docv:"N,N,..."
+        ~doc:
+          "Escalating conflict limits re-tried on SAT queries that come \
+           back undetermined.")
+
+let self_verify =
+  Arg.(
+    value & flag
+    & info [ "self-verify" ]
+        ~doc:
+          "Run the engine's post-sweep self-check (bitwise cross-simulation \
+           + CEC); exits 3 if the result cannot be proven equivalent.")
+
 let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
 
 let output =
@@ -94,7 +135,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
     Term.(
-      const (fun a b c d e f g -> run a b c d e f g ())
-      $ circuit $ file $ engine $ verify $ output $ json $ trace)
+      const (fun a b c d e f g h i j -> run a b c d e f g h i j ())
+      $ circuit $ file $ engine $ timeout $ retries $ self_verify $ verify
+      $ output $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

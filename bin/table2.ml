@@ -7,7 +7,8 @@
 
 open Stp_sweep
 
-let run ~names ~verify ~json ~trace () =
+let run ~names ~timeout ~verify ~json ~trace () =
+  Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let suite =
     match names with
@@ -23,8 +24,20 @@ let run ~names ~verify ~json ~trace () =
   let push r (a, b) v w = r := (v :: a, w :: b) in
   List.iter
     (fun (name, net) ->
-      let swept_f, st_f = Sweep.Fraig.sweep net in
-      let swept_s, st_s = Sweep.Stp_sweep.sweep net in
+      (* Each engine run gets its own budget so a blown baseline sweep
+         does not also starve the STP one. *)
+      let swept_f, st_f = Sweep.Fraig.sweep ?timeout net in
+      let swept_s, st_s = Sweep.Stp_sweep.sweep ?timeout net in
+      (match (st_f.Sweep.Stats.budget_exhausted, st_s.Sweep.Stats.budget_exhausted) with
+      | None, None -> ()
+      | f, s ->
+        let describe = function
+          | Some { Sweep.Stats.reason; phase } ->
+            Printf.sprintf "exhausted (%s) during %s" reason phase
+          | None -> "in budget"
+        in
+        Printf.printf "%s: budget — fraig %s, stp %s\n" name (describe f)
+          (describe s));
       if verify then begin
         (match Sweep.Cec.check net swept_f with
          | Sweep.Cec.Equivalent -> ()
@@ -129,6 +142,15 @@ open Cmdliner
 let names =
   Arg.(value & pos_all string [] & info [] ~docv:"NAME" ~doc:"Benchmarks (default: all fifteen).")
 
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Per-sweep wall-clock budget; exhausted sweeps degrade to partial \
+           (still equivalent) results and report budget_exhausted.")
+
 let verify =
   Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify every sweep against its input.")
 
@@ -147,7 +169,7 @@ let cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table II (SAT sweeping)")
     Term.(
-      const (fun n v j t -> run ~names:n ~verify:v ~json:j ~trace:t ())
-      $ names $ verify $ json $ trace)
+      const (fun n w v j t -> run ~names:n ~timeout:w ~verify:v ~json:j ~trace:t ())
+      $ names $ timeout $ verify $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

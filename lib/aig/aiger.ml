@@ -2,33 +2,57 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+let fail_at line fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+(* Robustness-test hook: randomly truncate the raw text before parsing.
+   The contract is that the parser then raises Parse_error (or succeeds
+   on a still-well-formed prefix) — never anything else. *)
+let fault_truncate = Obs.Fault.register "parse.truncate"
+
+(* Header fields are counts/indices; cap them well below array-size
+   limits so a malicious header can neither overflow sums nor provoke
+   [Array.make] into Invalid_argument/Out_of_memory. *)
+let max_header_field = 1 lsl 30
+
 let read_gen ~allow_latches text =
+  let text = Obs.Fault.truncate fault_truncate text in
   let lines =
     String.split_on_char '\n' text
-    |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = 'c'))
+    |> List.mapi (fun i l -> (i + 1, l))
+    |> List.filter (fun (_, l) ->
+           String.trim l <> ""
+           && not (String.length l > 0 && l.[0] = 'c'))
   in
   match lines with
-  | [] -> fail "empty file"
-  | header :: rest ->
-    let ints_of_line line =
+  | [] -> fail "line 1: empty file"
+  | (hline, header) :: rest ->
+    let ints_of_line (ln, line) =
       String.split_on_char ' ' line
       |> List.filter (fun s -> s <> "")
       |> List.map (fun s ->
              match int_of_string_opt s with
              | Some v -> v
-             | None -> fail "not an integer: %s" s)
+             | None -> fail_at ln "not an integer: %s" s)
     in
     let m, i, l, o, a =
       match String.split_on_char ' ' (String.trim header) with
       | [ "aag"; m; i; l; o; a ] ->
-        let p s = match int_of_string_opt s with
-          | Some v -> v
-          | None -> fail "bad header field %s" s
+        let p s =
+          match int_of_string_opt s with
+          | Some v when v >= 0 && v <= max_header_field -> v
+          | Some v -> fail_at hline "header field out of range: %d" v
+          | None -> fail_at hline "bad header field %s" s
         in
         (p m, p i, p l, p o, p a)
-      | _ -> fail "bad header: %s" header
+      | _ -> fail_at hline "bad header: %s" header
     in
-    if l <> 0 && not allow_latches then fail "latches are not supported";
+    if l <> 0 && not allow_latches then fail_at hline "latches are not supported";
+    if m > i + l + a then
+      fail_at hline "header declares %d variables but only %d definitions" m
+        (i + l + a);
     let expected_lines = i + l + o + a in
     let body = List.filteri (fun idx _ -> idx < expected_lines) rest in
     if List.length body < expected_lines then fail "truncated file";
@@ -39,65 +63,74 @@ let read_gen ~allow_latches text =
     (* node_of_var entries: -1 undefined; >= 0 a plain node id; <= -2 a
        definition that structural hashing collapsed to the literal
        [-(entry + 2)]. *)
-    let tr lit =
+    let tr ln lit =
       let v = lit lsr 1 in
-      if v > m then fail "literal %d out of range" lit;
+      (* negative [lit] also lands here: lsr maps it above [m] *)
+      if v > m then fail_at ln "literal %d out of range" lit;
       let n = node_of_var.(v) in
-      if n = -1 then fail "forward or undefined reference to variable %d" v
+      if n = -1 then fail_at ln "forward or undefined reference to variable %d" v
       else if n <= -2 then Lit.xor_compl (-(n + 2)) (lit land 1 = 1)
       else Lit.of_node n (lit land 1 = 1)
     in
-    let rec take k xs = if k = 0 then ([], xs) else
-      match xs with
-      | [] -> fail "truncated"
-      | x :: rest -> let a, b = take (k - 1) rest in (x :: a, b)
+    let rec take k xs =
+      if k = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> fail "truncated"
+        | x :: rest ->
+          let a, b = take (k - 1) rest in
+          (x :: a, b)
     in
     let inputs, rest1 = take i body in
     let latches, rest2 = take l rest1 in
     let outputs, ands = take o rest2 in
-    let define_pi lit =
-      if lit land 1 = 1 || lit = 0 then fail "bad input literal %d" lit;
-      if node_of_var.(lit lsr 1) <> -1 then fail "redefinition of %d" lit;
+    let define_pi ln lit =
+      if lit land 1 = 1 || lit <= 0 || lit lsr 1 > m then
+        fail_at ln "bad input literal %d" lit;
+      if node_of_var.(lit lsr 1) <> -1 then fail_at ln "redefinition of %d" lit;
       node_of_var.(lit lsr 1) <- Lit.node (Network.add_pi net)
     in
     List.iter
-      (fun line ->
+      (fun ((ln, raw) as line) ->
         match ints_of_line line with
-        | [ lit ] -> define_pi lit
-        | _ -> fail "bad input line: %s" line)
+        | [ lit ] -> define_pi ln lit
+        | _ -> fail_at ln "bad input line: %s" raw)
       inputs;
     (* Latch outputs become extra PIs; next-state literals are collected
        and emitted as extra POs after the real ones. *)
     let next_states =
       List.map
-        (fun line ->
+        (fun ((ln, raw) as line) ->
           match ints_of_line line with
           | [ q; next ] ->
-            define_pi q;
-            next
-          | _ -> fail "bad latch line: %s" line)
+            define_pi ln q;
+            (ln, next)
+          | _ -> fail_at ln "bad latch line: %s" raw)
         latches
     in
     List.iter
-      (fun line ->
+      (fun ((ln, raw) as line) ->
         match ints_of_line line with
         | [ out; f0; f1 ] ->
-          if out land 1 = 1 || out = 0 then fail "bad AND literal %d" out;
-          let lit = Network.add_and net (tr f0) (tr f1) in
+          if out land 1 = 1 || out <= 0 || out lsr 1 > m then
+            fail_at ln "bad AND literal %d" out;
+          let lit = Network.add_and net (tr ln f0) (tr ln f1) in
           (* Structural hashing may simplify; record whatever literal the
              definition resolves to. A complemented result is legal. *)
-          if node_of_var.(out lsr 1) >= 0 then fail "redefinition of %d" out;
+          if node_of_var.(out lsr 1) >= 0 then fail_at ln "redefinition of %d" out;
           if Lit.is_compl lit then node_of_var.(out lsr 1) <- -2 - lit
           else node_of_var.(out lsr 1) <- Lit.node lit
-        | _ -> fail "bad AND line: %s" line)
+        | _ -> fail_at ln "bad AND line: %s" raw)
       ands;
     List.iter
-      (fun line ->
+      (fun ((ln, raw) as line) ->
         match ints_of_line line with
-        | [ lit ] -> ignore (Network.add_po net (tr lit))
-        | _ -> fail "bad output line: %s" line)
+        | [ lit ] -> ignore (Network.add_po net (tr ln lit))
+        | _ -> fail_at ln "bad output line: %s" raw)
       outputs;
-    List.iter (fun next -> ignore (Network.add_po net (tr next))) next_states;
+    List.iter
+      (fun (ln, next) -> ignore (Network.add_po net (tr ln next)))
+      next_states;
     (net, l)
 
 let read text = fst (read_gen ~allow_latches:false text)

@@ -45,6 +45,27 @@ let render_table ~header rows =
 let fmt_time t = Printf.sprintf "%.3f" t
 let fmt_ratio r = Printf.sprintf "%.2f" r
 
+(* Inside the run function, not around [Cmd.eval]: Cmdliner catches
+   stray exceptions itself and turns them into exit 125 with a
+   backtrace, which is the wrong surface for a mistyped file path. *)
+let cli_guard f =
+  try f () with
+  | Aig.Aiger.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 2
+  | Klut.Blif.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 2
+  | Sat.Dimacs.Parse_error msg ->
+    Printf.eprintf "parse error: %s\n" msg;
+    exit 2
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | Sweep.Engine.Verification_failed msg ->
+    Printf.eprintf "verification failed: %s\n" msg;
+    exit 3
+
 let run_meta ~tool =
   [
     ("schema_version", Obs.Json.Int 1);

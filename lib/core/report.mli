@@ -22,6 +22,14 @@ val fmt_time : float -> string
 
 val fmt_ratio : float -> string
 
+val cli_guard : (unit -> 'a) -> 'a
+(** Wraps a CLI body. Malformed or unreadable input files
+    ([Aig.Aiger.Parse_error], [Klut.Blif.Parse_error],
+    [Sat.Dimacs.Parse_error], [Sys_error]) become a one-line stderr
+    message and exit code 2; [Sweep.Engine.Verification_failed] becomes
+    one and exit code 3. Anything else propagates (Cmdliner reports it
+    as exit 125). *)
+
 val run_meta : tool:string -> (string * Obs.Json.t) list
 (** The header fields every [--json] run report starts with:
     [schema_version], [tool], [generated_at_unix_s], [argv]. Schema

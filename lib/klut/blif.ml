@@ -3,7 +3,18 @@ module T = Tt.Truth_table
 
 exception Parse_error of string
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+let fail_at line fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+(* Robustness-test hook: randomly truncate the raw text before parsing. *)
+let fault_truncate = Obs.Fault.register "parse.truncate"
+
+(* A [.names] block with [k] inputs materializes a 2^k-bit truth table;
+   cap [k] so hostile input cannot demand gigabytes. Legitimate k-LUT
+   networks in this repo use k <= 16. *)
+let max_lut_fanins = 20
 
 (* ---- writing ---- *)
 
@@ -59,18 +70,18 @@ let write_file path net =
 
 type cover_row = { mask : string; value : bool }
 
-let tt_of_cover k rows =
+let tt_of_cover ~ln k rows =
   (* Rows are in on-set or off-set form; BLIF requires uniform output
      values within one block. *)
   match rows with
   | [] -> T.const0 k
   | { value = v0; _ } :: _ ->
     if not (List.for_all (fun r -> r.value = v0) rows) then
-      fail "mixed on-set and off-set rows in one .names block";
+      fail_at ln "mixed on-set and off-set rows in one .names block";
     let covered = ref (T.const0 k) in
     List.iter
       (fun { mask; _ } ->
-        if String.length mask <> k then fail "cover row width mismatch";
+        if String.length mask <> k then fail_at ln "cover row width mismatch";
         let cube = ref (T.const1 k) in
         String.iteri
           (fun j c ->
@@ -78,46 +89,69 @@ let tt_of_cover k rows =
             | '1' -> cube := T.and_ !cube (T.nth_var k j)
             | '0' -> cube := T.and_ !cube (T.not_ (T.nth_var k j))
             | '-' -> ()
-            | _ -> fail "bad cover character %C" c)
+            | _ -> fail_at ln "bad cover character %C" c)
           mask;
         covered := T.or_ !covered !cube)
       rows;
     if v0 then !covered else T.not_ !covered
 
 (* A .names block with no input columns defines a constant. *)
-let constant_block rows =
+let constant_block ~ln rows =
   match rows with
   | [] -> false
   | [ { mask = ""; value } ] -> value
-  | _ -> fail "bad constant .names block"
+  | _ -> fail_at ln "bad constant .names block"
 
 let read text =
-  (* Join continuation lines, strip comments. *)
-  let text = Str_replace.join_continuations text in
-  let lines =
+  let text = Obs.Fault.truncate fault_truncate text in
+  (* Number physical lines 1-based, strip comments, then join
+     continuation lines (trailing backslash) under the first line's
+     number so diagnostics point at the start of the construct. *)
+  let physical =
     String.split_on_char '\n' text
-    |> List.map (fun l ->
-           match String.index_opt l '#' with
-           | Some i -> String.sub l 0 i
-           | None -> l)
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l ->
+           let l =
+             match String.index_opt l '#' with
+             | Some j -> String.sub l 0 j
+             | None -> l
+           in
+           (i + 1, String.trim l))
+  in
+  let lines =
+    let rec join acc = function
+      | [] -> List.rev acc
+      | (ln, l) :: rest ->
+        let rec absorb l rest =
+          let k = String.length l in
+          if k > 0 && l.[k - 1] = '\\' then
+            let head = String.sub l 0 (k - 1) in
+            match rest with
+            | (_, l2) :: rest2 -> absorb (String.trim (head ^ " " ^ l2)) rest2
+            | [] -> (String.trim head, [])
+          else (l, rest)
+        in
+        let joined, rest = absorb l rest in
+        if joined = "" then join acc rest else join ((ln, joined) :: acc) rest
+    in
+    join [] physical
   in
   let net = K.create () in
   let signals : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let outputs = ref [] in
-  let pending : (string list * string * cover_row list) option ref = ref None in
+  let pending : (int * string list * string * cover_row list) option ref =
+    ref None
+  in
   let flush_pending () =
     match !pending with
     | None -> ()
-    | Some (inputs, out, rows_rev) ->
+    | Some (ln, inputs, out, rows_rev) ->
       pending := None;
       let rows = List.rev rows_rev in
       let node =
         match inputs with
         | [] ->
           (* constant *)
-          let v = constant_block rows in
+          let v = constant_block ~ln rows in
           let k = K.add_lut net [||] (if v then T.const1 0 else T.const0 0) in
           k
         | _ ->
@@ -127,10 +161,10 @@ let read text =
                  (fun s ->
                    match Hashtbl.find_opt signals s with
                    | Some n -> n
-                   | None -> fail "undefined signal %s" s)
+                   | None -> fail_at ln "undefined signal %s" s)
                  inputs)
           in
-          K.add_lut net fanins (tt_of_cover (Array.length fanins) rows)
+          K.add_lut net fanins (tt_of_cover ~ln (Array.length fanins) rows)
       in
       Hashtbl.replace signals out node
   in
@@ -140,58 +174,63 @@ let read text =
     |> List.filter (fun s -> s <> "")
   in
   List.iter
-    (fun line ->
+    (fun (ln, line) ->
       match words line with
       | ".model" :: _ -> ()
       | ".inputs" :: names ->
         flush_pending ();
         List.iter
           (fun s ->
-            if Hashtbl.mem signals s then fail "duplicate input %s" s;
+            if Hashtbl.mem signals s then fail_at ln "duplicate input %s" s;
             Hashtbl.replace signals s (K.add_pi net))
           names
       | ".outputs" :: names ->
         flush_pending ();
-        outputs := !outputs @ names
+        outputs := !outputs @ List.map (fun s -> (ln, s)) names
       | ".names" :: rest ->
         flush_pending ();
         (match List.rev rest with
-         | out :: inputs_rev -> pending := Some (List.rev inputs_rev, out, [])
-         | [] -> fail ".names without signals")
+         | out :: inputs_rev ->
+           let inputs = List.rev inputs_rev in
+           if List.length inputs > max_lut_fanins then
+             fail_at ln ".names block with %d inputs exceeds the %d-input limit"
+               (List.length inputs) max_lut_fanins;
+           pending := Some (ln, inputs, out, [])
+         | [] -> fail_at ln ".names without signals")
       | [ ".end" ] -> flush_pending ()
       | (".latch" | ".subckt" | ".gate") :: _ ->
-        fail "unsupported construct: %s" line
+        fail_at ln "unsupported construct: %s" line
       | [ single ] when !pending <> None ->
         (* constant block row: just an output value *)
         (match !pending with
-         | Some (inputs, out, rows) ->
+         | Some (bln, inputs, out, rows) ->
            let value =
              match single with
              | "1" -> true
              | "0" -> false
-             | _ -> fail "bad cover row: %s" line
+             | _ -> fail_at ln "bad cover row: %s" line
            in
-           pending := Some (inputs, out, { mask = ""; value } :: rows)
+           pending := Some (bln, inputs, out, { mask = ""; value } :: rows)
          | None -> assert false)
       | [ mask; v ] when !pending <> None ->
         (match !pending with
-         | Some (inputs, out, rows) ->
+         | Some (bln, inputs, out, rows) ->
            let value =
              match v with
              | "1" -> true
              | "0" -> false
-             | _ -> fail "bad cover output: %s" line
+             | _ -> fail_at ln "bad cover output: %s" line
            in
-           pending := Some (inputs, out, { mask; value } :: rows)
+           pending := Some (bln, inputs, out, { mask; value } :: rows)
          | None -> assert false)
-      | _ -> fail "unrecognized line: %s" line)
+      | _ -> fail_at ln "unrecognized line: %s" line)
     lines;
   flush_pending ();
   List.iter
-    (fun s ->
+    (fun (ln, s) ->
       match Hashtbl.find_opt signals s with
       | Some n -> ignore (K.add_po net n false)
-      | None -> fail "undefined output %s" s)
+      | None -> fail_at ln "undefined output %s" s)
     !outputs;
   net
 

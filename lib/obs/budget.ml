@@ -1,0 +1,78 @@
+type reason = Deadline | Conflicts | Propagations
+
+type t = {
+  deadline : float option;
+  max_conflicts : int option;
+  max_propagations : int option;
+  stride : int;
+  mutable countdown : int; (* check calls until the next clock read *)
+  mutable exhausted : reason option;
+}
+
+let make ~deadline ~conflicts ~propagations ~stride =
+  {
+    deadline;
+    max_conflicts = conflicts;
+    max_propagations = propagations;
+    stride = max 1 stride;
+    countdown = 0; (* first check reads the clock *)
+    exhausted = None;
+  }
+
+let unlimited () =
+  make ~deadline:None ~conflicts:None ~propagations:None ~stride:64
+
+let create ?deadline ?timeout ?conflicts ?propagations ?(stride = 64) () =
+  let deadline =
+    match (deadline, timeout) with
+    | (Some _ as d), _ -> d
+    | None, Some s -> Some (Clock.now () +. s)
+    | None, None -> None
+  in
+  make ~deadline ~conflicts ~propagations ~stride
+
+let is_limited t =
+  t.deadline <> None || t.max_conflicts <> None || t.max_propagations <> None
+
+let deadline t = t.deadline
+
+let remaining_s t =
+  match t.deadline with Some d -> Some (d -. Clock.now ()) | None -> None
+
+let exhausted t = t.exhausted
+
+let over cap v = match cap with Some c -> v >= c | None -> false
+
+let check_gen ~force ?(conflicts = 0) ?(propagations = 0) t =
+  match t.exhausted with
+  | Some _ as r -> r
+  | None ->
+    let r =
+      if over t.max_conflicts conflicts then Some Conflicts
+      else if over t.max_propagations propagations then Some Propagations
+      else
+        match t.deadline with
+        | None -> None
+        | Some d ->
+          t.countdown <- t.countdown - 1;
+          if force || t.countdown <= 0 then begin
+            t.countdown <- t.stride;
+            if Clock.now () > d then Some Deadline else None
+          end
+          else None
+    in
+    if r <> None then t.exhausted <- r;
+    r
+
+let check ?conflicts ?propagations t =
+  check_gen ~force:false ?conflicts ?propagations t
+
+let check_now ?conflicts ?propagations t =
+  check_gen ~force:true ?conflicts ?propagations t
+
+let reason_to_string = function
+  | Deadline -> "deadline"
+  | Conflicts -> "conflicts"
+  | Propagations -> "propagations"
+
+let pp_reason ppf r = Format.pp_print_string ppf (reason_to_string r)

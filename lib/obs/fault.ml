@@ -1,0 +1,132 @@
+type site = {
+  site_name : string;
+  mutable prob : float; (* < 0.0 means disarmed *)
+  mutable hit_count : int;
+}
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 16
+let any_armed = ref false
+
+(* Pending probabilities for sites configured before their defining
+   module registered them (env spec is parsed at obs's own init, which
+   can precede the solver/engine/parser modules). *)
+let pending : (string, float) Hashtbl.t = Hashtbl.create 16
+
+(* Deterministic splitmix64, self-contained so obs keeps its tiny
+   dependency footprint. Fault draws are test-only, never security. *)
+let rng_state = ref 0x9E3779B97F4A7C15L
+
+let seed_rng n = rng_state := Int64.logxor 0x9E3779B97F4A7C15L n
+
+let next64 () =
+  let open Int64 in
+  rng_state := add !rng_state 0x9E3779B97F4A7C15L;
+  let z = !rng_state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let next_float () =
+  (* 53 uniform bits into [0,1). *)
+  Int64.to_float (Int64.shift_right_logical (next64 ()) 11) *. 0x1p-53
+
+let next_int bound =
+  if bound <= 1 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next64 ()) 1)
+                       (Int64.of_int bound))
+
+let register name =
+  match Hashtbl.find_opt registry name with
+  | Some s -> s
+  | None ->
+    let prob =
+      match Hashtbl.find_opt pending name with Some p -> p | None -> -1.0
+    in
+    let s = { site_name = name; prob; hit_count = 0 } in
+    if prob >= 0.0 then any_armed := true;
+    Hashtbl.replace registry name s;
+    s
+
+let name s = s.site_name
+let hits s = s.hit_count
+let enabled () = !any_armed
+
+let fires s =
+  !any_armed && s.prob >= 0.0
+  && next_float () < s.prob
+  &&
+  (s.hit_count <- s.hit_count + 1;
+   true)
+
+let truncate s text =
+  if fires s && String.length text > 0 then
+    String.sub text 0 (next_int (String.length text))
+  else text
+
+let bypass f =
+  (* [fires] short-circuits on [any_armed], so flipping the flag
+     suspends every site without touching probabilities or counters. *)
+  let armed = !any_armed in
+  any_armed := false;
+  Fun.protect ~finally:(fun () -> any_armed := armed) f
+
+let reset () =
+  any_armed := false;
+  Hashtbl.reset pending;
+  Hashtbl.iter
+    (fun _ s ->
+      s.prob <- -1.0;
+      s.hit_count <- 0)
+    registry
+
+let configure spec =
+  reset ();
+  let arm name prob =
+    (match Hashtbl.find_opt registry name with
+    | Some s -> s.prob <- prob
+    | None -> Hashtbl.replace pending name prob);
+    any_armed := true
+  in
+  let entry e =
+    match String.index_opt e '=' with
+    | Some i when String.sub e 0 i = "seed" -> (
+      let v = String.sub e (i + 1) (String.length e - i - 1) in
+      match Int64.of_string_opt v with
+      | Some n ->
+        seed_rng n;
+        Ok ()
+      | None -> Error (Printf.sprintf "bad seed %S" v))
+    | Some _ -> Error (Printf.sprintf "bad entry %S (use name, name:prob or seed=N)" e)
+    | None -> (
+      match String.index_opt e ':' with
+      | None ->
+        arm e 1.0;
+        Ok ()
+      | Some i -> (
+        let name = String.sub e 0 i in
+        let p = String.sub e (i + 1) (String.length e - i - 1) in
+        match float_of_string_opt p with
+        | Some f when f >= 0.0 && f <= 1.0 ->
+          arm name f;
+          Ok ()
+        | _ -> Error (Printf.sprintf "bad probability %S for site %s" p name)))
+  in
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun e -> e <> "")
+  |> List.fold_left
+       (fun acc e -> match acc with Error _ -> acc | Ok () -> entry e)
+       (Ok ())
+
+let catalog () =
+  Hashtbl.fold (fun n _ acc -> n :: acc) registry [] |> List.sort compare
+
+(* Environment activation: a malformed spec is a warning, not a crash —
+   fault injection must never take the tool down by itself. *)
+let () =
+  match Sys.getenv_opt "STP_SWEEP_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match configure spec with
+    | Ok () -> ()
+    | Error msg -> Printf.eprintf "STP_SWEEP_FAULTS ignored: %s\n%!" msg)

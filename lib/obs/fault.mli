@@ -1,0 +1,75 @@
+(** Named fault-injection sites for robustness testing.
+
+    Library code declares a site once at module initialization:
+
+    {[ let fault_drop_ce = Obs.Fault.register "sweep.drop_ce" ]}
+
+    and asks {!fires} at the point where the fault would strike. With no
+    configuration every site is dormant and [fires] is a single [bool]
+    read — safe to leave in production paths.
+
+    Sites are armed by a spec string, either programmatically
+    ({!configure}) or through the [STP_SWEEP_FAULTS] environment
+    variable read at startup. The spec is a comma-separated list of
+    entries:
+
+    - [seed=N] — reseed the (deterministic) fault PRNG;
+    - [site.name] — arm the site, firing on every opportunity;
+    - [site.name:P] — arm it with probability [P] (0..1) per
+      opportunity.
+
+    Example: [STP_SWEEP_FAULTS="seed=3,sat.force_unknown:0.5"].
+
+    The contract every registered site must honor: an injected fault may
+    degrade results (fewer merges, a parse error, an [Unknown] answer)
+    but must never crash the process, never let an unproven merge
+    through, and never change a committed result — the fault-injection
+    test matrix asserts exactly that. Consequently sites may only force
+    the {e pessimistic} branch of a decision (drop information, report
+    failure), never fabricate success. The catalog of sites is
+    documented in DESIGN.md. *)
+
+type site
+
+val register : string -> site
+(** Declares (or retrieves — registration is idempotent by name) a fault
+    site. Arbitrary cost at startup, zero cost afterwards. *)
+
+val name : site -> string
+
+val fires : site -> bool
+(** Whether the fault strikes at this opportunity. Always [false] when
+    fault injection is disabled or the site is not armed; otherwise a
+    draw from the seeded PRNG against the site's probability. Each call
+    that returns [true] increments the site's hit counter. *)
+
+val hits : site -> int
+(** How many times the site has fired since the last {!configure} /
+    {!reset} — lets tests assert a fault actually struck. *)
+
+val truncate : site -> string -> string
+(** [truncate site text]: if the site fires, cut [text] to a PRNG-chosen
+    proper prefix — the parser-input fault. Otherwise [text] unchanged. *)
+
+val configure : string -> (unit, string) result
+(** Parses and applies a spec string (see above), replacing the previous
+    configuration. [Error] describes the first malformed entry; the
+    previous configuration is cleared either way. *)
+
+val enabled : unit -> bool
+(** Whether any site is armed. *)
+
+val reset : unit -> unit
+(** Disarms every site and clears hit counters. *)
+
+val bypass : (unit -> 'a) -> 'a
+(** [bypass f] runs [f] with every site suspended, then restores the
+    previous arming. Verification oracles (post-sweep CEC, self-checks)
+    run under [bypass]: injected faults must be able to degrade the
+    system under test, never the judge that convicts it. *)
+
+val catalog : unit -> string list
+(** Names of all registered sites, sorted — the surface the
+    fault-injection matrix iterates. Sites register as their defining
+    module initializes, so the catalog is complete once the libraries
+    under test are linked and used. *)

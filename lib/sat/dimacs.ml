@@ -2,26 +2,41 @@ exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+let fail_at line fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+(* Robustness-test hook: randomly truncate the raw text before parsing. *)
+let fault_truncate = Obs.Fault.register "parse.truncate"
+
+(* Cap the header counts so a hostile [p cnf] line cannot make [load]
+   allocate billions of solver variables. *)
+let max_header_field = 1 lsl 30
+
 let parse text =
+  let text = Obs.Fault.truncate fault_truncate text in
   let lines = String.split_on_char '\n' text in
   let num_vars = ref (-1) in
   let num_clauses = ref (-1) in
   let clauses = ref [] in
   let current = ref [] in
-  let handle_int v =
+  let handle_int ln v =
     if v = 0 then begin
       clauses := List.rev !current :: !clauses;
       current := []
     end
     else begin
+      (* [abs min_int] is still negative; reject it explicitly. *)
+      if v = min_int then fail_at ln "literal out of range";
       let var = abs v - 1 in
-      if !num_vars >= 0 && var >= !num_vars then
-        fail "literal %d out of declared range" v;
+      if var >= !num_vars then fail_at ln "literal %d out of declared range" v;
       current := Solver.lit_of var (v < 0) :: !current
     end
   in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
       let line = String.trim line in
       if line = "" || line.[0] = 'c' then ()
       else if line.[0] = 'p' then begin
@@ -29,20 +44,25 @@ let parse text =
           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
         with
         | [ "p"; "cnf"; v; c ] ->
+          if !num_vars >= 0 then fail_at ln "duplicate p cnf header";
           (match (int_of_string_opt v, int_of_string_opt c) with
-           | Some v, Some c ->
+           | Some v, Some c
+             when v >= 0 && v <= max_header_field && c >= 0
+                  && c <= max_header_field ->
              num_vars := v;
              num_clauses := c
-           | _ -> fail "bad p line: %s" line)
-        | _ -> fail "bad p line: %s" line
+           | _ -> fail_at ln "bad p line: %s" line)
+        | _ -> fail_at ln "bad p line: %s" line
       end
-      else
+      else begin
+        if !num_vars < 0 then fail_at ln "clause before p cnf header";
         String.split_on_char ' ' line
         |> List.filter (fun s -> s <> "")
         |> List.iter (fun tok ->
                match int_of_string_opt tok with
-               | Some v -> handle_int v
-               | None -> fail "not an integer: %s" tok))
+               | Some v -> handle_int ln v
+               | None -> fail_at ln "not an integer: %s" tok)
+      end)
     lines;
   if !current <> [] then fail "clause not terminated by 0";
   if !num_vars < 0 then fail "missing p cnf header";

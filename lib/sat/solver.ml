@@ -1,5 +1,9 @@
 module Vec = Sutil.Vec
 
+(* Robustness-test hook: when armed, a solve call answers [Unknown]
+   without searching — the callers' degraded path must cope. *)
+let fault_force_unknown = Obs.Fault.register "sat.force_unknown"
+
 type result = Sat | Unsat | Unknown
 
 type stats = {
@@ -462,14 +466,29 @@ let attach_learnt t lits =
     enqueue t lits.(0) id
   end
 
-let search t ~assumptions ~conflict_limit =
+(* Propagations between wall-clock reads while a deadline is set: rare
+   enough that the clock never shows in profiles, frequent enough that a
+   hard query overshoots its deadline by microseconds, not seconds. *)
+let deadline_stride = 2048
+
+let search t ~assumptions ~conflict_limit ~deadline =
   let n_assumps = Array.length assumptions in
   let restart_base = 100. in
   let restarts = ref 0 in
   let conflicts_here = ref 0 in
   let next_restart = ref (restart_base *. luby 0) in
   let result = ref None in
+  let next_deadline_check =
+    ref (match deadline with Some _ -> t.st_props + deadline_stride | None -> max_int)
+  in
   while !result = None do
+    if t.st_props >= !next_deadline_check then begin
+      next_deadline_check := t.st_props + deadline_stride;
+      match deadline with
+      | Some d when Obs.Clock.now () > d -> result := Some Unknown
+      | _ -> ()
+    end;
+    if !result = None then
     match propagate t with
     | Some cid ->
       t.st_conflicts <- t.st_conflicts + 1;
@@ -535,7 +554,7 @@ let search t ~assumptions ~conflict_limit =
   done;
   match !result with Some r -> r | None -> assert false
 
-let solve ?(assumptions = []) ?conflict_limit t =
+let solve ?(assumptions = []) ?conflict_limit ?deadline t =
   t.st_solves <- t.st_solves + 1;
   cancel_until t 0;
   t.failed <- [];
@@ -545,6 +564,12 @@ let solve ?(assumptions = []) ?conflict_limit t =
         invalid_arg "Solver.solve: unknown assumption variable")
     assumptions;
   if t.unsat then Unsat
+  else if Obs.Fault.fires fault_force_unknown then Unknown
+  else if
+    (* An already-expired deadline answers [Unknown] immediately — tiny
+       problems must not sneak a full search past the budget. *)
+    match deadline with Some d -> Obs.Clock.now () > d | None -> false
+  then Unknown
   else
     match propagate t with
     | Some _ ->
@@ -553,6 +578,7 @@ let solve ?(assumptions = []) ?conflict_limit t =
     | None ->
       let r =
         search t ~assumptions:(Array.of_list assumptions) ~conflict_limit
+          ~deadline
       in
       (match r with
        | Sat -> () (* keep the trail: it is the model *)

@@ -41,10 +41,16 @@ val add_clause : t -> int list -> unit
     merged. Adding the empty clause (or a clause falsified at level 0)
     makes the solver permanently unsatisfiable. *)
 
-val solve : ?assumptions:int list -> ?conflict_limit:int -> t -> result
+val solve :
+  ?assumptions:int list -> ?conflict_limit:int -> ?deadline:float -> t -> result
 (** Solves under the given assumption literals. [Unknown] when the
-    conflict budget is exhausted. The solver remains usable after any
-    outcome; clauses may be added between calls. *)
+    conflict budget is exhausted or the wall-clock [deadline] (an
+    absolute [Obs.Clock.now] timestamp) passes — the deadline is checked
+    on entry and then every few thousand propagations, so an aborted
+    call overshoots it by microseconds. The solver remains usable after
+    any outcome, including an abort: clauses may be added and a later
+    call with a larger (or no) budget reaches the same verdict an
+    unbudgeted run would. *)
 
 val value : t -> int -> bool
 (** Model value of a literal after [Sat]. Unassigned variables (possible

@@ -55,12 +55,14 @@ let extract_ce env =
       if is_encoded env n then Solver.value env.solver (Solver.lit env.vars.(n))
       else false)
 
-let check_diff ?conflict_limit env mk_diff =
+let check_diff ?conflict_limit ?deadline env mk_diff =
   (* Selector s: s -> (difference holds). Assume s; retire s after. *)
   let s = Solver.new_var env.solver in
   let sl = Solver.lit s in
   mk_diff sl;
-  let r = Solver.solve ?conflict_limit ~assumptions:[ sl ] env.solver in
+  let r =
+    Solver.solve ?conflict_limit ?deadline ~assumptions:[ sl ] env.solver
+  in
   match r with
   | Solver.Sat ->
     let ce = extract_ce env in
@@ -73,9 +75,9 @@ let check_diff ?conflict_limit env mk_diff =
     Solver.add_clause env.solver [ Solver.neg sl ];
     Undetermined
 
-let check_equiv ?conflict_limit env la lb =
+let check_equiv ?conflict_limit ?deadline env la lb =
   let a = lit_of env la and b = lit_of env lb in
-  check_diff ?conflict_limit env (fun sl ->
+  check_diff ?conflict_limit ?deadline env (fun sl ->
       (* s -> (a xor b): encode via a fresh miter output m with
          m <-> a xor b, then clause (~s | m). *)
       let m = Solver.lit (Solver.new_var env.solver) in
@@ -85,9 +87,9 @@ let check_equiv ?conflict_limit env la lb =
       Solver.add_clause env.solver [ m; a; Solver.neg b ];
       Solver.add_clause env.solver [ Solver.neg sl; m ])
 
-let check_const ?conflict_limit env l b =
+let check_const ?conflict_limit ?deadline env l b =
   let a = lit_of env l in
-  check_diff ?conflict_limit env (fun sl ->
+  check_diff ?conflict_limit ?deadline env (fun sl ->
       (* s -> (l <> b), i.e. assume l takes the other value. *)
       let target = if b then Solver.neg a else a in
       Solver.add_clause env.solver [ Solver.neg sl; target ])

@@ -29,11 +29,22 @@ type equiv_result =
   | Undetermined  (** conflict budget exhausted — the paper's [unDET] *)
 
 val check_equiv :
-  ?conflict_limit:int -> env -> Aig.Lit.t -> Aig.Lit.t -> equiv_result
+  ?conflict_limit:int ->
+  ?deadline:float ->
+  env ->
+  Aig.Lit.t ->
+  Aig.Lit.t ->
+  equiv_result
 (** Miter query: satisfiable iff the two literals differ on some input.
     Each call uses a fresh selector variable retired afterwards, keeping
-    the solver reusable. *)
+    the solver reusable. [deadline] (absolute wall clock) also yields
+    [Undetermined], so one hard pair cannot blow a sweep's budget. *)
 
 val check_const :
-  ?conflict_limit:int -> env -> Aig.Lit.t -> bool -> equiv_result
+  ?conflict_limit:int ->
+  ?deadline:float ->
+  env ->
+  Aig.Lit.t ->
+  bool ->
+  equiv_result
 (** [check_const env l b] — whether [l] is the constant [b]. *)

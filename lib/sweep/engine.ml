@@ -4,10 +4,20 @@ module Sg = Sim.Signature
 module P = Sim.Patterns
 module Rng = Sutil.Rng
 
+exception Verification_failed of string
+
+(* Fault-injection sites (see DESIGN.md). Both only force the
+   pessimistic branch: dropping a counter-example loses refinement
+   information, failing a window falls back to SAT — neither can let an
+   unproven merge through. *)
+let fault_drop_ce = Obs.Fault.register "sweep.drop_ce"
+let fault_fail_window = Obs.Fault.register "sweep.fail_window"
+
 type config = {
   seed : int64;
   initial_words : int;
   conflict_limit : int option;
+  retry_schedule : int list;
   resim_batch : int;
   max_compares : int;
   guided_init : bool;
@@ -16,6 +26,8 @@ type config = {
   window_max_leaves : int;
   sim_domains : int;
   par_threshold : int;
+  deadline : float option;
+  verify : bool;
 }
 
 let fraig_config =
@@ -23,6 +35,7 @@ let fraig_config =
     seed = 0xF4A16L;
     initial_words = 8;
     conflict_limit = None;
+    retry_schedule = [];
     resim_batch = 32;
     max_compares = 1000;
     guided_init = false;
@@ -31,6 +44,8 @@ let fraig_config =
     window_max_leaves = 16;
     sim_domains = 1;
     par_threshold = 2048;
+    deadline = None;
+    verify = false;
   }
 
 let stp_config =
@@ -69,7 +84,26 @@ type state = {
   classes : Equiv_classes.t;
   mutable pending_ce : int;
   env : Sat.Tseitin.env;
+  budget : Obs.Budget.t;
 }
+
+(* First exhaustion wins: record the reason and the phase where it was
+   noticed, then stay degraded — [Obs.Budget] is sticky, so every later
+   [budget_ok] call is a cheap [false]. *)
+let note_exhausted st reason phase =
+  if st.stats.Stats.budget_exhausted = None then begin
+    let reason = Obs.Budget.reason_to_string reason in
+    st.stats.Stats.budget_exhausted <- Some { Stats.reason; phase };
+    Obs.Trace.emitf "budget exhausted (%s) during %s — degrading to \
+                     structural translation" reason phase
+  end
+
+let budget_ok st phase =
+  match Obs.Budget.check st.budget with
+  | None -> true
+  | Some reason ->
+    note_exhausted st reason phase;
+    false
 
 (* Phase accounting. Wall clock ([Obs.Clock]), never [Sys.time]: CPU
    time sums across domains, so it would bill a parallel resimulation at
@@ -271,10 +305,16 @@ let resimulate st =
   st.pending_ce <- 0
 
 let note_counterexample st ce =
-  st.stats.Stats.ce_patterns <- st.stats.Stats.ce_patterns + 1;
-  P.add_pattern_randomized st.pats st.rng (Array.map (fun b -> Some b) ce);
-  st.pending_ce <- st.pending_ce + 1;
-  if st.pending_ce >= st.cfg.resim_batch then resimulate st
+  (* Injected fault: lose the counter-example. The classes stay coarser
+     than they should be, costing extra SAT calls — but never a wrong
+     merge, since merges need proof regardless. *)
+  if Obs.Fault.fires fault_drop_ce then ()
+  else begin
+    st.stats.Stats.ce_patterns <- st.stats.Stats.ce_patterns + 1;
+    P.add_pattern_randomized st.pats st.rng (Array.map (fun b -> Some b) ce);
+    st.pending_ce <- st.pending_ce + 1;
+    if st.pending_ce >= st.cfg.resim_batch then resimulate st
+  end
 
 (* Try to merge fresh node [nd] onto an earlier node. Returns the literal
    [nd] proved equal to, if any. *)
@@ -287,6 +327,10 @@ let try_merge st nd =
   let rec attempt tried = function
     | [] -> None
     | _ when tried >= st.cfg.max_compares -> None
+    | _ when not (budget_ok st "sat") ->
+      (* Mid-node exhaustion: abandon the remaining candidates. The node
+         keeps its structural translation — never a partial merge. *)
+      None
     | r :: rest -> (
       (* Re-read on every attempt: a counter-example resimulation inside
          this loop refreshes all signatures. *)
@@ -302,6 +346,10 @@ let try_merge st nd =
       else
         let window_verdict =
           if not st.cfg.window_refine then `Unknown
+          else if Obs.Fault.fires fault_fail_window then
+            (* Injected fault: refinement unavailable — fall back to the
+               solver, which must reach the same verdict. *)
+            `Unknown
           else
             (* Exhaustive-window comparison from the cached tables: lift
                both onto the joint support and compare columns. Exact —
@@ -337,23 +385,41 @@ let try_merge st nd =
         | `Different ->
           st.stats.Stats.window_splits <- st.stats.Stats.window_splits + 1;
           attempt tried rest
-        | `Unknown -> (
-          match
-            timed st `Sat (fun () ->
-                Sat.Tseitin.check_equiv ?conflict_limit:st.cfg.conflict_limit
-                  st.env (L.of_node nd false) (L.of_node r compl))
-          with
-          | Sat.Tseitin.Equivalent ->
-            st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
-            Some (L.of_node r compl)
-          | Sat.Tseitin.Counterexample ce ->
-            st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
-            note_counterexample st ce;
-            attempt (tried + 1) rest
-          | Sat.Tseitin.Undetermined ->
-            st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + 1;
-            (* don't-touch: stop burning budget on this node *)
-            None))
+        | `Unknown ->
+          (* SAT attempts walk the escalating retry schedule: a pair that
+             comes back undetermined under the base conflict limit is
+             re-queried with each schedule entry in turn (budget
+             permitting) before the engine gives the node up. *)
+          let rec sat_attempt limit schedule =
+            match
+              timed st `Sat (fun () ->
+                  Sat.Tseitin.check_equiv ?conflict_limit:limit
+                    ?deadline:(Obs.Budget.deadline st.budget) st.env
+                    (L.of_node nd false) (L.of_node r compl))
+            with
+            | Sat.Tseitin.Equivalent ->
+              st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
+              Some (L.of_node r compl)
+            | Sat.Tseitin.Counterexample ce ->
+              st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
+              note_counterexample st ce;
+              attempt (tried + 1) rest
+            | Sat.Tseitin.Undetermined -> (
+              st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + 1;
+              match schedule with
+              | next :: later
+                when (match Obs.Budget.check_now st.budget with
+                     | None -> true
+                     | Some reason ->
+                       note_exhausted st reason "sat";
+                       false) ->
+                st.stats.Stats.sat_retries <- st.stats.Stats.sat_retries + 1;
+                sat_attempt (Some next) later
+              | _ ->
+                (* don't-touch: stop burning budget on this node *)
+                None)
+          in
+          sat_attempt st.cfg.conflict_limit st.cfg.retry_schedule)
   in
   attempt 0 reps
 
@@ -370,11 +436,16 @@ let run ?(config = stp_config) old_net =
     P.random ~seed:(Rng.int64 rng) ~num_pis
       ~num_patterns:(32 * max 1 config.initial_words)
   in
+  let budget =
+    match config.deadline with
+    | Some d -> Obs.Budget.create ~deadline:d ()
+    | None -> Obs.Budget.unlimited ()
+  in
   if config.guided_init then begin
     let t0 = Obs.Clock.now () in
     let outcome =
-      Guided_patterns.generate ~max_queries:config.guided_queries old_net
-        pats ~seed:(Rng.int64 rng)
+      Guided_patterns.generate ~max_queries:config.guided_queries
+        ?deadline:config.deadline old_net pats ~seed:(Rng.int64 rng)
     in
     stats.Stats.guided_time <-
       stats.Stats.guided_time +. (Obs.Clock.now () -. t0);
@@ -399,8 +470,14 @@ let run ?(config = stp_config) old_net =
       classes = Equiv_classes.create ~num_patterns:(P.num_patterns pats);
       pending_ce = 0;
       env = Sat.Tseitin.create fresh solver;
+      budget;
     }
   in
+  (* Guided init may already have eaten the whole budget. *)
+  if config.guided_init then (
+    match Obs.Budget.check_now st.budget with
+    | Some reason -> note_exhausted st reason "guided"
+    | None -> ());
   (* PIs first so indices line up; register their signatures. *)
   let map = Array.make (A.num_nodes old_net) (-1) in
   map.(0) <- L.false_;
@@ -426,6 +503,12 @@ let run ?(config = stp_config) old_net =
       if A.num_nodes st.fresh = before then
         (* Structural hash hit or constant fold: already merged. *)
         map.(nd) <- l
+      else if not (budget_ok st "sweep") then
+        (* Degraded mode: the budget is gone, so the rest of the pass is
+           a plain structural translation — linear, no simulation, no
+           SAT. Every merge recorded so far was proven, so the partial
+           sweep stays functionally equivalent to the input. *)
+        map.(nd) <- l
       else begin
         register_new_nodes st;
         let fresh_node = L.node l in
@@ -441,6 +524,32 @@ let run ?(config = stp_config) old_net =
   (* The fresh network still holds nodes that lost their fanout to a
      merge; a cleanup pass drops them. *)
   let result, _ = A.cleanup st.fresh in
+  (* Opt-in self-check: cross-check every PO of the result against the
+     input under fresh random patterns. A cheap necessary condition —
+     {!Selfcheck.run} adds the full CEC pass on top. Runs outside the
+     budget: a degraded result must still verify. *)
+  if config.verify then begin
+    let vpats =
+      P.random ~seed:(Rng.int64 rng) ~num_pis ~num_patterns:(32 * 8)
+    in
+    let np = P.num_patterns vpats in
+    let ta = Sim.Bitwise.simulate_aig old_net vpats in
+    let tb = Sim.Bitwise.simulate_aig result vpats in
+    Array.iteri
+      (fun o la ->
+        let sa = Sim.Bitwise.po_signature ta ~num_patterns:np ~lit:la in
+        let sb =
+          Sim.Bitwise.po_signature tb ~num_patterns:np ~lit:(A.po result o)
+        in
+        if not (Sg.equal sa sb) then
+          raise
+            (Verification_failed
+               (Printf.sprintf
+                  "post-sweep bitwise check: PO %d differs from the input \
+                   network"
+                  o)))
+      (A.pos old_net)
+  end;
   let s = Sat.Solver.stats solver in
   stats.Stats.sat_decisions <- s.Sat.Solver.decisions;
   stats.Stats.sat_conflicts <- s.Sat.Solver.conflicts;

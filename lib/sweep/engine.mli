@@ -15,12 +15,21 @@
     initial patterns and counter-example resimulation alone. This also
     gives the ablation benches a single knob set to sweep. *)
 
+exception Verification_failed of string
+(** Raised by {!run} when [config.verify] is set and the swept network
+    disagrees with the input on some PO — see also {!Selfcheck.run},
+    which adds a full CEC pass. *)
+
 type config = {
   seed : int64;
   initial_words : int;
       (** random initial pattern words (32 patterns each) *)
   conflict_limit : int option;
       (** per-query budget; [None] reproduces the paper's disabled limit *)
+  retry_schedule : int list;
+      (** escalating conflict limits re-tried (budget permitting) on a
+          pair whose first query came back undetermined; [[]] = single
+          attempt. Each entry is one extra query with that limit. *)
   resim_batch : int;
       (** counter-examples accumulated before a batch resimulation *)
   max_compares : int;
@@ -37,6 +46,18 @@ type config = {
   par_threshold : int;
       (** minimum pattern count before the parallel path is taken — below
           it the fork-join overhead outweighs the sharded work *)
+  deadline : float option;
+      (** absolute {!Obs.Clock} deadline for the whole sweep. Once it
+          passes, the engine stops issuing SAT queries, finishes the
+          in-flight merge atomically, translates the remaining nodes
+          structurally, and records the event in
+          [Stats.budget_exhausted]. The result is still functionally
+          equivalent to the input — it just keeps more redundancy. *)
+  verify : bool;
+      (** post-sweep self-check: cross-simulate input and result on
+          fresh random patterns and raise {!Verification_failed} on any
+          PO mismatch. Cheap relative to a sweep; the full SAT-backed
+          check is {!Selfcheck.run}. *)
 }
 
 val fraig_config : config

@@ -1,13 +1,30 @@
-let config ?seed ?initial_words ?conflict_limit ?sim_domains () =
+let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
+    ?deadline ?timeout ?(verify = false) () =
   let base = Engine.fraig_config in
+  let deadline =
+    match (deadline, timeout) with
+    | Some d, _ -> Some d
+    | None, Some s -> Some (Obs.Clock.now () +. s)
+    | None, None -> base.Engine.deadline
+  in
   {
     base with
     Engine.seed = Option.value seed ~default:base.Engine.seed;
     initial_words = Option.value initial_words ~default:base.Engine.initial_words;
     conflict_limit =
       (match conflict_limit with Some l -> Some l | None -> base.Engine.conflict_limit);
+    retry_schedule =
+      Option.value retry_schedule ~default:base.Engine.retry_schedule;
     sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
+    deadline;
+    verify;
   }
 
-let sweep ?seed ?initial_words ?conflict_limit ?sim_domains net =
-  Engine.run ~config:(config ?seed ?initial_words ?conflict_limit ?sim_domains ()) net
+let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
+    ?deadline ?timeout ?verify net =
+  let cfg =
+    config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
+      ?deadline ?timeout ?verify ()
+  in
+  if cfg.Engine.verify then Selfcheck.run ~config:cfg net
+  else Engine.run ~config:cfg net

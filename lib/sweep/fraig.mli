@@ -1,13 +1,20 @@
 (** The baseline SAT sweeper — ABC's [&fraig -x] recipe on this
     code base: random initial simulation, candidate equivalence classes,
     topological SAT merging, counter-example resimulation. Table II's
-    left columns. *)
+    left columns.
+
+    Budgeting and verification knobs ([deadline] / [timeout] /
+    [retry_schedule] / [verify]) behave exactly as in {!Stp_sweep}. *)
 
 val sweep :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?retry_schedule:int list ->
   ?sim_domains:int ->
+  ?deadline:float ->
+  ?timeout:float ->
+  ?verify:bool ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -15,6 +22,10 @@ val config :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?retry_schedule:int list ->
   ?sim_domains:int ->
+  ?deadline:float ->
+  ?timeout:float ->
+  ?verify:bool ->
   unit ->
   Engine.config

@@ -9,8 +9,8 @@ type outcome = {
   queries : int;
 }
 
-let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit net pats
-    ~seed =
+let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
+    ?deadline net pats ~seed =
   let rng = Rng.create seed in
   let solver = Sat.Solver.create () in
   let env = Sat.Tseitin.create net solver in
@@ -18,13 +18,16 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit net pats
   let added = ref 0 in
   let consts = ref [] in
   let np () = Sim.Patterns.num_patterns pats in
+  let expired () =
+    match deadline with Some d -> Obs.Clock.now () > d | None -> false
+  in
   (* Ask for a pattern on which [node] takes [want]; append it padded with
      random values on PIs outside the encoded cone. *)
   let query node want =
     incr queries;
     match
-      Sat.Tseitin.check_const ?conflict_limit env (L.of_node node false)
-        (not want)
+      Sat.Tseitin.check_const ?conflict_limit ?deadline env
+        (L.of_node node false) (not want)
     with
     | Sat.Tseitin.Counterexample ce ->
       Sim.Patterns.add_pattern_randomized pats rng
@@ -43,7 +46,8 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit net pats
     let lo = int_of_float (ceil (threshold *. float_of_int n)) in
     let proven = List.map fst !consts in
     A.iter_ands net (fun nd ->
-        if !queries < max_queries && not (List.mem nd proven) then begin
+        if !queries < max_queries && (not (expired ())) && not (List.mem nd proven)
+        then begin
           let ones = Sg.count_ones tbl.(nd) in
           if ones <= lo then ignore (query nd true)
           else if n - ones <= lo then ignore (query nd false)
@@ -51,5 +55,5 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit net pats
   in
   (* Round one: strict constants. Round two: rare values. *)
   round 0.0;
-  round low_ratio;
+  if not (expired ()) then round low_ratio;
   { patterns_added = !added; proven_const = List.rev !consts; queries = !queries }

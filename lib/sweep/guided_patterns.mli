@@ -25,10 +25,13 @@ val generate :
   ?max_queries:int ->
   ?low_ratio:float ->
   ?conflict_limit:int ->
+  ?deadline:float ->
   Aig.Network.t ->
   Sim.Patterns.t ->
   seed:int64 ->
   outcome
 (** Appends patterns to the given set in place. [low_ratio] (default
     0.02) is round two's rare-value threshold; [max_queries] (default
-    256) bounds total solver usage. *)
+    256) bounds total solver usage; [deadline] (absolute wall clock)
+    stops issuing queries — and interrupts the in-flight one — once it
+    passes, returning whatever was generated so far. *)

@@ -1,7 +1,10 @@
+type exhaustion = { reason : string; phase : string }
+
 type t = {
   mutable sat_sat : int;
   mutable sat_unsat : int;
   mutable sat_undet : int;
+  mutable sat_retries : int;
   mutable merges : int;
   mutable const_merges : int;
   mutable window_merges : int;
@@ -19,6 +22,7 @@ type t = {
   mutable sat_conflicts : int;
   mutable sat_propagations : int;
   mutable sat_learned : int;
+  mutable budget_exhausted : exhaustion option;
 }
 
 let create () =
@@ -26,6 +30,7 @@ let create () =
     sat_sat = 0;
     sat_unsat = 0;
     sat_undet = 0;
+    sat_retries = 0;
     merges = 0;
     const_merges = 0;
     window_merges = 0;
@@ -43,6 +48,7 @@ let create () =
     sat_conflicts = 0;
     sat_propagations = 0;
     sat_learned = 0;
+    budget_exhausted = None;
   }
 
 let total_sat_calls t = t.sat_sat + t.sat_unsat + t.sat_undet
@@ -69,6 +75,7 @@ let to_json t =
             ("sat_sat", Int t.sat_sat);
             ("sat_unsat", Int t.sat_unsat);
             ("sat_undet", Int t.sat_undet);
+            ("sat_retries", Int t.sat_retries);
             ("total_sat_calls", Int (total_sat_calls t));
             ("merges", Int t.merges);
             ("const_merges", Int t.const_merges);
@@ -90,14 +97,22 @@ let to_json t =
             ("propagations", Int t.sat_propagations);
             ("learned", Int t.sat_learned);
           ] );
+      ( "budget_exhausted",
+        match t.budget_exhausted with
+        | None -> Null
+        | Some e ->
+          Obj [ ("reason", String e.reason); ("phase", String e.phase) ] );
     ]
 
 let pp ppf t =
   Format.fprintf ppf
-    "sat=%d unsat=%d undet=%d merges=%d const=%d win_merge=%d win_split=%d \
-     ce=%d sim=%.3fs guided=%.3fs resim=%.3fs window=%.3fs sat_t=%.3fs \
-     total=%.3fs decisions=%d conflicts=%d props=%d learned=%d"
-    t.sat_sat t.sat_unsat t.sat_undet t.merges t.const_merges t.window_merges
-    t.window_splits t.ce_patterns t.sim_time t.guided_time t.resim_time
-    t.window_time t.sat_time t.total_time t.sat_decisions t.sat_conflicts
-    t.sat_propagations t.sat_learned
+    "sat=%d unsat=%d undet=%d retries=%d merges=%d const=%d win_merge=%d \
+     win_split=%d ce=%d sim=%.3fs guided=%.3fs resim=%.3fs window=%.3fs \
+     sat_t=%.3fs total=%.3fs decisions=%d conflicts=%d props=%d learned=%d"
+    t.sat_sat t.sat_unsat t.sat_undet t.sat_retries t.merges t.const_merges
+    t.window_merges t.window_splits t.ce_patterns t.sim_time t.guided_time
+    t.resim_time t.window_time t.sat_time t.total_time t.sat_decisions
+    t.sat_conflicts t.sat_propagations t.sat_learned;
+  match t.budget_exhausted with
+  | None -> ()
+  | Some e -> Format.fprintf ppf " budget_exhausted=%s/%s" e.reason e.phase

@@ -18,10 +18,19 @@
     - [total_time] — the whole sweep, including untimed glue, so the sum
       of the phases is always <= [total_time]. *)
 
+type exhaustion = {
+  reason : string;  (** [Obs.Budget.reason_to_string] spelling *)
+  phase : string;  (** engine phase where exhaustion was detected *)
+}
+(** Why and where a budgeted sweep stopped proving and fell back to
+    structural translation. *)
+
 type t = {
   mutable sat_sat : int;  (** satisfiable SAT calls *)
   mutable sat_unsat : int;
   mutable sat_undet : int;
+  mutable sat_retries : int;
+      (** escalated re-queries of pairs that first came back undetermined *)
   mutable merges : int;  (** node-to-node merges proven *)
   mutable const_merges : int;  (** nodes proven constant *)
   mutable window_merges : int;  (** merges decided by exhaustive windows *)
@@ -39,6 +48,9 @@ type t = {
   mutable sat_conflicts : int;
   mutable sat_propagations : int;
   mutable sat_learned : int;
+  mutable budget_exhausted : exhaustion option;
+      (** set once, at the moment the engine's budget first reports
+          exhaustion; [None] on an unbudgeted or in-budget run *)
 }
 
 val create : unit -> t
@@ -54,7 +66,8 @@ val phase_times : t -> (string * float) list
 
 val to_json : t -> Obs.Json.t
 (** The sweep section of a run report: counters, [phases_s] (with
-    [total]), and a [sat_solver] object with decisions / conflicts /
-    propagations / learned. Schema documented in EXPERIMENTS.md. *)
+    [total]), a [sat_solver] object with decisions / conflicts /
+    propagations / learned, and [budget_exhausted] ([null], or an object
+    with [reason] and [phase]). Schema documented in EXPERIMENTS.md. *)
 
 val pp : Format.formatter -> t -> unit

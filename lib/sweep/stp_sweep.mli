@@ -1,14 +1,27 @@
 (** The paper's STP-enhanced SAT sweeper (Algorithm 2): SAT-guided
     two-round initial patterns plus exhaustive-window refinement of
     candidate equivalence classes in front of every solver query.
-    Table II's right columns. *)
+    Table II's right columns.
+
+    [deadline] (absolute {!Obs.Clock} timestamp) or [timeout] (seconds
+    from the call; ignored when [deadline] is given) budget the sweep —
+    on exhaustion the engine degrades to structural translation and
+    records [Stats.budget_exhausted]. [retry_schedule] lists escalating
+    conflict limits re-tried on undetermined pairs. [verify] routes the
+    sweep through {!Selfcheck.run}, raising
+    {!Engine.Verification_failed} unless the result provably matches
+    the input. *)
 
 val sweep :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?retry_schedule:int list ->
   ?window_max_leaves:int ->
   ?sim_domains:int ->
+  ?deadline:float ->
+  ?timeout:float ->
+  ?verify:bool ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -16,7 +29,11 @@ val config :
   ?seed:int64 ->
   ?initial_words:int ->
   ?conflict_limit:int ->
+  ?retry_schedule:int list ->
   ?window_max_leaves:int ->
   ?sim_domains:int ->
+  ?deadline:float ->
+  ?timeout:float ->
+  ?verify:bool ->
   unit ->
   Engine.config

@@ -1,0 +1,148 @@
+(* Parser fuzzing: random truncations and mutations of valid AIGER,
+   BLIF and DIMACS documents must either parse or raise that parser's
+   [Parse_error] — never any other exception, never a crash. This is
+   the guarantee the CLI exit-code mapping (exit 2) rests on. *)
+
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+
+let random_network rng ~pis ~gates ~pos =
+  let net = A.create () in
+  let inputs = Array.init pis (fun _ -> A.add_pi net) in
+  let all = ref (Array.to_list inputs) in
+  for _ = 1 to gates do
+    let pick () =
+      let l = List.nth !all (Rng.int rng (List.length !all)) in
+      L.xor_compl l (Rng.bool rng)
+    in
+    let l = A.add_and net (pick ()) (pick ()) in
+    if not (L.is_const l) then all := l :: !all
+  done;
+  for _ = 1 to pos do
+    let l = List.nth !all (Rng.int rng (List.length !all)) in
+    ignore (A.add_po net (L.xor_compl l (Rng.bool rng)))
+  done;
+  net
+
+let random_aiger rng =
+  let pis = 2 + Rng.int rng 6
+  and gates = 5 + Rng.int rng 60
+  and pos = 1 + Rng.int rng 5 in
+  Aig.Aiger.write (random_network rng ~pis ~gates ~pos)
+
+let random_blif rng =
+  let pis = 2 + Rng.int rng 6
+  and gates = 5 + Rng.int rng 60
+  and pos = 1 + Rng.int rng 5 in
+  Klut.Blif.write (Klut.Mapper.map ~k:4 (random_network rng ~pis ~gates ~pos))
+
+let random_dimacs rng =
+  let num_vars = 1 + Rng.int rng 10 in
+  let clauses =
+    List.init
+      (Rng.int rng 20)
+      (fun _ ->
+        List.init (1 + Rng.int rng 4) (fun _ -> Rng.int rng (2 * num_vars)))
+  in
+  Sat.Dimacs.print ~num_vars clauses
+
+(* A grab-bag of lines that are plausible for the *wrong* format, plus
+   outright garbage — inserted mid-document they probe cross-format
+   confusion and integer-parsing edges. *)
+let garbage_lines =
+  [|
+    "0 0 0 0 0 0 0";
+    "p cnf 3 3";
+    ".names a b c";
+    "-1--0 1";
+    "zzz";
+    "18446744073709551616 2";
+    "-99";
+    "aag 1 1";
+    "\x00\xffbinary";
+    "4611686018427387904 4611686018427387904 1";
+    ".latch a b 0";
+    "";
+  |]
+
+let mutate rng text =
+  let lines () = String.split_on_char '\n' text in
+  match Rng.int rng 5 with
+  | 0 ->
+    (* Truncate at an arbitrary byte offset. *)
+    String.sub text 0 (Rng.int rng (String.length text + 1))
+  | 1 ->
+    (* Replace one byte with an arbitrary byte. *)
+    if text = "" then text
+    else begin
+      let b = Bytes.of_string text in
+      Bytes.set b (Rng.int rng (Bytes.length b)) (Char.chr (Rng.int rng 256));
+      Bytes.to_string b
+    end
+  | 2 ->
+    (* Delete a line. *)
+    let ls = lines () in
+    let k = Rng.int rng (List.length ls) in
+    String.concat "\n" (List.filteri (fun i _ -> i <> k) ls)
+  | 3 ->
+    (* Duplicate a line. *)
+    let ls = lines () in
+    let k = Rng.int rng (List.length ls) in
+    String.concat "\n"
+      (List.concat (List.mapi (fun i l -> if i = k then [ l; l ] else [ l ]) ls))
+  | _ ->
+    (* Insert a garbage line. *)
+    let ls = lines () in
+    let k = Rng.int rng (List.length ls + 1) in
+    let g = garbage_lines.(Rng.int rng (Array.length garbage_lines)) in
+    String.concat "\n"
+      (List.concat (List.mapi (fun i l -> if i = k then [ g; l ] else [ l ]) ls)
+      @ if k = List.length ls then [ g ] else [])
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, rounds) -> Printf.sprintf "seed=%Ld rounds=%d" seed rounds)
+    QCheck.Gen.(
+      let* seed = ui64 in
+      let* rounds = int_range 1 3 in
+      return (seed, rounds))
+
+let prop_parser ~name ~generate ~parse ~is_parse_error (seed, rounds) =
+  let rng = Rng.create seed in
+  let text = ref (generate rng) in
+  for _ = 1 to rounds do
+    text := mutate rng !text
+  done;
+  match parse !text with
+  | _ -> true
+  | exception e ->
+    if is_parse_error e then true
+    else
+      QCheck.Test.fail_reportf "%s: unexpected exception %s on input %S" name
+        (Printexc.to_string e) !text
+
+let fuzz_test name ~generate ~parse ~is_parse_error =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:300 arb_case
+       (prop_parser ~name ~generate ~parse ~is_parse_error))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "parsers",
+        [
+          fuzz_test "aiger mutations"
+            ~generate:random_aiger
+            ~parse:(fun t -> ignore (Aig.Aiger.read t))
+            ~is_parse_error:(function Aig.Aiger.Parse_error _ -> true | _ -> false);
+          fuzz_test "blif mutations"
+            ~generate:random_blif
+            ~parse:(fun t -> ignore (Klut.Blif.read t))
+            ~is_parse_error:(function Klut.Blif.Parse_error _ -> true | _ -> false);
+          fuzz_test "dimacs mutations"
+            ~generate:random_dimacs
+            ~parse:(fun t -> ignore (Sat.Dimacs.parse t))
+            ~is_parse_error:(function Sat.Dimacs.Parse_error _ -> true | _ -> false);
+        ] );
+    ]

@@ -157,6 +157,175 @@ let test_json_to_file () =
       | Ok v -> check "file round-trip" true (v = sample)
       | Error e -> Alcotest.fail e)
 
+(* ---- budget ---- *)
+
+let test_budget_unlimited () =
+  let b = Obs.Budget.unlimited () in
+  check "not limited" false (Obs.Budget.is_limited b);
+  check "no deadline" true (Obs.Budget.deadline b = None);
+  check "no remaining" true (Obs.Budget.remaining_s b = None);
+  for _ = 1 to 1000 do
+    check "never exhausts" true (Obs.Budget.check b = None)
+  done;
+  check "check_now too" true
+    (Obs.Budget.check_now ~conflicts:max_int ~propagations:max_int b = None);
+  check "sticky state empty" true (Obs.Budget.exhausted b = None)
+
+let test_budget_deadline () =
+  let b = Obs.Budget.create ~deadline:(Obs.Clock.now () -. 1.0) () in
+  check "limited" true (Obs.Budget.is_limited b);
+  (match Obs.Budget.remaining_s b with
+  | Some r -> check "expired remaining negative" true (r < 0.)
+  | None -> Alcotest.fail "deadline budget must report remaining");
+  check "first check reads clock" true
+    (Obs.Budget.check b = Some Obs.Budget.Deadline);
+  (* Sticky: stays exhausted without further clock reads. *)
+  check "sticky" true (Obs.Budget.check b = Some Obs.Budget.Deadline);
+  check "exhausted accessor" true
+    (Obs.Budget.exhausted b = Some Obs.Budget.Deadline);
+  (* A generous deadline does not exhaust. *)
+  let b2 = Obs.Budget.create ~timeout:3600.0 () in
+  check "future deadline ok" true (Obs.Budget.check_now b2 = None);
+  match Obs.Budget.deadline b2 with
+  | Some d -> check "timeout became absolute" true (d > Obs.Clock.now ())
+  | None -> Alcotest.fail "timeout must set a deadline"
+
+let test_budget_stride () =
+  (* With a large stride, only every Nth check reads the clock: an
+     already-expired deadline is noticed on call 1 (countdown starts at
+     zero), and [check_now] forces the read regardless. *)
+  let b = Obs.Budget.create ~deadline:(Obs.Clock.now () -. 1.0) ~stride:1000 () in
+  check "first strided check notices" true
+    (Obs.Budget.check b = Some Obs.Budget.Deadline);
+  let b2 = Obs.Budget.create ~deadline:(Obs.Clock.now () +. 3600.) ~stride:1000 () in
+  ignore (Obs.Budget.check b2);
+  (* Calls 2..1000 are pure countdown — they cannot notice anything, so
+     this loop is just exercising the cheap path. *)
+  for _ = 2 to 1000 do
+    check "cheap path" true (Obs.Budget.check b2 = None)
+  done;
+  check "forced read" true (Obs.Budget.check_now b2 = None)
+
+let test_budget_counters () =
+  let b = Obs.Budget.create ~conflicts:10 ~propagations:100 () in
+  check "under caps" true (Obs.Budget.check ~conflicts:9 ~propagations:99 b = None);
+  check "conflict cap" true
+    (Obs.Budget.check ~conflicts:10 ~propagations:0 b
+    = Some Obs.Budget.Conflicts);
+  (* Sticky even if later counters are lower. *)
+  check "sticky conflicts" true
+    (Obs.Budget.check ~conflicts:0 ~propagations:0 b = Some Obs.Budget.Conflicts);
+  let b2 = Obs.Budget.create ~propagations:100 () in
+  check "prop cap" true
+    (Obs.Budget.check ~propagations:100 b2 = Some Obs.Budget.Propagations);
+  check_str "reason spellings" "deadline,conflicts,propagations"
+    (String.concat ","
+       (List.map Obs.Budget.reason_to_string
+          [ Obs.Budget.Deadline; Obs.Budget.Conflicts; Obs.Budget.Propagations ]))
+
+(* ---- fault injection ---- *)
+
+(* The test sites get their own names; [configure]/[reset] are global,
+   so every test leaves injection disabled. *)
+let with_faults spec f =
+  (match Obs.Fault.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure %S failed: %s" spec e);
+  Fun.protect ~finally:Obs.Fault.reset f
+
+let test_fault_dormant () =
+  Obs.Fault.reset ();
+  let s = Obs.Fault.register "test.dormant" in
+  check "disabled by default" false (Obs.Fault.enabled ());
+  for _ = 1 to 100 do
+    check "never fires" false (Obs.Fault.fires s)
+  done;
+  check_int "no hits" 0 (Obs.Fault.hits s);
+  check_str "truncate is identity" "abc" (Obs.Fault.truncate s "abc")
+
+let test_fault_register_idempotent () =
+  let a = Obs.Fault.register "test.idem" in
+  let b = Obs.Fault.register "test.idem" in
+  check "same site" true (a == b);
+  check_str "name" "test.idem" (Obs.Fault.name a)
+
+let test_fault_configure () =
+  let s = Obs.Fault.register "test.always" in
+  with_faults "seed=7,test.always" (fun () ->
+      check "enabled" true (Obs.Fault.enabled ());
+      for _ = 1 to 50 do
+        check "prob 1 always fires" true (Obs.Fault.fires s)
+      done;
+      check_int "hits counted" 50 (Obs.Fault.hits s));
+  check "reset disarms" false (Obs.Fault.enabled ());
+  check "after reset" false (Obs.Fault.fires s)
+
+let test_fault_probability () =
+  let s = Obs.Fault.register "test.half" in
+  with_faults "seed=42,test.half:0.5" (fun () ->
+      let n = 2000 in
+      let fired = ref 0 in
+      for _ = 1 to n do
+        if Obs.Fault.fires s then incr fired
+      done;
+      check "roughly half fire" true (!fired > 800 && !fired < 1200);
+      check_int "hits match" !fired (Obs.Fault.hits s));
+  let z = Obs.Fault.register "test.never" in
+  with_faults "seed=42,test.never:0.0" (fun () ->
+      for _ = 1 to 100 do
+        check "prob 0 never fires" false (Obs.Fault.fires z)
+      done)
+
+let test_fault_determinism () =
+  let s = Obs.Fault.register "test.det" in
+  let draw () =
+    with_faults "seed=123,test.det:0.5" (fun () ->
+        List.init 64 (fun _ -> Obs.Fault.fires s))
+  in
+  check "same seed, same sequence" true (draw () = draw ())
+
+let test_fault_truncate () =
+  let s = Obs.Fault.register "test.trunc" in
+  with_faults "seed=5,test.trunc" (fun () ->
+      let text = String.init 100 (fun i -> Char.chr (32 + (i mod 90))) in
+      for _ = 1 to 50 do
+        let t = Obs.Fault.truncate s text in
+        check "proper prefix" true (String.length t < String.length text);
+        check "is a prefix" true (t = String.sub text 0 (String.length t))
+      done;
+      check_str "empty input unchanged" "" (Obs.Fault.truncate s ""))
+
+let test_fault_bad_spec () =
+  (match Obs.Fault.configure "test.x:1.5" with
+  | Ok () -> Alcotest.fail "probability > 1 must be rejected"
+  | Error _ -> ());
+  (match Obs.Fault.configure "seed=notanint" with
+  | Ok () -> Alcotest.fail "bad seed must be rejected"
+  | Error _ -> ());
+  (match Obs.Fault.configure "wrong=shape" with
+  | Ok () -> Alcotest.fail "unknown key must be rejected"
+  | Error _ -> ());
+  (* A failed configure leaves injection disabled. *)
+  check "disabled after error" false (Obs.Fault.enabled ());
+  Obs.Fault.reset ()
+
+let test_fault_pending_registration () =
+  (* Arming a name before any module registered it must apply when the
+     registration happens (env spec parses before library init). *)
+  with_faults "test.late" (fun () ->
+      let s = Obs.Fault.register "test.late.fresh" in
+      check "unrelated site stays dormant" false (Obs.Fault.fires s);
+      let late = Obs.Fault.register "test.late" in
+      check "pending prob applied" true (Obs.Fault.fires late))
+
+let test_fault_catalog () =
+  ignore (Obs.Fault.register "test.cat.a");
+  ignore (Obs.Fault.register "test.cat.b");
+  let cat = Obs.Fault.catalog () in
+  check "contains a" true (List.mem "test.cat.a" cat);
+  check "contains b" true (List.mem "test.cat.b" cat);
+  check "sorted" true (cat = List.sort compare cat)
+
 (* Random JSON values: printable-ASCII strings plus escapes, finite
    floats, nesting bounded by the size parameter. *)
 let arb_json =
@@ -216,6 +385,25 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "phases" `Quick test_metrics_phases;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "stride" `Quick test_budget_stride;
+          Alcotest.test_case "counter caps" `Quick test_budget_counters;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "dormant" `Quick test_fault_dormant;
+          Alcotest.test_case "register idempotent" `Quick test_fault_register_idempotent;
+          Alcotest.test_case "configure" `Quick test_fault_configure;
+          Alcotest.test_case "probability" `Quick test_fault_probability;
+          Alcotest.test_case "determinism" `Quick test_fault_determinism;
+          Alcotest.test_case "truncate" `Quick test_fault_truncate;
+          Alcotest.test_case "bad spec" `Quick test_fault_bad_spec;
+          Alcotest.test_case "pending registration" `Quick test_fault_pending_registration;
+          Alcotest.test_case "catalog" `Quick test_fault_catalog;
         ] );
       ( "json",
         [

@@ -240,6 +240,55 @@ let test_many_solves_reuse () =
   S.add_clause s [ S.neg (S.lit v.(1)) ];
   Alcotest.check result "now unsat" S.Unsat (S.solve s)
 
+let test_deadline () =
+  let s, v = fresh 2 in
+  S.add_clause s [ S.lit v.(0); S.lit v.(1) ];
+  let past = Obs.Clock.now () -. 1.0 in
+  Alcotest.check result "expired deadline" S.Unknown (S.solve ~deadline:past s);
+  (* The abort must leave the solver reusable — same contract as a
+     conflict-limit abort. *)
+  Alcotest.check result "usable after abort" S.Sat (S.solve s);
+  let future = Obs.Clock.now () +. 3600. in
+  Alcotest.check result "generous deadline" S.Sat (S.solve ~deadline:future s)
+
+let test_deadline_reuse_fuzz () =
+  (* Abort (deadline, then conflict budget), then re-solve without a
+     budget: the verdict must match brute force — aborts leave no trace. *)
+  let rng = Rng.create 99L in
+  for round = 1 to 100 do
+    let num_vars = 3 + Rng.int rng 8 in
+    let num_clauses = 2 + Rng.int rng (3 * num_vars) in
+    let clauses = random_cnf rng ~num_vars ~num_clauses ~width:3 in
+    let s = S.create () in
+    for _ = 1 to num_vars do
+      ignore (S.new_var s)
+    done;
+    List.iter (S.add_clause s) clauses;
+    let expired = Obs.Clock.now () -. 1.0 in
+    (match S.solve ~deadline:expired s with
+     | S.Unknown -> ()
+     | S.Unsat -> () (* top-level conflict needs no search *)
+     | S.Sat -> Alcotest.failf "round %d: Sat under expired deadline" round);
+    ignore (S.solve ~conflict_limit:1 s);
+    let expect = brute_sat num_vars clauses in
+    (match S.solve s with
+     | S.Sat -> if not expect then Alcotest.failf "round %d: false Sat after aborts" round
+     | S.Unsat -> if expect then Alcotest.failf "round %d: false Unsat after aborts" round
+     | S.Unknown -> Alcotest.failf "round %d: Unknown without budget" round)
+  done
+
+let test_force_unknown_fault () =
+  (match Obs.Fault.configure "sat.force_unknown" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Fun.protect ~finally:Obs.Fault.reset (fun () ->
+      let s, v = fresh 1 in
+      S.add_clause s [ S.lit v.(0) ];
+      Alcotest.check result "fault forces Unknown" S.Unknown (S.solve s));
+  let s, v = fresh 1 in
+  S.add_clause s [ S.lit v.(0) ];
+  Alcotest.check result "normal after reset" S.Sat (S.solve s)
+
 (* ---- Tseitin over AIGs ---- *)
 
 let xor_network () =
@@ -313,6 +362,8 @@ let () =
           Alcotest.test_case "conflict limit" `Quick test_conflict_limit;
           Alcotest.test_case "xor chain unsat" `Quick test_xor_chain_unsat;
           Alcotest.test_case "many solves reuse" `Quick test_many_solves_reuse;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "force_unknown fault" `Quick test_force_unknown_fault;
         ] );
       ("dimacs", [ Alcotest.test_case "parse/print" `Quick test_dimacs ]);
       ( "fuzz",
@@ -320,6 +371,8 @@ let () =
           Alcotest.test_case "vs brute force" `Slow test_fuzz_vs_brute;
           Alcotest.test_case "assumptions vs brute force" `Slow
             test_fuzz_assumptions;
+          Alcotest.test_case "reuse after aborts vs brute force" `Slow
+            test_deadline_reuse_fuzz;
         ] );
       ( "tseitin",
         [

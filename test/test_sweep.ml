@@ -383,6 +383,158 @@ let test_parallel_sweep_identical () =
     check "function preserved" true (exhaustive_equal net par)
   done
 
+(* ---- budgets, degradation, faults ---- *)
+
+let with_faults spec f =
+  (match Obs.Fault.configure spec with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "bad fault spec %S: %s" spec e);
+  Fun.protect ~finally:Obs.Fault.reset f
+
+let test_deadline_degrades () =
+  (* An already-expired deadline: the engine must still return, keep the
+     function intact (only proven merges — here, structural hashing),
+     and record why it stopped, both in the stats and in the report. *)
+  let rng = Rng.create 911L in
+  let base = random_network rng ~pis:8 ~gates:300 ~pos:5 in
+  let net = Gen.Redundant.inject ~seed:4L ~fraction:0.4 base in
+  let swept, st =
+    Sweep.Stp_sweep.sweep ~deadline:(Obs.Clock.now () -. 1.) net
+  in
+  check "function preserved" true (exhaustive_equal net swept);
+  (match Sweep.Cec.check net swept with
+   | Sweep.Cec.Equivalent -> ()
+   | _ -> Alcotest.fail "degraded sweep not CEC-equivalent");
+  check "not larger" true (A.num_ands swept <= A.num_ands net);
+  (match st.Sweep.Stats.budget_exhausted with
+   | Some e ->
+     check "reason is deadline" true (e.Sweep.Stats.reason = "deadline");
+     check "phase recorded" true
+       (List.mem e.Sweep.Stats.phase [ "guided"; "sweep"; "sat" ])
+   | None -> Alcotest.fail "budget_exhausted not recorded");
+  check_report_roundtrip "deadline" st;
+  match Obs.Json.member "budget_exhausted" (Sweep.Stats.to_json st) with
+  | Some (Obs.Json.Obj kvs) ->
+    check "json reason" true
+      (List.assoc_opt "reason" kvs = Some (Obs.Json.String "deadline"));
+    check "json phase present" true (List.mem_assoc "phase" kvs)
+  | _ -> Alcotest.fail "budget_exhausted missing from the JSON report"
+
+let test_timeout_partial () =
+  (* A tiny but non-zero budget on a sizeable circuit: the sweep must cut
+     itself short mid-flight and the partial result — only the merges
+     proven before exhaustion — must still be a correct network. *)
+  let rng = Rng.create 31337L in
+  let base = random_network rng ~pis:10 ~gates:1500 ~pos:8 in
+  let net = Gen.Redundant.inject ~seed:13L ~fraction:0.3 base in
+  let swept, st = Sweep.Stp_sweep.sweep ~timeout:0.01 net in
+  (match st.Sweep.Stats.budget_exhausted with
+   | Some _ -> ()
+   | None -> Alcotest.fail "expected the budget to run out");
+  check "function preserved" true (exhaustive_equal net swept);
+  match Sweep.Cec.check net swept with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "partial sweep not CEC-equivalent"
+
+let test_retry_schedule () =
+  (* Escalating conflict limits must recover pairs a starved first
+     attempt leaves undetermined, and the retries must be counted. *)
+  let rng = Rng.create 1618L in
+  let base = random_network rng ~pis:8 ~gates:120 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:9L ~fraction:0.5 base in
+  let _, st0 = Sweep.Stp_sweep.sweep ~conflict_limit:1 net in
+  let swept, st =
+    Sweep.Stp_sweep.sweep ~conflict_limit:1 ~retry_schedule:[ 100; 100_000 ] net
+  in
+  check "function preserved" true (exhaustive_equal net swept);
+  check "no retries without a schedule" true (st0.Sweep.Stats.sat_retries = 0);
+  if st0.Sweep.Stats.sat_undet > 0 then begin
+    check "retries counted" true (st.Sweep.Stats.sat_retries > 0);
+    check "retries resolve undetermined pairs" true
+      (st.Sweep.Stats.sat_undet <= st0.Sweep.Stats.sat_undet)
+  end
+
+let test_self_verify () =
+  (* The opt-in verification path must accept a correct sweep. *)
+  let rng = Rng.create 123321L in
+  let base = random_network rng ~pis:7 ~gates:60 ~pos:4 in
+  let net = Gen.Redundant.inject ~seed:2L ~fraction:0.5 base in
+  let swept, _ = Sweep.Stp_sweep.sweep ~verify:true net in
+  check "verified sweep not larger" true (A.num_ands swept <= A.num_ands net);
+  check "function preserved" true (exhaustive_equal net swept)
+
+let test_fault_matrix () =
+  (* Every sweep-path fault site × several seeds: the sweep must not
+     crash, must never let an unproven merge through, and the output must
+     stay equivalent. The verdicts run with faults disarmed so the check
+     itself is not subject to injection. *)
+  let sites = [ "sweep.drop_ce"; "sweep.fail_window"; "sat.force_unknown" ] in
+  let rng = Rng.create 600613L in
+  (* Starved initial patterns (one word over 10 PIs) leave aliased
+     signatures, so the engines actually reach SAT counterexamples and
+     window checks — the opportunities the faults need. *)
+  let base = random_network rng ~pis:10 ~gates:200 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:11L ~fraction:0.5 base in
+  List.iter
+    (fun site_name ->
+      let site = Obs.Fault.register site_name in
+      let fired = ref 0 in
+      for seed = 1 to 5 do
+        (* Both engines: fraig answers distinctions with SAT
+           counterexamples (drop_ce opportunities), stp routes them
+           through windows (fail_window opportunities). *)
+        List.iter
+          (fun (engine, sweeper) ->
+            let swept =
+              with_faults
+                (Printf.sprintf "seed=%d,%s:0.5" seed site_name)
+                (fun () ->
+                  let swept, _ = sweeper net in
+                  fired := !fired + Obs.Fault.hits site;
+                  swept)
+            in
+            if not (exhaustive_equal net swept) then
+              Alcotest.failf "%s/%s seed %d: function changed" site_name
+                engine seed;
+            match Sweep.Cec.check net swept with
+            | Sweep.Cec.Equivalent -> ()
+            | _ -> Alcotest.failf "%s/%s seed %d: CEC failed" site_name engine seed)
+          [
+            ("fraig", fun n -> Sweep.Fraig.sweep ~initial_words:1 n);
+            ("stp", fun n -> Sweep.Stp_sweep.sweep ~initial_words:1 n);
+          ]
+      done;
+      if !fired = 0 then
+        Alcotest.failf "%s never struck across the seed matrix" site_name)
+    sites
+
+let test_parse_truncate_fault () =
+  (* The parser-input fault: a truncated document must surface as
+     Parse_error (or still parse, when the cut lands after the payload) —
+     never any other exception. *)
+  let rng = Rng.create 271828L in
+  let net = random_network rng ~pis:6 ~gates:40 ~pos:3 in
+  let text = Aig.Aiger.write net in
+  let saw_error = ref false in
+  for seed = 1 to 10 do
+    with_faults
+      (Printf.sprintf "seed=%d,parse.truncate" seed)
+      (fun () ->
+        match Aig.Aiger.read text with
+        | _ -> ()
+        | exception Aig.Aiger.Parse_error _ -> saw_error := true)
+  done;
+  check "truncation surfaced as Parse_error" true !saw_error
+
+let test_fault_catalog_complete () =
+  (* Linking the sweep stack must register the documented site catalog. *)
+  let cat = Obs.Fault.catalog () in
+  List.iter
+    (fun site ->
+      if not (List.mem site cat) then
+        Alcotest.failf "site %s not in the catalog" site)
+    [ "parse.truncate"; "sat.force_unknown"; "sweep.drop_ce"; "sweep.fail_window" ]
+
 let () =
   Alcotest.run "sweep"
     [
@@ -411,5 +563,20 @@ let () =
             test_engine_ablation_configs;
           Alcotest.test_case "parallel sweep identical" `Quick
             test_parallel_sweep_identical;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "expired deadline degrades" `Quick
+            test_deadline_degrades;
+          Alcotest.test_case "mid-flight timeout keeps proven merges" `Slow
+            test_timeout_partial;
+          Alcotest.test_case "retry schedule" `Slow test_retry_schedule;
+          Alcotest.test_case "self-verify accepts a correct sweep" `Quick
+            test_self_verify;
+          Alcotest.test_case "fault matrix" `Slow test_fault_matrix;
+          Alcotest.test_case "parser truncation fault" `Quick
+            test_parse_truncate_fault;
+          Alcotest.test_case "fault catalog complete" `Quick
+            test_fault_catalog_complete;
         ] );
     ]
