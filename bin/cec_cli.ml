@@ -6,12 +6,12 @@
 
 open Stp_sweep
 
-let run a b =
+let run a b certify =
   Report.cli_guard @@ fun () ->
   let net_a = Aig.Aiger.read_file a and net_b = Aig.Aiger.read_file b in
   Printf.printf "%s: %s\n" a (Format.asprintf "%a" Aig.Network.pp_stats net_a);
   Printf.printf "%s: %s\n" b (Format.asprintf "%a" Aig.Network.pp_stats net_b);
-  match Sweep.Cec.check net_a net_b with
+  match Sweep.Cec.check ~certify net_a net_b with
   | Sweep.Cec.Equivalent ->
     print_endline "equivalent";
     exit 0
@@ -30,8 +30,17 @@ open Cmdliner
 let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.aag")
 let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.aag")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Run the internal sweep and the output queries under the DRUP \
+           proof checker; unreplayable certificates downgrade outputs to \
+           undetermined.")
+
 let cmd =
   Cmd.v (Cmd.info "cec" ~doc:"Combinational equivalence check of two AIGER files")
-    Term.(const run $ file_a $ file_b)
+    Term.(const run $ file_a $ file_b $ certify)
 
 let () = exit (Cmd.eval cmd)

@@ -25,7 +25,7 @@ let stage_json name n =
       ("depth", Obs.Json.Int (Aig.Network.depth n));
     ]
 
-let run circuit file engine domains timeout verify output no_rewrite
+let run circuit file engine domains timeout verify certify output no_rewrite
     no_balance json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
@@ -38,11 +38,15 @@ let run circuit file engine domains timeout verify output no_rewrite
   show name net;
   let swept, stats =
     match engine with
-    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains ?timeout net
-    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains ?timeout net
+    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains ?timeout ~certify net
+    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains ?timeout ~certify net
   in
   show "sweep" swept;
   Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
+  if certify then
+    Printf.printf "  certificates: unsat=%d models=%d rejected=%d\n"
+      stats.Sweep.Stats.certified_unsat stats.Sweep.Stats.certified_models
+      stats.Sweep.Stats.certificate_rejected;
   (match stats.Sweep.Stats.budget_exhausted with
   | Some { Sweep.Stats.reason; phase } ->
     Printf.printf
@@ -105,6 +109,7 @@ let run circuit file engine domains timeout verify output no_rewrite
              ("circuit", String name);
              ("engine", String (match engine with `Stp -> "stp" | `Fraig -> "fraig"));
              ("domains", Int domains);
+             ("certify", Bool certify);
              ("stages", List (List.rev !stages));
              ("sweep", Sweep.Stats.to_json stats);
              ( "cec",
@@ -135,6 +140,15 @@ let timeout =
           "Wall-clock budget for the sweep stage; on exhaustion the sweep \
            degrades to structural translation and the flow continues.")
 let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
+
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Certified sweep stage: solver answers are accepted only with a \
+           replayed DRUP proof / validated model.")
+
 let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output AIGER path.")
 let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
 let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balance stage.")
@@ -153,8 +167,8 @@ let trace =
 let cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
-    Term.(const (fun a b c d e f g h i j k -> run a b c d e f g h i j k ())
-          $ circuit $ file $ engine $ domains $ timeout $ verify $ output
-          $ no_rewrite $ no_balance $ json $ trace)
+    Term.(const (fun a b c d e f g h i j k l -> run a b c d e f g h i j k l ())
+          $ circuit $ file $ engine $ domains $ timeout $ verify $ certify
+          $ output $ no_rewrite $ no_balance $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -1,11 +1,34 @@
-(* DIMACS front-end for the CDCL solver.
+(* DIMACS front-end for the CDCL solver, with DRUP proof logging and
+   standalone proof checking.
 
      dune exec bin/sat_cli.exe -- problem.cnf
-*)
+     dune exec bin/sat_cli.exe -- problem.cnf --proof problem.drup
+     dune exec bin/sat_cli.exe -- problem.cnf --check-proof problem.drup
+     dune exec bin/sat_cli.exe -- problem.cnf --certify
+
+   Exit codes follow the SAT-competition convention (10 sat / 20 unsat /
+   0 unknown); a failed certificate or proof replay exits 3, the same
+   surface as the sweep CLIs' verification failures. *)
 
 open Stp_sweep
 
-let write_json json solver answer =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let proof_counters checker =
+  let open Obs.Json in
+  ( "proof",
+    Obj
+      [
+        ("checked", Int (Sat.Drup.num_checked checker));
+        ("rejected", Int (Sat.Drup.num_rejected checker));
+        ("deleted", Int (Sat.Drup.num_deleted checker));
+      ] )
+
+let write_json json solver answer extra =
   match json with
   | None -> ()
   | Some path ->
@@ -20,46 +43,151 @@ let write_json json solver answer =
                  (List.map
                     (fun (k, v) -> (k, Int v))
                     (Sat.Solver.stats_assoc solver)) );
-           ]))
+           ]
+         @ extra))
 
-let run path conflict_limit timeout json =
-  Report.cli_guard @@ fun () ->
-  let text =
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+(* Standalone replay: the CNF's clauses are axioms, every proof line
+   must be RUP over the checker's own database, and the replayed proof
+   must end in a refutation. Strict: the first unjustified addition
+   fails the whole replay. *)
+let run_check_proof cnf_path proof_path json =
+  let checker = Sat.Drup.create () in
+  let _nv, clauses = Sat.Dimacs.parse (read_file cnf_path) in
+  List.iter (Sat.Drup.add_input checker) clauses;
+  let steps = Sat.Dimacs.parse_proof (read_file proof_path) in
+  let failure = ref None in
+  List.iteri
+    (fun i step ->
+      if !failure = None then
+        match step with
+        | `Add lits -> (
+          match Sat.Drup.add_derived checker lits with
+          | Ok () -> ()
+          | Error why -> failure := Some (Printf.sprintf "step %d: %s" (i + 1) why))
+        | `Delete lits -> Sat.Drup.delete checker lits)
+    steps;
+  let failure =
+    match !failure with
+    | Some _ as f -> f
+    | None -> (
+      match Sat.Drup.certify_unsat checker ~assumptions:[] with
+      | Ok () -> None
+      | Error why -> Some why)
   in
-  let solver = Sat.Solver.create () in
-  Sat.Dimacs.load solver text;
-  let deadline = Option.map (fun s -> Obs.Clock.now () +. s) timeout in
-  match Sat.Solver.solve ?conflict_limit ?deadline solver with
-  | Sat.Solver.Sat ->
-    print_endline "s SATISFIABLE";
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf "v";
-    for v = 0 to Sat.Solver.num_vars solver - 1 do
-      let value =
-        match Sat.Solver.var_value solver v with
-        | Some true -> v + 1
-        | Some false | None -> -(v + 1)
-      in
-      Buffer.add_string buf (Printf.sprintf " %d" value)
-    done;
-    Buffer.add_string buf " 0";
-    print_endline (Buffer.contents buf);
-    Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
-    write_json json solver "sat";
-    exit 10
-  | Sat.Solver.Unsat ->
-    print_endline "s UNSATISFIABLE";
-    Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
-    write_json json solver "unsat";
-    exit 20
-  | Sat.Solver.Unknown ->
-    print_endline "s UNKNOWN";
-    write_json json solver "unknown";
+  let report answer =
+    match json with
+    | None -> ()
+    | Some path ->
+      let open Obs.Json in
+      to_file path
+        (Obj
+           (Report.run_meta ~tool:"sat"
+           @ [
+               ("answer", String answer);
+               ("proof_file", String proof_path);
+               proof_counters checker;
+             ]))
+  in
+  match failure with
+  | None ->
+    Printf.printf "s VERIFIED\nc %d additions checked, %d deletions\n"
+      (Sat.Drup.num_checked checker)
+      (Sat.Drup.num_deleted checker);
+    report "verified";
     exit 0
+  | Some why ->
+    Printf.printf "s NOT VERIFIED\nc %s\n" why;
+    report "not-verified";
+    exit 3
+
+let run path conflict_limit timeout proof check_proof certify json =
+  Report.cli_guard @@ fun () ->
+  match check_proof with
+  | Some proof_path -> run_check_proof path proof_path json
+  | None ->
+    let text = read_file path in
+    let solver = Sat.Solver.create () in
+    let checker =
+      if certify then begin
+        let c = Sat.Drup.create () in
+        Some c
+      end
+      else None
+    in
+    let proof_oc = Option.map open_out proof in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out_noerr proof_oc)
+    @@ fun () ->
+    (* One logger tees the stream to the in-memory checker and/or the
+       DRUP text file; installed before [load] so the checker sees the
+       original clauses. *)
+    (match (checker, proof_oc) with
+    | None, None -> ()
+    | _ ->
+      Sat.Solver.set_proof_logger solver
+        (Some
+           (fun step ->
+             Option.iter (fun c -> Sat.Drup.feed c step) checker;
+             Option.iter
+               (fun oc ->
+                 Option.iter (output_string oc) (Sat.Dimacs.proof_line step))
+               proof_oc)));
+    Sat.Dimacs.load solver text;
+    let deadline = Option.map (fun s -> Obs.Clock.now () +. s) timeout in
+    let certificate_failed why =
+      Printf.printf "c CERTIFICATE REJECTED: %s\n" why;
+      write_json json solver "certificate-rejected"
+        (match checker with Some c -> [ proof_counters c ] | None -> []);
+      exit 3
+    in
+    let cert_extra certified =
+      match checker with
+      | None -> []
+      | Some c -> [ ("certified", Obs.Json.Bool certified); proof_counters c ]
+    in
+    (match Sat.Solver.solve ?conflict_limit ?deadline solver with
+    | Sat.Solver.Sat ->
+      (match checker with
+      | None -> ()
+      | Some c -> (
+        match
+          Sat.Drup.certify_model c ~value:(Sat.Solver.value solver)
+        with
+        | Ok () -> print_endline "c certified: model satisfies every clause"
+        | Error why -> certificate_failed why));
+      print_endline "s SATISFIABLE";
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v";
+      for v = 0 to Sat.Solver.num_vars solver - 1 do
+        let value =
+          match Sat.Solver.var_value solver v with
+          | Some true -> v + 1
+          | Some false | None -> -(v + 1)
+        in
+        Buffer.add_string buf (Printf.sprintf " %d" value)
+      done;
+      Buffer.add_string buf " 0";
+      print_endline (Buffer.contents buf);
+      Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+      write_json json solver "sat" (cert_extra true);
+      exit 10
+    | Sat.Solver.Unsat ->
+      (match checker with
+      | None -> ()
+      | Some c -> (
+        match Sat.Drup.certify_unsat c ~assumptions:[] with
+        | Ok () ->
+          Printf.printf "c certified: proof replayed (%d additions checked)\n"
+            (Sat.Drup.num_checked c)
+        | Error why -> certificate_failed why));
+      print_endline "s UNSATISFIABLE";
+      Printf.printf "c %s\n" (Format.asprintf "%a" Sat.Solver.pp_stats solver);
+      write_json json solver "unsat" (cert_extra true);
+      exit 20
+    | Sat.Solver.Unknown ->
+      print_endline "s UNKNOWN";
+      write_json json solver "unknown" (cert_extra false);
+      exit 0)
 
 open Cmdliner
 
@@ -73,6 +201,33 @@ let timeout =
     & info [ "timeout" ] ~docv:"SEC"
         ~doc:"Wall-clock budget; expiry yields UNKNOWN (exit 0).")
 
+let proof =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "proof" ] ~docv:"FILE"
+        ~doc:
+          "Stream a DRUP proof (zero-terminated clauses, d-prefixed \
+           deletions) here while solving — the drat-trim text format.")
+
+let check_proof =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check-proof" ] ~docv:"FILE"
+        ~doc:
+          "Don't solve: replay this DRUP proof against the instance with \
+           the standalone checker. Exit 0 iff it verifies, 3 otherwise.")
+
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Replay the proof stream in-memory while solving: UNSAT must \
+           derive a checked refutation, SAT's model must satisfy every \
+           clause. A failed certificate exits 3.")
+
 let json =
   Arg.(
     value
@@ -81,6 +236,6 @@ let json =
 
 let cmd =
   Cmd.v (Cmd.info "sat" ~doc:"CDCL solver on a DIMACS file")
-    Term.(const run $ file $ limit $ timeout $ json)
+    Term.(const run $ file $ limit $ timeout $ proof $ check_proof $ certify $ json)
 
 let () = exit (Cmd.eval cmd)

@@ -14,8 +14,8 @@ let load ~circuit ~file =
     prerr_endline "exactly one of --circuit or --aig is required";
     exit 2
 
-let run circuit file engine timeout retries self_verify verify output json
-    trace () =
+let run circuit file engine timeout retries self_verify verify certify output
+    json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = load ~circuit ~file in
@@ -25,10 +25,10 @@ let run circuit file engine timeout retries self_verify verify output json
     match engine with
     | `Stp ->
       Sweep.Stp_sweep.sweep ?timeout ?retry_schedule:retries
-        ~verify:self_verify net
+        ~verify:self_verify ~certify net
     | `Fraig ->
       Sweep.Fraig.sweep ?timeout ?retry_schedule:retries ~verify:self_verify
-        net
+        ~certify net
   in
   Printf.printf "swept:   %s\n" (Format.asprintf "%a" Aig.Network.pp_stats swept);
   Printf.printf "stats:   %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
@@ -39,10 +39,16 @@ let run circuit file engine timeout retries self_verify verify output json
        merge is proven\n"
       reason phase
   | None -> ());
+  if certify then
+    Printf.printf "certs:   unsat=%d models=%d rejected=%d\n"
+      stats.Sweep.Stats.certified_unsat stats.Sweep.Stats.certified_models
+      stats.Sweep.Stats.certificate_rejected;
   let cec =
     if not verify then None
     else
-      match Sweep.Cec.check net swept with
+      (* Like flow and Selfcheck, the CEC oracle judges the (possibly
+         fault-degraded) sweep with injection suspended. *)
+      match Obs.Fault.bypass (fun () -> Sweep.Cec.check net swept) with
       | Sweep.Cec.Equivalent ->
         print_endline "cec:     equivalent";
         Some "equivalent"
@@ -70,6 +76,7 @@ let run circuit file engine timeout retries self_verify verify output json
              ("engine", String (match engine with `Stp -> "stp" | `Fraig -> "fraig"));
              ("input_ands", Int (Aig.Network.num_ands net));
              ("result_ands", Int (Aig.Network.num_ands swept));
+             ("certify", Bool certify);
              ("sweep", Sweep.Stats.to_json stats);
              ("cec", match cec with Some s -> String s | None -> Null);
            ]));
@@ -117,6 +124,16 @@ let self_verify =
 
 let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Certified sweeping: every UNSAT-driven merge must replay its \
+           DRUP proof through the independent checker, every \
+           counterexample must validate; rejected certificates degrade \
+           their node and count into certificate_rejected.")
+
 let output =
   Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Write the swept AIG here.")
 
@@ -135,8 +152,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
     Term.(
-      const (fun a b c d e f g h i j -> run a b c d e f g h i j ())
+      const (fun a b c d e f g h i j k -> run a b c d e f g h i j k ())
       $ circuit $ file $ engine $ timeout $ retries $ self_verify $ verify
-      $ output $ json $ trace)
+      $ certify $ output $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,7 @@
 
 open Stp_sweep
 
-let run ~names ~timeout ~verify ~json ~trace () =
+let run ~names ~timeout ~verify ~certify ~json ~trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let suite =
@@ -26,8 +26,8 @@ let run ~names ~timeout ~verify ~json ~trace () =
     (fun (name, net) ->
       (* Each engine run gets its own budget so a blown baseline sweep
          does not also starve the STP one. *)
-      let swept_f, st_f = Sweep.Fraig.sweep ?timeout net in
-      let swept_s, st_s = Sweep.Stp_sweep.sweep ?timeout net in
+      let swept_f, st_f = Sweep.Fraig.sweep ?timeout ~certify net in
+      let swept_s, st_s = Sweep.Stp_sweep.sweep ?timeout ~certify net in
       (match (st_f.Sweep.Stats.budget_exhausted, st_s.Sweep.Stats.budget_exhausted) with
       | None, None -> ()
       | f, s ->
@@ -124,6 +124,7 @@ let run ~names ~timeout ~verify ~json ~trace () =
          (Report.run_meta ~tool:"table2"
          @ [
              ("verify", Bool verify);
+             ("certify", Bool certify);
              ("benchmarks", List (List.rev !json_rows));
              ( "geomean_stp_over_fraig",
                Obj
@@ -154,6 +155,12 @@ let timeout =
 let verify =
   Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify every sweep against its input.")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Run every sweep in certified mode (DRUP proof replay).")
+
 let json =
   Arg.(
     value
@@ -169,7 +176,8 @@ let cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Regenerate the paper's Table II (SAT sweeping)")
     Term.(
-      const (fun n w v j t -> run ~names:n ~timeout:w ~verify:v ~json:j ~trace:t ())
-      $ names $ timeout $ verify $ json $ trace)
+      const (fun n w v c j t ->
+        run ~names:n ~timeout:w ~verify:v ~certify:c ~json:j ~trace:t ())
+      $ names $ timeout $ verify $ certify $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

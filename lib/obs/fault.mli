@@ -26,8 +26,15 @@
     through, and never change a committed result — the fault-injection
     test matrix asserts exactly that. Consequently sites may only force
     the {e pessimistic} branch of a decision (drop information, report
-    failure), never fabricate success. The catalog of sites is
-    documented in DESIGN.md. *)
+    failure), never fabricate success.
+
+    Exempted from that contract are the adversarial {e lying-solver}
+    sites ([sat.flip_unsat], [sat.corrupt_proof], [sat.bogus_model]):
+    they deliberately fabricate wrong answers so tests can demonstrate
+    that certified mode ([config.certify], {!Sat.Drup}) catches a
+    malicious solver. Arm them only against certified runs — an
+    uncertified run has no checker and will believe the lie. The
+    catalog of sites is documented in DESIGN.md. *)
 
 type site
 

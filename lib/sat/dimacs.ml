@@ -75,6 +75,71 @@ let load solver text =
   done;
   List.iter (Solver.add_clause solver) clauses
 
+(* ---- DRUP proof text ----
+
+   The drat-trim lingua franca: one clause per line in DIMACS literal
+   numbering, zero-terminated; deletions prefixed with [d]. Input
+   clauses live in the CNF file, not the proof, so [P_input] renders to
+   nothing. *)
+
+let render_drup_lits buf lits =
+  Array.iter
+    (fun l ->
+      let v = (l lsr 1) + 1 in
+      Buffer.add_string buf
+        (Printf.sprintf "%d " (if l land 1 = 1 then -v else v)))
+    lits;
+  Buffer.add_string buf "0\n"
+
+let proof_line step =
+  match step with
+  | Solver.P_input _ -> None
+  | Solver.P_learn lits ->
+    let buf = Buffer.create 32 in
+    render_drup_lits buf lits;
+    Some (Buffer.contents buf)
+  | Solver.P_delete lits ->
+    let buf = Buffer.create 32 in
+    Buffer.add_string buf "d ";
+    render_drup_lits buf lits;
+    Some (Buffer.contents buf)
+
+let parse_proof text =
+  let steps = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let ln = i + 1 in
+         let line = String.trim line in
+         if line = "" || line.[0] = 'c' then ()
+         else begin
+           let toks =
+             String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+           in
+           let deletion, toks =
+             match toks with "d" :: rest -> (true, rest) | _ -> (false, toks)
+           in
+           let lits = ref [] in
+           let terminated = ref false in
+           List.iter
+             (fun tok ->
+               if !terminated then
+                 fail_at ln "trailing tokens after the 0 terminator";
+               match int_of_string_opt tok with
+               | Some 0 -> terminated := true
+               | Some v ->
+                 if v = min_int then fail_at ln "literal out of range";
+                 let var = abs v - 1 in
+                 if var >= max_header_field then
+                   fail_at ln "literal %d out of range" v;
+                 lits := Solver.lit_of var (v < 0) :: !lits
+               | None -> fail_at ln "not an integer: %s" tok)
+             toks;
+           if not !terminated then fail_at ln "clause not terminated by 0";
+           let lits = List.rev !lits in
+           steps := (if deletion then `Delete lits else `Add lits) :: !steps
+         end);
+  List.rev !steps
+
 let print ~num_vars clauses =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

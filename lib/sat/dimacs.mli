@@ -16,3 +16,14 @@ val load : Solver.t -> string -> unit
 
 val print : num_vars:int -> int list list -> string
 (** Solver-packed clauses back to DIMACS text. *)
+
+val proof_line : Solver.proof_step -> string option
+(** One proof step as a line of standard DRUP text (zero-terminated
+    DIMACS literals, deletions prefixed [d]) — the format drat-trim
+    style tooling consumes. [None] for input steps: original clauses
+    belong to the CNF file, not the proof. *)
+
+val parse_proof : string -> [ `Add of int list | `Delete of int list ] list
+(** Parses DRUP text back into proof steps with solver-packed literals.
+    Comment lines ([c ...]) and blank lines are skipped; anything else
+    raises {!Parse_error}. *)

@@ -4,7 +4,20 @@ module Vec = Sutil.Vec
    without searching — the callers' degraded path must cope. *)
 let fault_force_unknown = Obs.Fault.register "sat.force_unknown"
 
+(* Adversarial lying-solver hooks, exempt from the pessimistic-only
+   fault contract (see Obs.Fault): they fabricate wrong answers so the
+   test suite can demonstrate that certification catches them. Only
+   meaningful when a proof checker audits this solver. *)
+let fault_flip_unsat = Obs.Fault.register "sat.flip_unsat"
+let fault_corrupt_proof = Obs.Fault.register "sat.corrupt_proof"
+let fault_bogus_model = Obs.Fault.register "sat.bogus_model"
+
 type result = Sat | Unsat | Unknown
+
+type proof_step =
+  | P_input of int array
+  | P_learn of int array
+  | P_delete of int array
 
 type stats = {
   decisions : int;
@@ -53,6 +66,7 @@ type t = {
   mutable st_solves : int;
   mutable live_learnts : int;
   mutable max_learnts : int;
+  mutable proof : (proof_step -> unit) option;
 }
 
 let lit v = v lsl 1
@@ -92,9 +106,43 @@ let create () =
     st_solves = 0;
     live_learnts = 0;
     max_learnts = 3000;
+    proof = None;
   }
 
 let num_vars t = t.nvars
+
+let set_proof_logger t f = t.proof <- f
+
+(* ---- proof emission ----
+
+   Every change to the clause database is streamed to the logger:
+   original clauses as [P_input] (post-normalization, pre-filtering, so
+   the log matches what the caller stated), learnt clauses as [P_learn],
+   garbage-collected learnts as [P_delete]. A root-level conflict emits
+   the empty [P_learn], terminating a DRUP refutation. Arrays handed to
+   the logger are fresh copies: clause literals are permuted in place by
+   propagation afterwards. *)
+
+let emit_input t lits =
+  match t.proof with
+  | None -> ()
+  | Some f -> f (P_input (Array.of_list lits))
+
+let emit_learn t lits =
+  match t.proof with
+  | None -> ()
+  | Some f ->
+    let lits = Array.copy lits in
+    (* Lying-solver hook: corrupt the logged copy (never the solver's
+       own clause) so tests can show the checker rejects the line. *)
+    if Array.length lits > 0 && Obs.Fault.fires fault_corrupt_proof then
+      lits.(0) <- lits.(0) lxor 1;
+    f (P_learn lits)
+
+let emit_delete t lits =
+  match t.proof with
+  | None -> ()
+  | Some f -> f (P_delete (Array.copy lits))
 
 (* ---- max-activity binary heap over variables ---- *)
 
@@ -402,6 +450,7 @@ let reduce_db t =
   Array.sort (fun a b -> compare t.clauses.(a).act t.clauses.(b).act) arr;
   let drop = Array.length arr / 2 in
   for i = 0 to drop - 1 do
+    emit_delete t t.clauses.(arr.(i)).lits;
     t.clauses.(arr.(i)).dead <- true;
     t.live_learnts <- t.live_learnts - 1
   done
@@ -417,17 +466,19 @@ let add_clause t lits =
         if l < 0 || var_of l >= t.nvars then
           invalid_arg "Solver.add_clause: unknown variable")
       lits;
+    emit_input t lits;
     let tauto =
       List.exists (fun l -> sign_of l = 0 && List.mem (neg l) lits) lits
       || List.exists (fun l -> value_lit t l = 1) lits
     in
     if not tauto then begin
-      match List.filter (fun l -> value_lit t l <> 0) lits with
+      (match List.filter (fun l -> value_lit t l <> 0) lits with
       | [] -> t.unsat <- true
       | [ l ] ->
         enqueue t l (-1);
         if propagate t <> None then t.unsat <- true
-      | lits -> ignore (alloc_clause t (Array.of_list lits) false)
+      | lits -> ignore (alloc_clause t (Array.of_list lits) false));
+      if t.unsat then emit_learn t [||]
     end
   end
 
@@ -459,6 +510,7 @@ let pick_branch t =
 
 let attach_learnt t lits =
   t.st_learned <- t.st_learned + 1;
+  emit_learn t lits;
   if Array.length lits = 1 then enqueue t lits.(0) (-1)
   else begin
     let id = alloc_clause t lits true in
@@ -495,6 +547,7 @@ let search t ~assumptions ~conflict_limit ~deadline =
       incr conflicts_here;
       if decision_level t = 0 then begin
         t.unsat <- true;
+        emit_learn t [||];
         result := Some Unsat
       end
       else begin
@@ -574,14 +627,41 @@ let solve ?(assumptions = []) ?conflict_limit ?deadline t =
     match propagate t with
     | Some _ ->
       t.unsat <- true;
+      emit_learn t [||];
       Unsat
     | None ->
       let r =
         search t ~assumptions:(Array.of_list assumptions) ~conflict_limit
           ~deadline
       in
+      let r =
+        (* Lying-solver hook: report a satisfiable query as [Unsat]
+           without marking the solver unsatisfiable. Uncertified callers
+           believe the lie; a proof checker has no replayable conflict
+           and rejects it. *)
+        match r with
+        | Sat when Obs.Fault.fires fault_flip_unsat -> Unsat
+        | r -> r
+      in
       (match r with
-       | Sat -> () (* keep the trail: it is the model *)
+       | Sat ->
+         (* The model is total by construction: every unassigned
+            variable sits in the branching heap, and [Sat] is only
+            reached once the heap is drained. *)
+         assert (t.heap_len = 0);
+         (* Lying-solver hook: flip the most recently propagated
+            non-root variable, falsifying its reason clause — a bogus
+            witness that model validation must catch. *)
+         if Obs.Fault.fires fault_bogus_model then begin
+           let i = ref (Vec.length t.trail - 1) in
+           let v = ref (-1) in
+           while !v < 0 && !i >= 0 do
+             let u = var_of (Vec.get t.trail !i) in
+             if t.reason.(u) >= 0 && t.vlevel.(u) > 0 then v := u;
+             decr i
+           done;
+           if !v >= 0 then t.assign.(!v) <- 1 - t.assign.(!v)
+         end
        | Unsat | Unknown -> cancel_until t 0);
       r
 
@@ -592,6 +672,8 @@ let value t l =
 
 let var_value t v =
   if v >= t.nvars || t.assign.(v) < 0 then None else Some (t.assign.(v) = 1)
+
+let model t = Array.init t.nvars (fun v -> t.assign.(v) = 1)
 
 let failed_assumptions t = t.failed
 

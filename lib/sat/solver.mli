@@ -14,6 +14,15 @@ type t
 
 type result = Sat | Unsat | Unknown
 
+type proof_step =
+  | P_input of int array  (** an original clause, as stated by the caller *)
+  | P_learn of int array  (** a clause added to the database by conflict
+                              analysis; the empty array refutes the formula *)
+  | P_delete of int array  (** a learnt clause garbage-collected from the
+                               database *)
+(** One event in the clausal (DRUP) proof stream. Literals use this
+    module's packing; arrays are fresh copies owned by the logger. *)
+
 type stats = {
   decisions : int;
   conflicts : int;
@@ -36,6 +45,12 @@ val neg : int -> int
 val lit_of : int -> bool -> int
 (** [lit_of v negated]. *)
 
+val set_proof_logger : t -> (proof_step -> unit) option -> unit
+(** Installs (or removes) a callback receiving every proof step from now
+    on. Install it before adding clauses: a checker must see the inputs
+    to judge the derivations. [Sat.Drup.attach] is the standard client;
+    [sat_cli --proof] streams the same events to a DRUP text file. *)
+
 val add_clause : t -> int list -> unit
 (** Adds a clause of literals. Tautologies are dropped, duplicate literals
     merged. Adding the empty clause (or a clause falsified at level 0)
@@ -53,11 +68,19 @@ val solve :
     unbudgeted run would. *)
 
 val value : t -> int -> bool
-(** Model value of a literal after [Sat]. Unassigned variables (possible
-    when they appear in no clause) read as false. *)
+(** Model value of a literal after [Sat]. At [Sat] the assignment is
+    total over the variables that existed when [solve] was called (the
+    search only answers [Sat] once the branching heap is drained; the
+    solver asserts this). Variables created {e after} the solve read as
+    false — a defined default, not an assigned value. *)
 
 val var_value : t -> int -> bool option
-(** Model value of a variable after [Sat]; [None] if never assigned. *)
+(** Model value of a variable after [Sat]; [None] if never assigned
+    (only possible for variables created after the last solve). *)
+
+val model : t -> bool array
+(** The full model after [Sat], indexed by variable. Total for all
+    variables that existed at solve time; see {!value}. *)
 
 val failed_assumptions : t -> int list
 (** After an [Unsat] answer under assumptions: a subset of the assumptions

@@ -48,6 +48,7 @@ type equiv_result =
   | Equivalent
   | Counterexample of bool array
   | Undetermined
+  | Uncertified of string
 
 let extract_ce env =
   Array.init (A.num_pis env.net) (fun i ->
@@ -55,29 +56,40 @@ let extract_ce env =
       if is_encoded env n then Solver.value env.solver (Solver.lit env.vars.(n))
       else false)
 
-let check_diff ?conflict_limit ?deadline env mk_diff =
-  (* Selector s: s -> (difference holds). Assume s; retire s after. *)
+let check_diff ?conflict_limit ?deadline ?certify env mk_diff =
+  (* Selector s: s -> (difference holds). Assume s; retire s after.
+     Certification happens before retirement: the retire clause [~s]
+     would make UNSAT-under-[s] vacuous and falsify any model. *)
   let s = Solver.new_var env.solver in
   let sl = Solver.lit s in
   mk_diff sl;
   let r =
     Solver.solve ?conflict_limit ?deadline ~assumptions:[ sl ] env.solver
   in
-  match r with
-  | Solver.Sat ->
-    let ce = extract_ce env in
-    Solver.add_clause env.solver [ Solver.neg sl ];
-    Counterexample ce
-  | Solver.Unsat ->
-    Solver.add_clause env.solver [ Solver.neg sl ];
-    Equivalent
-  | Solver.Unknown ->
-    Solver.add_clause env.solver [ Solver.neg sl ];
-    Undetermined
+  let verdict =
+    match r with
+    | Solver.Sat -> (
+      match certify with
+      | None -> Counterexample (extract_ce env)
+      | Some checker -> (
+        match Drup.certify_model checker ~value:(Solver.value env.solver) with
+        | Ok () -> Counterexample (extract_ce env)
+        | Error why -> Uncertified why))
+    | Solver.Unsat -> (
+      match certify with
+      | None -> Equivalent
+      | Some checker -> (
+        match Drup.certify_unsat checker ~assumptions:[ sl ] with
+        | Ok () -> Equivalent
+        | Error why -> Uncertified why))
+    | Solver.Unknown -> Undetermined
+  in
+  Solver.add_clause env.solver [ Solver.neg sl ];
+  verdict
 
-let check_equiv ?conflict_limit ?deadline env la lb =
+let check_equiv ?conflict_limit ?deadline ?certify env la lb =
   let a = lit_of env la and b = lit_of env lb in
-  check_diff ?conflict_limit ?deadline env (fun sl ->
+  check_diff ?conflict_limit ?deadline ?certify env (fun sl ->
       (* s -> (a xor b): encode via a fresh miter output m with
          m <-> a xor b, then clause (~s | m). *)
       let m = Solver.lit (Solver.new_var env.solver) in
@@ -87,9 +99,9 @@ let check_equiv ?conflict_limit ?deadline env la lb =
       Solver.add_clause env.solver [ m; a; Solver.neg b ];
       Solver.add_clause env.solver [ Solver.neg sl; m ])
 
-let check_const ?conflict_limit ?deadline env l b =
+let check_const ?conflict_limit ?deadline ?certify env l b =
   let a = lit_of env l in
-  check_diff ?conflict_limit ?deadline env (fun sl ->
+  check_diff ?conflict_limit ?deadline ?certify env (fun sl ->
       (* s -> (l <> b), i.e. assume l takes the other value. *)
       let target = if b then Solver.neg a else a in
       Solver.add_clause env.solver [ Solver.neg sl; target ])

@@ -27,10 +27,15 @@ type equiv_result =
       (** PI assignment (length [num_pis]) distinguishing the two
           literals; PIs outside the encoded cones default to [false]. *)
   | Undetermined  (** conflict budget exhausted — the paper's [unDET] *)
+  | Uncertified of string
+      (** certified mode only: the solver answered, but its certificate
+          failed to replay — treat like a resource failure, never trust
+          the answer *)
 
 val check_equiv :
   ?conflict_limit:int ->
   ?deadline:float ->
+  ?certify:Drup.t ->
   env ->
   Aig.Lit.t ->
   Aig.Lit.t ->
@@ -43,6 +48,7 @@ val check_equiv :
 val check_const :
   ?conflict_limit:int ->
   ?deadline:float ->
+  ?certify:Drup.t ->
   env ->
   Aig.Lit.t ->
   bool ->

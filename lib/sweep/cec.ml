@@ -23,7 +23,8 @@ let import dst src pi_lits =
     (fun l -> L.xor_compl map.(L.node l) (L.is_compl l))
     (A.pos src)
 
-let check ?(seed = 0xCECL) ?(sim_words = 16) ?conflict_limit net_a net_b =
+let check ?(seed = 0xCECL) ?(sim_words = 16) ?conflict_limit
+    ?(certify = false) net_a net_b =
   if A.num_pis net_a <> A.num_pis net_b || A.num_pos net_a <> A.num_pos net_b
   then Different { po = -1; counterexample = [||] }
   else begin
@@ -66,23 +67,40 @@ let check ?(seed = 0xCECL) ?(sim_words = 16) ?conflict_limit net_a net_b =
          translates them. *)
       Array.iter (fun l -> ignore (A.add_po miter l)) outs_a;
       Array.iter (fun l -> ignore (A.add_po miter l)) outs_b;
-      let swept, _stats = Engine.run ~config:Engine.stp_config miter in
+      let swept, _stats =
+        Engine.run ~config:{ Engine.stp_config with Engine.certify } miter
+      in
       let n = Array.length outs_a in
       let outs_a = Array.init n (fun o -> A.po swept o) in
       let outs_b = Array.init n (fun o -> A.po swept (n + o)) in
       let solver = Sat.Solver.create () in
+      (* Certified CEC audits the final PO queries too: the checker sees
+         the whole clause stream of this solver. *)
+      let cert =
+        if certify then begin
+          let d = Sat.Drup.create () in
+          Sat.Drup.attach d solver;
+          Some d
+        end
+        else None
+      in
       let env = Sat.Tseitin.create swept solver in
       let verdict = ref Equivalent in
       Array.iteri
         (fun o la ->
           if !verdict = Equivalent && la <> outs_b.(o) then
             match
-              Sat.Tseitin.check_equiv ?conflict_limit env la outs_b.(o)
+              Sat.Tseitin.check_equiv ?conflict_limit ?certify:cert env la
+                outs_b.(o)
             with
             | Sat.Tseitin.Equivalent -> ()
             | Sat.Tseitin.Counterexample ce ->
               verdict := Different { po = o; counterexample = ce }
-            | Sat.Tseitin.Undetermined -> verdict := Undetermined o)
+            | Sat.Tseitin.Undetermined -> verdict := Undetermined o
+            | Sat.Tseitin.Uncertified _ ->
+              (* An unreplayable certificate proves nothing either way —
+                 same standing as an exhausted budget. *)
+              verdict := Undetermined o)
         outs_a;
       !verdict
   end

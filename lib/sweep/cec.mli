@@ -13,8 +13,12 @@ val check :
   ?seed:int64 ->
   ?sim_words:int ->
   ?conflict_limit:int ->
+  ?certify:bool ->
   Aig.Network.t ->
   Aig.Network.t ->
   verdict
 (** Both networks must agree on PI and PO counts; otherwise [Different]
-    with [po = -1] and an empty counterexample is returned. *)
+    with [po = -1] and an empty counterexample is returned. [certify]
+    runs both the internal sweep and the final output queries under a
+    {!Sat.Drup} proof checker; an unreplayable certificate downgrades
+    the affected output to [Undetermined]. *)

@@ -28,6 +28,7 @@ type config = {
   par_threshold : int;
   deadline : float option;
   verify : bool;
+  certify : bool;
 }
 
 let fraig_config =
@@ -46,6 +47,7 @@ let fraig_config =
     par_threshold = 2048;
     deadline = None;
     verify = false;
+    certify = false;
   }
 
 let stp_config =
@@ -85,6 +87,13 @@ type state = {
   mutable pending_ce : int;
   env : Sat.Tseitin.env;
   budget : Obs.Budget.t;
+  cert : Sat.Drup.t option;
+  (* Certified-mode counterexample validation: memoized single-pattern
+     evaluation of the fresh network, epoch-stamped so repeated
+     validations reuse the scratch arrays without clearing them. *)
+  mutable eval_val : int array;
+  mutable eval_stamp : int array;
+  mutable eval_epoch : int;
 }
 
 (* First exhaustion wins: record the reason and the phase where it was
@@ -316,6 +325,48 @@ let note_counterexample st ce =
     if st.pending_ce >= st.cfg.resim_batch then resimulate st
   end
 
+(* Certified-mode model validation at the network level: evaluate both
+   cones under the counterexample and demand they actually differ. The
+   Tseitin layer has already checked the solver's model against the
+   checker's clause database; this closes the remaining gap (encoding
+   bugs, PI extraction bugs) by re-deriving the disagreement from the
+   AIG itself. *)
+let ce_distinguishes st ce nd r compl =
+  let n = A.num_nodes st.fresh in
+  if Array.length st.eval_stamp < n then begin
+    let cap = max n (2 * Array.length st.eval_stamp) in
+    st.eval_val <- Array.make cap 0;
+    st.eval_stamp <- Array.make cap 0;
+    st.eval_epoch <- 0
+  end;
+  st.eval_epoch <- st.eval_epoch + 1;
+  let epoch = st.eval_epoch in
+  let rec eval_node nd =
+    if st.eval_stamp.(nd) = epoch then st.eval_val.(nd)
+    else begin
+      let v =
+        match A.kind st.fresh nd with
+        | A.Const -> 0
+        | A.Pi i -> if i < Array.length ce && ce.(i) then 1 else 0
+        | A.And ->
+          let side f =
+            let v = eval_node (L.node f) in
+            if L.is_compl f then 1 - v else v
+          in
+          side (A.fanin0 st.fresh nd) land side (A.fanin1 st.fresh nd)
+      in
+      st.eval_stamp.(nd) <- epoch;
+      st.eval_val.(nd) <- v;
+      v
+    end
+  in
+  let a = eval_node nd in
+  let b =
+    let v = eval_node r in
+    if compl then 1 - v else v
+  in
+  a <> b
+
 (* Try to merge fresh node [nd] onto an earlier node. Returns the literal
    [nd] proved equal to, if any. *)
 let try_merge st nd =
@@ -394,14 +445,46 @@ let try_merge st nd =
             match
               timed st `Sat (fun () ->
                   Sat.Tseitin.check_equiv ?conflict_limit:limit
-                    ?deadline:(Obs.Budget.deadline st.budget) st.env
-                    (L.of_node nd false) (L.of_node r compl))
+                    ?deadline:(Obs.Budget.deadline st.budget)
+                    ?certify:st.cert st.env (L.of_node nd false)
+                    (L.of_node r compl))
             with
             | Sat.Tseitin.Equivalent ->
               st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
+              if st.cert <> None then
+                st.stats.Stats.certified_unsat <-
+                  st.stats.Stats.certified_unsat + 1;
               Some (L.of_node r compl)
+            | Sat.Tseitin.Uncertified why ->
+              (* The solver answered but its certificate failed to
+                 replay. Treated exactly like budget exhaustion on this
+                 node: the merge is skipped and the node keeps its
+                 structural translation — degrade, never trust. *)
+              st.stats.Stats.certificate_rejected <-
+                st.stats.Stats.certificate_rejected + 1;
+              Obs.Trace.emitf
+                "certificate rejected (%s) — node %d keeps its structural \
+                 translation"
+                why nd;
+              None
+            | Sat.Tseitin.Counterexample ce
+              when st.cert <> None && not (ce_distinguishes st ce nd r compl)
+              ->
+              (* A counterexample that does not actually distinguish the
+                 cones refines nothing; feeding it to the pattern set
+                 would only launder a solver lie into the classes. *)
+              st.stats.Stats.certificate_rejected <-
+                st.stats.Stats.certificate_rejected + 1;
+              Obs.Trace.emitf
+                "counterexample rejected (does not distinguish nodes %d and \
+                 %d) — merge skipped"
+                nd r;
+              None
             | Sat.Tseitin.Counterexample ce ->
               st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
+              if st.cert <> None then
+                st.stats.Stats.certified_models <-
+                  st.stats.Stats.certified_models + 1;
               note_counterexample st ce;
               attempt (tried + 1) rest
             | Sat.Tseitin.Undetermined -> (
@@ -455,6 +538,16 @@ let run ?(config = stp_config) old_net =
   stats.Stats.initial_patterns <- P.num_patterns pats;
   let fresh = A.create ~capacity:(A.num_nodes old_net) () in
   let solver = Sat.Solver.create () in
+  (* Certified mode: the checker must observe the clause stream from the
+     first Tseitin clause on, so it attaches before any encoding. *)
+  let cert =
+    if config.certify then begin
+      let d = Sat.Drup.create () in
+      Sat.Drup.attach d solver;
+      Some d
+    end
+    else None
+  in
   let st =
     {
       cfg = config;
@@ -471,6 +564,10 @@ let run ?(config = stp_config) old_net =
       pending_ce = 0;
       env = Sat.Tseitin.create fresh solver;
       budget;
+      cert;
+      eval_val = [||];
+      eval_stamp = [||];
+      eval_epoch = 0;
     }
   in
   (* Guided init may already have eaten the whole budget. *)

@@ -58,6 +58,16 @@ type config = {
           fresh random patterns and raise {!Verification_failed} on any
           PO mismatch. Cheap relative to a sweep; the full SAT-backed
           check is {!Selfcheck.run}. *)
+  certify : bool;
+      (** certified mode: a {!Sat.Drup} checker replays the solver's
+          proof stream, UNSAT-driven merges are accepted only after
+          their refutation replays on the checker's own database, and
+          counterexamples must satisfy the CNF and re-distinguish the
+          two cones before they refine the classes. A rejected
+          certificate degrades its node to structural translation (like
+          budget exhaustion) and counts into
+          [Stats.certificate_rejected]. See DESIGN.md "Trust
+          boundary". *)
 }
 
 val fraig_config : config

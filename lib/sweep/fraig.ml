@@ -1,5 +1,5 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-    ?deadline ?timeout ?(verify = false) () =
+    ?deadline ?timeout ?(verify = false) ?(certify = false) () =
   let base = Engine.fraig_config in
   let deadline =
     match (deadline, timeout) with
@@ -18,13 +18,14 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
     sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
     deadline;
     verify;
+    certify;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-    ?deadline ?timeout ?verify net =
+    ?deadline ?timeout ?verify ?certify net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-      ?deadline ?timeout ?verify ()
+      ?deadline ?timeout ?verify ?certify ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

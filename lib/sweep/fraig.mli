@@ -15,6 +15,7 @@ val sweep :
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
+  ?certify:bool ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -27,5 +28,6 @@ val config :
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
+  ?certify:bool ->
   unit ->
   Engine.config

@@ -38,7 +38,7 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
       (* node is constantly [not want]. *)
       consts := (node, not want) :: !consts;
       false
-    | Sat.Tseitin.Undetermined -> false
+    | Sat.Tseitin.Undetermined | Sat.Tseitin.Uncertified _ -> false
   in
   let round threshold =
     let tbl = Sim.Bitwise.simulate_aig net pats in

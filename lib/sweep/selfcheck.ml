@@ -3,7 +3,10 @@ let run ?(config = Engine.stp_config) net =
   let swept, stats = Engine.run ~config net in
   (* The oracle runs with fault injection suspended: faults may degrade
      the sweep under test, never the check that judges its output. *)
-  (match Obs.Fault.bypass (fun () -> Cec.check net swept) with
+  (match
+     Obs.Fault.bypass (fun () ->
+         Cec.check ~certify:config.Engine.certify net swept)
+   with
   | Cec.Equivalent -> ()
   | Cec.Different { po; _ } ->
     raise

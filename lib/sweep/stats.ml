@@ -22,6 +22,9 @@ type t = {
   mutable sat_conflicts : int;
   mutable sat_propagations : int;
   mutable sat_learned : int;
+  mutable certified_unsat : int;
+  mutable certified_models : int;
+  mutable certificate_rejected : int;
   mutable budget_exhausted : exhaustion option;
 }
 
@@ -48,6 +51,9 @@ let create () =
     sat_conflicts = 0;
     sat_propagations = 0;
     sat_learned = 0;
+    certified_unsat = 0;
+    certified_models = 0;
+    certificate_rejected = 0;
     budget_exhausted = None;
   }
 
@@ -84,6 +90,9 @@ let to_json t =
             ("ce_patterns", Int t.ce_patterns);
             ("initial_patterns", Int t.initial_patterns);
             ("resimulations", Int t.resimulations);
+            ("certified_unsat", Int t.certified_unsat);
+            ("certified_models", Int t.certified_models);
+            ("certificate_rejected", Int t.certificate_rejected);
           ] );
       ( "phases_s",
         Obj
@@ -113,6 +122,9 @@ let pp ppf t =
     t.window_merges t.window_splits t.ce_patterns t.sim_time t.guided_time
     t.resim_time t.window_time t.sat_time t.total_time t.sat_decisions
     t.sat_conflicts t.sat_propagations t.sat_learned;
+  if t.certified_unsat + t.certified_models + t.certificate_rejected > 0 then
+    Format.fprintf ppf " cert_unsat=%d cert_models=%d cert_rejected=%d"
+      t.certified_unsat t.certified_models t.certificate_rejected;
   match t.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf ppf " budget_exhausted=%s/%s" e.reason e.phase

@@ -48,6 +48,16 @@ type t = {
   mutable sat_conflicts : int;
   mutable sat_propagations : int;
   mutable sat_learned : int;
+  mutable certified_unsat : int;
+      (** certified mode: UNSAT merges whose DRUP proof replayed — on a
+          healthy certified run this equals [sat_unsat] *)
+  mutable certified_models : int;
+      (** certified mode: SAT answers whose model validated (satisfies
+          the CNF and distinguishes the two cones on re-evaluation) *)
+  mutable certificate_rejected : int;
+      (** certified mode: solver answers whose certificate failed to
+          replay; each one degrades its node to structural translation,
+          exactly like budget exhaustion. Zero unless the solver lies. *)
   mutable budget_exhausted : exhaustion option;
       (** set once, at the moment the engine's budget first reports
           exhaustion; [None] on an unbudgeted or in-budget run *)

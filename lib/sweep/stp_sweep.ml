@@ -1,5 +1,5 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule
-    ?window_max_leaves ?sim_domains ?deadline ?timeout ?(verify = false) () =
+    ?window_max_leaves ?sim_domains ?deadline ?timeout ?(verify = false) ?(certify = false) () =
   let base = Engine.stp_config in
   let deadline =
     match (deadline, timeout) with
@@ -20,13 +20,14 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
     deadline;
     verify;
+    certify;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule
-    ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify net =
+    ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify ?certify net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule
-      ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify ()
+      ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify ?certify ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

@@ -10,7 +10,9 @@
     conflict limits re-tried on undetermined pairs. [verify] routes the
     sweep through {!Selfcheck.run}, raising
     {!Engine.Verification_failed} unless the result provably matches
-    the input. *)
+    the input. [certify] makes every solver answer carry a replayed
+    certificate ({!Engine.config}); rejected certificates degrade their
+    node instead of merging it. *)
 
 val sweep :
   ?seed:int64 ->
@@ -22,6 +24,7 @@ val sweep :
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
+  ?certify:bool ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -35,5 +38,6 @@ val config :
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
+  ?certify:bool ->
   unit ->
   Engine.config

@@ -310,7 +310,8 @@ let test_tseitin_equiv () =
   (match Ts.check_equiv env x1 x2 with
    | Ts.Equivalent -> ()
    | Ts.Counterexample _ -> Alcotest.fail "equivalent nodes reported different"
-   | Ts.Undetermined -> Alcotest.fail "undetermined");
+   | Ts.Undetermined -> Alcotest.fail "undetermined"
+   | Ts.Uncertified _ -> Alcotest.fail "uncertified without a checker");
   (* x1 vs a must differ; counterexample must actually distinguish. *)
   (match Ts.check_equiv env x1 a with
    | Ts.Counterexample ce ->
@@ -318,7 +319,8 @@ let test_tseitin_equiv () =
      let x = va <> vb in
      if x = va then Alcotest.fail "counterexample does not distinguish"
    | Ts.Equivalent -> Alcotest.fail "different nodes reported equivalent"
-   | Ts.Undetermined -> Alcotest.fail "undetermined")
+   | Ts.Undetermined -> Alcotest.fail "undetermined"
+   | Ts.Uncertified _ -> Alcotest.fail "uncertified without a checker")
 
 let test_tseitin_const () =
   let net = A.create () in

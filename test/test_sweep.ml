@@ -508,6 +508,93 @@ let test_fault_matrix () =
         Alcotest.failf "%s never struck across the seed matrix" site_name)
     sites
 
+let test_certified_sweep () =
+  (* Certified mode on an honest run: every UNSAT merge carries a
+     replayed proof, every counterexample validates, nothing is
+     rejected, and the counters surface in the JSON report. *)
+  let rng = Rng.create 0xCE47L in
+  let base = random_network rng ~pis:8 ~gates:120 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:21L ~fraction:0.5 base in
+  List.iter
+    (fun (label, sweeper) ->
+      let swept, st = sweeper net in
+      let open Sweep.Stats in
+      if not (exhaustive_equal net swept) then
+        Alcotest.failf "%s: certified sweep changed the function" label;
+      check_int (label ^ ": nothing rejected") 0 st.certificate_rejected;
+      check_int (label ^ ": every unsat certified") st.sat_unsat
+        st.certified_unsat;
+      check_int (label ^ ": every model certified") st.sat_sat
+        st.certified_models;
+      check_report_roundtrip (label ^ " certified") st;
+      let counters =
+        match Obs.Json.member "counters" (to_json st) with
+        | Some (Obs.Json.Obj _ as o) -> o
+        | _ -> Alcotest.failf "%s: no counters object in the report" label
+      in
+      List.iter
+        (fun k ->
+          match Obs.Json.member k counters with
+          | Some (Obs.Json.Int _) -> ()
+          | _ -> Alcotest.failf "%s: %s missing from the JSON report" label k)
+        [ "certified_unsat"; "certified_models"; "certificate_rejected" ])
+    [
+      ("fraig", fun n -> Sweep.Fraig.sweep ~certify:true ~initial_words:1 n);
+      ("stp", fun n -> Sweep.Stp_sweep.sweep ~certify:true ~initial_words:1 n);
+    ]
+
+let test_lying_solver_matrix () =
+  (* The adversarial sites × seeds × engines: a lying solver must never
+     get a wrong merge committed in certified mode. Every run's output
+     must stay equivalent (also re-judged by the engine's own
+     self-check), and across the matrix at least one lie must actually
+     fire and be rejected. *)
+  let sites = [ "sat.flip_unsat"; "sat.corrupt_proof"; "sat.bogus_model" ] in
+  let rng = Rng.create 0x11E5L in
+  let base = random_network rng ~pis:10 ~gates:150 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:17L ~fraction:0.5 base in
+  List.iter
+    (fun site_name ->
+      let site = Obs.Fault.register site_name in
+      let fired = ref 0 and rejected = ref 0 in
+      for seed = 1 to 5 do
+        List.iter
+          (fun (engine, sweeper) ->
+            let swept =
+              with_faults
+                (Printf.sprintf "seed=%d,%s:0.4" seed site_name)
+                (fun () ->
+                  let swept, st = sweeper net in
+                  fired := !fired + Obs.Fault.hits site;
+                  rejected :=
+                    !rejected + st.Sweep.Stats.certificate_rejected;
+                  swept)
+            in
+            if not (exhaustive_equal net swept) then
+              Alcotest.failf "%s/%s seed %d: a lie was committed" site_name
+                engine seed;
+            match Sweep.Cec.check net swept with
+            | Sweep.Cec.Equivalent -> ()
+            | _ ->
+              Alcotest.failf "%s/%s seed %d: CEC failed" site_name engine seed)
+          [
+            ( "fraig",
+              fun n ->
+                Sweep.Fraig.sweep ~certify:true ~verify:true ~initial_words:1 n
+            );
+            ( "stp",
+              fun n ->
+                Sweep.Stp_sweep.sweep ~certify:true ~verify:true
+                  ~initial_words:1 n );
+          ]
+      done;
+      if !fired = 0 then
+        Alcotest.failf "%s never struck across the seed matrix" site_name;
+      if !rejected = 0 then
+        Alcotest.failf "%s fired %d times but no certificate was rejected"
+          site_name !fired)
+    sites
+
 let test_parse_truncate_fault () =
   (* The parser-input fault: a truncated document must surface as
      Parse_error (or still parse, when the cut lands after the payload) —
@@ -533,7 +620,15 @@ let test_fault_catalog_complete () =
     (fun site ->
       if not (List.mem site cat) then
         Alcotest.failf "site %s not in the catalog" site)
-    [ "parse.truncate"; "sat.force_unknown"; "sweep.drop_ce"; "sweep.fail_window" ]
+    [
+      "parse.truncate";
+      "sat.force_unknown";
+      "sweep.drop_ce";
+      "sweep.fail_window";
+      "sat.flip_unsat";
+      "sat.corrupt_proof";
+      "sat.bogus_model";
+    ]
 
 let () =
   Alcotest.run "sweep"
@@ -574,6 +669,9 @@ let () =
           Alcotest.test_case "self-verify accepts a correct sweep" `Quick
             test_self_verify;
           Alcotest.test_case "fault matrix" `Slow test_fault_matrix;
+          Alcotest.test_case "certified sweep" `Quick test_certified_sweep;
+          Alcotest.test_case "lying-solver matrix" `Slow
+            test_lying_solver_matrix;
           Alcotest.test_case "parser truncation fault" `Quick
             test_parse_truncate_fault;
           Alcotest.test_case "fault catalog complete" `Quick
