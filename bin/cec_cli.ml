@@ -8,7 +8,8 @@ open Stp_sweep
 
 let run a b certify =
   Report.cli_guard @@ fun () ->
-  let net_a = Aig.Aiger.read_file a and net_b = Aig.Aiger.read_file b in
+  let _, net_a = Report.load_network ~file:a () in
+  let _, net_b = Report.load_network ~file:b () in
   Printf.printf "%s: %s\n" a (Format.asprintf "%a" Aig.Network.pp_stats net_a);
   Printf.printf "%s: %s\n" b (Format.asprintf "%a" Aig.Network.pp_stats net_b);
   match Sweep.Cec.check ~certify net_a net_b with

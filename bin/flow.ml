@@ -1,97 +1,57 @@
-(* Full optimization flow CLI: STP sweep -> exact rewrite -> balance,
-   with CEC verification and per-stage statistics.
+(* Script-driven optimization flow CLI, ABC-style:
 
-     dune exec bin/flow.exe -- -c oski2b1i --verify
+     dune exec bin/flow.exe -- --circuit oski2b1i --verify
      dune exec bin/flow.exe -- --aig design.aag -o out.aag
-*)
+     dune exec bin/flow.exe -- --circuit voter \
+       -c "sweep -e stp; rewrite; balance; sweep -e fraig; verify"
+
+   Without -c, the legacy flags compile into the classic
+   sweep -> rewrite -> balance script, so old invocations keep their
+   behaviour (and their output network, for a fixed seed). Either way
+   the pipeline runs through Pass.run_pipeline: one shared budget
+   (--timeout), per-pass JSON records, and PR 3 degradation semantics
+   across the whole script. *)
 
 open Stp_sweep
 
-let load ~circuit ~file =
-  match (circuit, file) with
-  | Some name, None -> (
-    (name, try Gen.Suites.hwmcc_by_name name
-     with Not_found -> Gen.Suites.epfl_by_name name))
-  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
-  | _ ->
-    prerr_endline "exactly one of --circuit or --aig is required";
-    exit 2
+let default_script ~engine ~no_rewrite ~no_balance ~verify =
+  let b = Buffer.create 64 in
+  Buffer.add_string b
+    (match engine with `Stp -> "sweep -e stp" | `Fraig -> "sweep -e fraig");
+  if not no_rewrite then Buffer.add_string b "; rewrite";
+  if not no_balance then Buffer.add_string b "; balance";
+  if verify then Buffer.add_string b "; verify";
+  Buffer.contents b
 
-let stage_json name n =
-  Obs.Json.Obj
-    [
-      ("stage", Obs.Json.String name);
-      ("ands", Obs.Json.Int (Aig.Network.num_ands n));
-      ("depth", Obs.Json.Int (Aig.Network.depth n));
-    ]
-
-let run circuit file engine domains timeout verify certify output no_rewrite
-    no_balance json trace () =
+let run circuit file script engine domains timeout verify certify output
+    no_rewrite no_balance json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
-  let name, net = load ~circuit ~file in
-  let show stage n =
-    Printf.printf "%-14s %s\n%!" stage (Format.asprintf "%a" Aig.Network.pp_stats n)
+  let name, net = Report.load_network ?circuit ?file () in
+  let script, passes =
+    match script with
+    | None ->
+      let s = default_script ~engine ~no_rewrite ~no_balance ~verify in
+      (s, Script.compile s)
+    | Some s ->
+      let passes = Script.compile s in
+      (* --verify on top of a script appends a final CEC unless the
+         script already ends with one. *)
+      let ends_with_verify =
+        match List.rev passes with
+        | p :: _ -> p.Pass.name = "verify"
+        | [] -> false
+      in
+      if verify && not ends_with_verify then
+        (s ^ "; verify", passes @ Script.compile "verify")
+      else (s, passes)
   in
+  let echo s = print_string s; flush stdout in
+  let ctx = Pass.create_ctx ~sim_domains:domains ?timeout ~certify ~echo net in
+  echo (Printf.sprintf "%-14s %s\n" name
+          (Format.asprintf "%a" Aig.Network.pp_stats net));
   let t_flow = Obs.Clock.now () in
-  let stages = ref [ stage_json "input" net ] in
-  show name net;
-  let swept, stats =
-    match engine with
-    | `Stp -> Sweep.Stp_sweep.sweep ~sim_domains:domains ?timeout ~certify net
-    | `Fraig -> Sweep.Fraig.sweep ~sim_domains:domains ?timeout ~certify net
-  in
-  show "sweep" swept;
-  Printf.printf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
-  if certify then
-    Printf.printf "  certificates: unsat=%d models=%d rejected=%d\n"
-      stats.Sweep.Stats.certified_unsat stats.Sweep.Stats.certified_models
-      stats.Sweep.Stats.certificate_rejected;
-  (match stats.Sweep.Stats.budget_exhausted with
-  | Some { Sweep.Stats.reason; phase } ->
-    Printf.printf
-      "  budget exhausted (%s) during %s — partial sweep, every applied \
-       merge is proven\n"
-      reason phase
-  | None -> ());
-  stages := stage_json "sweep" swept :: !stages;
-  let rewritten =
-    if no_rewrite then swept
-    else begin
-      let r, st = Synth.Rewrite.rewrite swept in
-      show "rewrite" r;
-      Printf.printf "  applied=%d classes=%d\n" st.Synth.Rewrite.applied
-        st.Synth.Rewrite.classes_synthesized;
-      stages := stage_json "rewrite" r :: !stages;
-      r
-    end
-  in
-  let final =
-    if no_balance then rewritten
-    else begin
-      let b, _ = Aig.Balance.balance rewritten in
-      show "balance" b;
-      stages := stage_json "balance" b :: !stages;
-      b
-    end
-  in
-  let cec =
-    if not verify then None
-    else
-      (* The verification oracle is not itself a fault target: with
-         STP_SWEEP_FAULTS armed this check judges the degraded flow,
-         so it runs with injection suspended. *)
-      match Obs.Fault.bypass (fun () -> Sweep.Cec.check net final) with
-      | Sweep.Cec.Equivalent ->
-        print_endline "cec: equivalent";
-        Some "equivalent"
-      | Sweep.Cec.Different { po; _ } ->
-        Printf.printf "cec: DIFFERENT at output %d\n" po;
-        Some "different"
-      | Sweep.Cec.Undetermined po ->
-        Printf.printf "cec: undetermined at output %d\n" po;
-        Some "undetermined"
-  in
+  let final, records = Pass.run_pipeline ctx passes net in
   let total_s = Obs.Clock.now () -. t_flow in
   (match output with
   | Some path ->
@@ -107,25 +67,38 @@ let run circuit file engine domains timeout verify certify output no_rewrite
          (Report.run_meta ~tool:"flow"
          @ [
              ("circuit", String name);
-             ("engine", String (match engine with `Stp -> "stp" | `Fraig -> "fraig"));
+             ("script", String script);
              ("domains", Int domains);
              ("certify", Bool certify);
-             ("stages", List (List.rev !stages));
-             ("sweep", Sweep.Stats.to_json stats);
-             ( "cec",
-               match cec with Some s -> String s | None -> Null );
-             ("flow_total_s", Float total_s);
-           ]));
+             ("input", Aig.Network.stats_json net);
+             ("output", Aig.Network.stats_json final);
+           ]
+         @ Pass.summary_json ctx records
+         @ [ ("flow_total_s", Float total_s) ]));
     Printf.printf "wrote: %s\n" path);
-  if cec = Some "different" then exit 1
+  if Pass.any_different ctx then exit 1
 
 open Cmdliner
 
-let circuit = Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~doc:"Named benchmark.")
+let circuit =
+  Arg.(value & opt (some string) None & info [ "circuit" ] ~doc:"Named benchmark.")
+
 let file = Arg.(value & opt (some file) None & info [ "aig" ] ~doc:"ASCII AIGER file.")
+
+let script =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "command" ] ~docv:"SCRIPT"
+        ~doc:
+          "Flow script, ABC-style: passes separated by ';', e.g. \
+           $(b,\"sweep -e stp; rewrite; balance; verify\"). Available \
+           passes: sweep, rewrite, balance, cleanup, verify, ps. \
+           Overrides the legacy stage flags.")
+
 let engine =
   Arg.(value & opt (enum [ ("stp", `Stp); ("fraig", `Fraig) ]) `Stp
-       & info [ "engine"; "e" ] ~doc:"Sweeping engine.")
+       & info [ "engine"; "e" ] ~doc:"Sweeping engine (legacy flow; use -c for scripts).")
 let domains =
   Arg.(value & opt int 1
        & info [ "domains"; "d" ]
@@ -137,21 +110,26 @@ let timeout =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SEC"
         ~doc:
-          "Wall-clock budget for the sweep stage; on exhaustion the sweep \
-           degrades to structural translation and the flow continues.")
-let verify = Arg.(value & flag & info [ "verify" ] ~doc:"CEC-verify the result.")
+          "Wall-clock budget for the whole pipeline; on exhaustion the \
+           current sweep degrades to structural translation, remaining \
+           transform passes are skipped (and reported), and verify still \
+           runs.")
+let verify =
+  Arg.(value & flag
+       & info [ "verify" ] ~doc:"CEC-verify the result (appends a verify pass).")
 
 let certify =
   Arg.(
     value & flag
     & info [ "certify" ]
         ~doc:
-          "Certified sweep stage: solver answers are accepted only with a \
-           replayed DRUP proof / validated model.")
+          "Certified pipeline: solver answers in every sweep and every \
+           verify CEC are accepted only with a replayed DRUP proof / \
+           validated model.")
 
 let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"Output AIGER path.")
-let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage.")
-let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balance stage.")
+let no_rewrite = Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Skip the rewrite stage (legacy flow).")
+let no_balance = Arg.(value & flag & info [ "no-balance" ] ~doc:"Skip the balance stage (legacy flow).")
 
 let json =
   Arg.(
@@ -166,9 +144,9 @@ let trace =
 
 let cmd =
   Cmd.v
-    (Cmd.info "flow" ~doc:"sweep -> rewrite -> balance optimization flow")
-    Term.(const (fun a b c d e f g h i j k l -> run a b c d e f g h i j k l ())
-          $ circuit $ file $ engine $ domains $ timeout $ verify $ certify
-          $ output $ no_rewrite $ no_balance $ json $ trace)
+    (Cmd.info "flow" ~doc:"script-driven optimization flow (default: sweep -> rewrite -> balance)")
+    Term.(const (fun a b c d e f g h i j k l m -> run a b c d e f g h i j k l m ())
+          $ circuit $ file $ script $ engine $ domains $ timeout $ verify
+          $ certify $ output $ no_rewrite $ no_balance $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -1,73 +1,50 @@
 (* The 'sweep' command: SAT-sweep a circuit with the baseline or STP
    engine, print statistics, optionally verify with CEC and write the
-   swept network back out as ASCII AIGER. *)
+   swept network back out as ASCII AIGER.
+
+   Runs as a one-pass pipeline (plus a verify pass under --verify)
+   through the same Pass.run_pipeline as bin/flow.exe, so budgets,
+   degradation and certification behave identically across CLIs. *)
 
 open Stp_sweep
-
-let load ~circuit ~file =
-  match (circuit, file) with
-  | Some name, None -> (
-    (name, try Gen.Suites.hwmcc_by_name name
-     with Not_found -> Gen.Suites.epfl_by_name name))
-  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
-  | _ ->
-    prerr_endline "exactly one of --circuit or --aig is required";
-    exit 2
 
 let run circuit file engine timeout retries self_verify verify certify output
     json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
-  let name, net = load ~circuit ~file in
-  Printf.printf "circuit %s: %s\n" name
-    (Format.asprintf "%a" Aig.Network.pp_stats net);
-  let swept, stats =
-    match engine with
-    | `Stp ->
-      Sweep.Stp_sweep.sweep ?timeout ?retry_schedule:retries
-        ~verify:self_verify ~certify net
-    | `Fraig ->
-      Sweep.Fraig.sweep ?timeout ?retry_schedule:retries ~verify:self_verify
-        ~certify net
+  let name, net = Report.load_network ?circuit ?file () in
+  let script =
+    let b = Buffer.create 32 in
+    Buffer.add_string b
+      (match engine with `Stp -> "sweep -e stp" | `Fraig -> "sweep -e fraig");
+    (match retries with
+    | Some limits ->
+      Buffer.add_string b
+        (" --retry-schedule "
+        ^ String.concat "," (List.map string_of_int limits))
+    | None -> ());
+    if verify then Buffer.add_string b "; verify";
+    Buffer.contents b
   in
-  Printf.printf "swept:   %s\n" (Format.asprintf "%a" Aig.Network.pp_stats swept);
-  Printf.printf "stats:   %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats);
-  (match stats.Sweep.Stats.budget_exhausted with
-  | Some { Sweep.Stats.reason; phase } ->
-    Printf.printf
-      "budget:  exhausted (%s) during %s — partial sweep, every applied \
-       merge is proven\n"
-      reason phase
-  | None -> ());
-  if certify then
-    Printf.printf "certs:   unsat=%d models=%d rejected=%d\n"
-      stats.Sweep.Stats.certified_unsat stats.Sweep.Stats.certified_models
-      stats.Sweep.Stats.certificate_rejected;
-  let cec =
-    if not verify then None
-    else
-      (* Like flow and Selfcheck, the CEC oracle judges the (possibly
-         fault-degraded) sweep with injection suspended. *)
-      match Obs.Fault.bypass (fun () -> Sweep.Cec.check net swept) with
-      | Sweep.Cec.Equivalent ->
-        print_endline "cec:     equivalent";
-        Some "equivalent"
-      | Sweep.Cec.Different { po; _ } ->
-        Printf.printf "cec:     DIFFERENT at output %d\n" po;
-        Some "different"
-      | Sweep.Cec.Undetermined po ->
-        Printf.printf "cec:     undetermined at output %d\n" po;
-        Some "undetermined"
+  let echo s = print_string s; flush stdout in
+  let ctx =
+    Pass.create_ctx ?timeout ~verify:self_verify ~certify ~echo net
   in
+  echo (Printf.sprintf "%-14s %s\n" name
+          (Format.asprintf "%a" Aig.Network.pp_stats net));
+  let swept, records = Pass.run_pipeline ctx (Script.compile script) net in
   (match output with
   | Some path ->
     Aig.Aiger.write_file path swept;
-    Printf.printf "wrote:   %s\n" path
+    Printf.printf "wrote: %s\n" path
   | None -> ());
   (match json with
   | None -> ()
   | Some path ->
     let open Obs.Json in
+    (* The sweep statistics live in the pass record
+       (passes[0].stats), not in a duplicated top-level object —
+       schema_version 2, documented in EXPERIMENTS.md. *)
     to_file path
       (Obj
          (Report.run_meta ~tool:"sweep"
@@ -77,11 +54,10 @@ let run circuit file engine timeout retries self_verify verify certify output
              ("input_ands", Int (Aig.Network.num_ands net));
              ("result_ands", Int (Aig.Network.num_ands swept));
              ("certify", Bool certify);
-             ("sweep", Sweep.Stats.to_json stats);
-             ("cec", match cec with Some s -> String s | None -> Null);
-           ]));
-    Printf.printf "wrote:   %s\n" path);
-  if cec = Some "different" then exit 1
+           ]
+         @ Pass.summary_json ctx records));
+    Printf.printf "wrote: %s\n" path);
+  if Pass.any_different ctx then exit 1
 
 open Cmdliner
 

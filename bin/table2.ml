@@ -13,7 +13,7 @@ let run ~names ~timeout ~verify ~certify ~json ~trace () =
   let suite =
     match names with
     | [] -> Gen.Suites.hwmcc ()
-    | names -> List.map (fun n -> (n, Gen.Suites.hwmcc_by_name n)) names
+    | names -> List.map (fun n -> Report.load_network ~circuit:n ()) names
   in
   Printf.printf "Table II: SAT sweeping, &fraig-style baseline vs STP engine\n\n";
   let rows = ref [] in

@@ -215,3 +215,12 @@ let cleanup t = rebuild t
 let pp_stats ppf t =
   Format.fprintf ppf "pi=%d po=%d and=%d lev=%d" (num_pis t) (num_pos t)
     (num_ands t) (depth t)
+
+let stats_json t =
+  Obs.Json.Obj
+    [
+      ("pis", Obs.Json.Int (num_pis t));
+      ("pos", Obs.Json.Int (num_pos t));
+      ("ands", Obs.Json.Int (num_ands t));
+      ("depth", Obs.Json.Int (depth t));
+    ]

@@ -99,3 +99,7 @@ val cleanup : t -> t * Lit.t array
 
 val pp_stats : Format.formatter -> t -> unit
 (** One-line [pi/po/and/level] summary. *)
+
+val stats_json : t -> Obs.Json.t
+(** The same summary as a flat object ([pis]/[pos]/[ands]/[depth]) —
+    the record the pass manager embeds per pipeline stage. *)

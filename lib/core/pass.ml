@@ -1,0 +1,403 @@
+(* The pass manager: named, first-class network transforms over a shared
+   pipeline context, a registry of built-in passes, and the runner that
+   threads one network through a pipeline under a single budget.
+
+   This is the architecture move from "bin/flow.ml hardcodes
+   sweep -> rewrite -> balance" to ABC-style composable flows: every CLI
+   compiles its flags into a script (see {!Script}), every script
+   becomes a list of passes, and budget / degradation / certification
+   semantics hold for the whole pipeline instead of per call. *)
+
+module A = Aig.Network
+
+type ctx = {
+  seed : int64 option;
+      (* None -> each engine keeps its own default seed, which is what
+         makes the legacy flow byte-identical to the pre-pass-manager
+         binaries *)
+  sim_domains : int;
+  budget : Obs.Budget.t;
+  verify : bool;
+  certify : bool;
+  metrics : Obs.Metrics.t;
+  input : A.t;
+  mutable checkpoint : A.t;
+  mutable verdicts : string list;
+  echo : string -> unit;
+}
+
+let create_ctx ?seed ?(sim_domains = 1) ?timeout ?(verify = false)
+    ?(certify = false) ?(echo = print_string) input =
+  let budget =
+    match timeout with
+    | Some s -> Obs.Budget.create ~timeout:s ()
+    | None -> Obs.Budget.unlimited ()
+  in
+  {
+    seed;
+    sim_domains;
+    budget;
+    verify;
+    certify;
+    metrics = Obs.Metrics.create ();
+    input;
+    checkpoint = input;
+    verdicts = [];
+    echo;
+  }
+
+type t = {
+  name : string;
+  args : (string * string) list;
+  transform : bool;
+  run : ctx -> A.t -> A.t * Obs.Json.t;
+}
+
+(* ---- registry ---- *)
+
+type arity = Unit | Value
+
+type flag = { keys : string list; arity : arity; flag_doc : string }
+
+type spec = {
+  pass : string;
+  doc : string;
+  flags : flag list;
+  transform : bool;
+  make : (string * string) list -> ctx -> A.t -> A.t * Obs.Json.t;
+}
+
+exception Bad_arg of string * string
+
+let canonical_key f =
+  let k = List.hd f.keys in
+  let i = ref 0 in
+  while !i < String.length k && k.[!i] = '-' do
+    incr i
+  done;
+  String.sub k !i (String.length k - !i)
+
+let registry : (string, spec) Hashtbl.t = Hashtbl.create 16
+
+let register spec = Hashtbl.replace registry spec.pass spec
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+  |> List.sort String.compare
+
+(* ---- built-in passes ---- *)
+
+let int_arg key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> raise (Bad_arg (key, Printf.sprintf "expected an integer, got '%s'" v))
+
+let sweep_make args =
+  let engine =
+    match List.assoc_opt "engine" args with
+    | None | Some "stp" -> `Stp
+    | Some "fraig" -> `Fraig
+    | Some other ->
+      raise
+        (Bad_arg ("engine", Printf.sprintf "unknown engine '%s' (stp|fraig)" other))
+  in
+  let retry_schedule =
+    Option.map
+      (fun v ->
+        String.split_on_char ',' v
+        |> List.map (fun s -> int_arg "retry-schedule" (String.trim s)))
+      (List.assoc_opt "retry-schedule" args)
+  in
+  let conflict_limit =
+    Option.map (int_arg "conflict-limit") (List.assoc_opt "conflict-limit" args)
+  in
+  fun ctx net ->
+    (* The pipeline budget is shared via its absolute deadline: a sweep
+       that starts with 0.3s left gets exactly those 0.3s, and the
+       engine's own degradation (PR 3) handles mid-pass exhaustion. *)
+    let deadline = Obs.Budget.deadline ctx.budget in
+    let swept, stats =
+      match engine with
+      | `Stp ->
+        Sweep.Stp_sweep.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
+          ~sim_domains:ctx.sim_domains ?deadline ~verify:ctx.verify
+          ~certify:ctx.certify net
+      | `Fraig ->
+        Sweep.Fraig.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
+          ~sim_domains:ctx.sim_domains ?deadline ~verify:ctx.verify
+          ~certify:ctx.certify net
+    in
+    ctx.echo
+      (Printf.sprintf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats));
+    if ctx.certify then
+      ctx.echo
+        (Printf.sprintf "  certificates: unsat=%d models=%d rejected=%d\n"
+           stats.Sweep.Stats.certified_unsat stats.Sweep.Stats.certified_models
+           stats.Sweep.Stats.certificate_rejected);
+    (match stats.Sweep.Stats.budget_exhausted with
+    | Some { Sweep.Stats.reason; phase } ->
+      ctx.echo
+        (Printf.sprintf
+           "  budget exhausted (%s) during %s — partial sweep, every applied \
+            merge is proven\n"
+           reason phase)
+    | None -> ());
+    let fields =
+      match Sweep.Stats.to_json stats with
+      | Obs.Json.Obj fields -> fields
+      | other -> [ ("sweep", other) ]
+    in
+    ( swept,
+      Obs.Json.Obj
+        (("engine", Obs.Json.String (match engine with `Stp -> "stp" | `Fraig -> "fraig"))
+        :: fields) )
+
+let rewrite_make args =
+  let k = Option.map (int_arg "k") (List.assoc_opt "k" args) in
+  let conflict_limit =
+    Option.map (int_arg "conflict-limit") (List.assoc_opt "conflict-limit" args)
+  in
+  fun ctx net ->
+    let r, st = Synth.Rewrite.rewrite ?k ?conflict_limit net in
+    ctx.echo
+      (Printf.sprintf "  applied=%d classes=%d\n" st.Synth.Rewrite.applied
+         st.Synth.Rewrite.classes_synthesized);
+    (r, Synth.Rewrite.stats_to_json st)
+
+let balance_make _args _ctx net =
+  let b, map = Aig.Balance.balance net in
+  let dropped =
+    Array.fold_left (fun acc l -> if l = -1 then acc + 1 else acc) 0 map
+  in
+  (b, Obs.Json.Obj [ ("dropped_nodes", Obs.Json.Int dropped) ])
+
+let cleanup_make _args _ctx net =
+  let c, _ = A.cleanup net in
+  ( c,
+    Obs.Json.Obj
+      [ ("removed_nodes", Obs.Json.Int (A.num_nodes net - A.num_nodes c)) ] )
+
+let verify_make args =
+  let against_input = List.mem_assoc "input" args in
+  fun ctx net ->
+    let baseline = if against_input then ctx.input else ctx.checkpoint in
+    (* The verification oracle judges the (possibly fault-degraded)
+       pipeline, so it runs with injection suspended — same contract as
+       Selfcheck and the pre-pass-manager flow. *)
+    let verdict =
+      Obs.Fault.bypass (fun () ->
+          Sweep.Cec.check ~certify:ctx.certify baseline net)
+    in
+    let s, po =
+      match verdict with
+      | Sweep.Cec.Equivalent ->
+        ctx.echo "cec: equivalent\n";
+        (* A proven network becomes the reference for the next verify
+           pass, so long scripts can checkpoint intermediate states. *)
+        ctx.checkpoint <- net;
+        ("equivalent", None)
+      | Sweep.Cec.Different { po; _ } ->
+        ctx.echo (Printf.sprintf "cec: DIFFERENT at output %d\n" po);
+        ("different", Some po)
+      | Sweep.Cec.Undetermined po ->
+        ctx.echo (Printf.sprintf "cec: undetermined at output %d\n" po);
+        ("undetermined", Some po)
+    in
+    ctx.verdicts <- s :: ctx.verdicts;
+    ( net,
+      Obs.Json.Obj
+        [
+          ("cec", Obs.Json.String s);
+          ( "against",
+            Obs.Json.String (if against_input then "input" else "checkpoint") );
+          ("po", match po with None -> Obs.Json.Null | Some p -> Obs.Json.Int p);
+        ] )
+
+let ps_make _args _ctx net = (net, A.stats_json net)
+
+let () =
+  List.iter register
+    [
+      {
+        pass = "sweep";
+        doc = "SAT-sweep the network (engines: stp, fraig)";
+        flags =
+          [
+            (* Long alias first: it names the canonical key ("engine")
+               that make receives and the report renders. *)
+            { keys = [ "--engine"; "-e" ]; arity = Value; flag_doc = "stp|fraig" };
+            {
+              keys = [ "--retry-schedule" ];
+              arity = Value;
+              flag_doc = "escalating conflict limits, comma-separated";
+            };
+            {
+              keys = [ "--conflict-limit" ];
+              arity = Value;
+              flag_doc = "per-query conflict cap";
+            };
+          ];
+        transform = true;
+        make = sweep_make;
+      };
+      {
+        pass = "rewrite";
+        doc = "cut-based rewriting with exact resynthesis";
+        flags =
+          [
+            { keys = [ "-k" ]; arity = Value; flag_doc = "cut size (default 4)" };
+            {
+              keys = [ "--conflict-limit" ];
+              arity = Value;
+              flag_doc = "per-class exact-synthesis conflict cap";
+            };
+          ];
+        transform = true;
+        make = rewrite_make;
+      };
+      {
+        pass = "balance";
+        doc = "AND-tree balancing";
+        flags = [];
+        transform = true;
+        make = (fun args -> balance_make args);
+      };
+      {
+        pass = "cleanup";
+        doc = "drop dead nodes";
+        flags = [];
+        transform = true;
+        make = (fun args -> cleanup_make args);
+      };
+      {
+        pass = "verify";
+        doc = "CEC against the pipeline input (or the last checkpoint)";
+        flags =
+          [
+            {
+              keys = [ "--input" ];
+              arity = Unit;
+              flag_doc = "check against the pipeline input, not the last checkpoint";
+            };
+          ];
+        transform = false;
+        make = verify_make;
+      };
+      {
+        pass = "ps";
+        doc = "record network statistics";
+        flags = [];
+        transform = false;
+        make = (fun args -> ps_make args);
+      };
+    ]
+
+(* ---- runner ---- *)
+
+type record = {
+  r_name : string;
+  r_args : (string * string) list;
+  r_skipped : string option;
+  r_ands_before : int;
+  r_depth_before : int;
+  r_ands_after : int;
+  r_depth_after : int;
+  r_wall_s : float;
+  r_detail : Obs.Json.t;
+}
+
+let record_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("pass", String r.r_name);
+      ("args", Obj (List.map (fun (k, v) -> (k, String v)) r.r_args));
+      ("skipped", match r.r_skipped with None -> Null | Some s -> String s);
+      ("ands_before", Int r.r_ands_before);
+      ("depth_before", Int r.r_depth_before);
+      ("ands_after", Int r.r_ands_after);
+      ("depth_after", Int r.r_depth_after);
+      ("wall_s", Float r.r_wall_s);
+      ("stats", r.r_detail);
+    ]
+
+let run_pipeline ctx passes net0 =
+  let records = ref [] in
+  let net = ref net0 in
+  List.iter
+    (fun (p : t) ->
+      let ands_before = A.num_ands !net and depth_before = A.depth !net in
+      (* PR 3 degradation, pipeline-wide: once the shared budget is
+         exhausted, remaining transform passes are skipped and reported;
+         verify and ps still run — a degraded result must still be
+         checkable. *)
+      let skipped =
+        if p.transform then
+          match Obs.Budget.check_now ctx.budget with
+          | Some reason -> Some (Obs.Budget.reason_to_string reason)
+          | None -> None
+        else None
+      in
+      match skipped with
+      | Some reason ->
+        ctx.echo
+          (Printf.sprintf "%-14s skipped (budget exhausted: %s)\n" p.name
+             reason);
+        Obs.Metrics.incr ctx.metrics "passes.skipped";
+        records :=
+          {
+            r_name = p.name;
+            r_args = p.args;
+            r_skipped = skipped;
+            r_ands_before = ands_before;
+            r_depth_before = depth_before;
+            r_ands_after = ands_before;
+            r_depth_after = depth_before;
+            r_wall_s = 0.;
+            r_detail = Obs.Json.Null;
+          }
+          :: !records
+      | None ->
+        let t0 = Obs.Clock.now () in
+        let out, detail = p.run ctx !net in
+        let dt = Obs.Clock.now () -. t0 in
+        Obs.Metrics.add_time ctx.metrics ("pass." ^ p.name) dt;
+        Obs.Metrics.incr ctx.metrics "passes.run";
+        net := out;
+        ctx.echo
+          (Printf.sprintf "%-14s %s\n" p.name
+             (Format.asprintf "%a" A.pp_stats out));
+        records :=
+          {
+            r_name = p.name;
+            r_args = p.args;
+            r_skipped = None;
+            r_ands_before = ands_before;
+            r_depth_before = depth_before;
+            r_ands_after = A.num_ands out;
+            r_depth_after = A.depth out;
+            r_wall_s = dt;
+            r_detail = detail;
+          }
+          :: !records)
+    passes;
+  (!net, List.rev !records)
+
+let skipped_count records =
+  List.length (List.filter (fun r -> r.r_skipped <> None) records)
+
+let last_verdict ctx =
+  match ctx.verdicts with [] -> None | v :: _ -> Some v
+
+let any_different ctx = List.mem "different" ctx.verdicts
+
+let summary_json ctx records =
+  let open Obs.Json in
+  [
+    ("passes", List (List.map record_json records));
+    ("skipped_passes", Int (skipped_count records));
+    ( "cec",
+      match last_verdict ctx with None -> Null | Some v -> String v );
+  ]

@@ -53,6 +53,9 @@ let cli_guard f =
   | Aig.Aiger.Parse_error msg ->
     Printf.eprintf "parse error: %s\n" msg;
     exit 2
+  | Script.Parse_error msg ->
+    Printf.eprintf "script error: %s\n" msg;
+    exit 2
   | Klut.Blif.Parse_error msg ->
     Printf.eprintf "parse error: %s\n" msg;
     exit 2
@@ -66,9 +69,33 @@ let cli_guard f =
     Printf.eprintf "verification failed: %s\n" msg;
     exit 3
 
+(* The one benchmark/AIGER loader behind every CLI's --circuit/--aig
+   pair (it used to be copy-pasted per binary). Unknown names and
+   missing/extra flags exit 2, matching cli_guard's surface for
+   malformed files. *)
+let load_network ?circuit ?file () =
+  match (circuit, file) with
+  | Some name, None -> (
+    ( name,
+      try Gen.Suites.hwmcc_by_name name
+      with Not_found -> (
+        try Gen.Suites.epfl_by_name name
+        with Not_found ->
+          Printf.eprintf
+            "unknown benchmark '%s' (the named HWMCC/EPFL-family suites are \
+             listed in Gen.Suites)\n"
+            name;
+          exit 2) ))
+  | None, Some path -> (Filename.basename path, Aig.Aiger.read_file path)
+  | _ ->
+    prerr_endline "exactly one of --circuit or --aig is required";
+    exit 2
+
 let run_meta ~tool =
   [
-    ("schema_version", Obs.Json.Int 1);
+    (* 2: flow/sweep reports carry per-pass records ("passes") instead
+       of the ad-hoc "stages"/top-level "sweep" sections. *)
+    ("schema_version", Obs.Json.Int 2);
     ("tool", Obs.Json.String tool);
     ("generated_at_unix_s", Obs.Json.Float (Obs.Clock.now ()));
     ( "argv",

@@ -23,12 +23,21 @@ val fmt_time : float -> string
 val fmt_ratio : float -> string
 
 val cli_guard : (unit -> 'a) -> 'a
-(** Wraps a CLI body. Malformed or unreadable input files
+(** Wraps a CLI body. Malformed or unreadable inputs
     ([Aig.Aiger.Parse_error], [Klut.Blif.Parse_error],
-    [Sat.Dimacs.Parse_error], [Sys_error]) become a one-line stderr
-    message and exit code 2; [Sweep.Engine.Verification_failed] becomes
-    one and exit code 3. Anything else propagates (Cmdliner reports it
-    as exit 125). *)
+    [Sat.Dimacs.Parse_error], [Script.Parse_error], [Sys_error]) become
+    a one-line stderr message and exit code 2;
+    [Sweep.Engine.Verification_failed] becomes one and exit code 3.
+    Anything else propagates (Cmdliner reports it as exit 125). *)
+
+val load_network :
+  ?circuit:string -> ?file:string -> unit -> string * Aig.Network.t
+(** The shared [--circuit NAME | --aig FILE] loader: a named generated
+    benchmark (HWMCC family first, then EPFL) or an ASCII AIGER file.
+    Returns the display name (basename for files) and the network.
+    Exactly one source must be given; violations and unknown benchmark
+    names print to stderr and exit 2 — combine with {!cli_guard} so
+    unreadable files share the same exit surface. *)
 
 val run_meta : tool:string -> (string * Obs.Json.t) list
 (** The header fields every [--json] run report starts with:

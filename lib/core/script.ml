@@ -1,0 +1,127 @@
+(* ABC-style flow scripts: "sweep -e stp; rewrite; balance; verify".
+
+   The grammar is deliberately tiny — commands separated by ';', each a
+   pass name followed by flags — and every error carries the 1-based
+   column of the offending token, in the same Parse_error style as the
+   AIGER / BLIF / DIMACS readers (Report.cli_guard maps it to exit 2). *)
+
+exception Parse_error of string
+
+let fail pos fmt =
+  Printf.ksprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "col %d: %s" pos s)))
+    fmt
+
+type token = { text : string; pos : int }
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if is_space c then incr i
+    else if c = ';' then begin
+      toks := { text = ";"; pos = !i + 1 } :: !toks;
+      incr i
+    end
+    else begin
+      let start = !i in
+      while !i < n && (not (is_space s.[!i])) && s.[!i] <> ';' do
+        incr i
+      done;
+      toks := { text = String.sub s start (!i - start); pos = start + 1 } :: !toks
+    end
+  done;
+  List.rev !toks
+
+let is_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let parse s =
+  let toks = tokenize s in
+  if toks = [] then raise (Parse_error "col 1: empty script");
+  (* Split on ';', rejecting empty commands — including the dangling
+     trailing one, so "sweep;" is a hard error rather than a silent
+     no-op pass. *)
+  let rec split current acc last_sep = function
+    | [] -> (
+      match current with
+      | [] ->
+        let pos = match last_sep with Some p -> p | None -> 1 in
+        fail pos "dangling ';' — a pass must follow"
+      | c -> List.rev (List.rev c :: acc))
+    | t :: rest when t.text = ";" -> (
+      match current with
+      | [] -> fail t.pos "empty command before ';'"
+      | c -> split [] (List.rev c :: acc) (Some t.pos) rest)
+    | t :: rest -> split (t :: current) acc last_sep rest
+  in
+  let cmds = split [] [] None toks in
+  List.map
+    (fun toks ->
+      match toks with
+      | [] -> assert false
+      | name :: args ->
+        if not (is_name name.text) then
+          fail name.pos "expected a pass name, got '%s'" name.text;
+        (name, args))
+    cmds
+
+let compile s =
+  let cmds = parse s in
+  List.map
+    (fun ((name : token), args) ->
+      match Pass.find name.text with
+      | None ->
+        fail name.pos "unknown pass '%s' (known: %s)" name.text
+          (String.concat ", " (Pass.names ()))
+      | Some spec ->
+        let find_flag t =
+          List.find_opt (fun f -> List.mem t.text f.Pass.keys) spec.Pass.flags
+        in
+        let rec pair acc = function
+          | [] -> List.rev acc
+          | t :: rest when String.length t.text > 0 && t.text.[0] = '-' -> (
+            match find_flag t with
+            | None ->
+              fail t.pos "unknown flag '%s' for pass '%s'" t.text name.text
+            | Some f -> (
+              let key = Pass.canonical_key f in
+              match f.Pass.arity with
+              | Pass.Unit -> pair ((key, "true", t.pos) :: acc) rest
+              | Pass.Value -> (
+                match rest with
+                | v :: rest' -> pair ((key, v.text, t.pos) :: acc) rest'
+                | [] -> fail t.pos "flag '%s' expects a value" t.text)))
+          | t :: _ ->
+            fail t.pos "unexpected argument '%s' for pass '%s' (flags only)"
+              t.text name.text
+        in
+        let triples = pair [] args in
+        let kvs = List.map (fun (k, v, _) -> (k, v)) triples in
+        let run =
+          try spec.Pass.make kvs
+          with Pass.Bad_arg (key, msg) ->
+            let pos =
+              match List.find_opt (fun (k, _, _) -> k = key) triples with
+              | Some (_, _, p) -> p
+              | None -> name.pos
+            in
+            fail pos "%s" msg
+        in
+        {
+          Pass.name = name.text;
+          args = kvs;
+          transform = spec.Pass.transform;
+          run;
+        })
+    cmds

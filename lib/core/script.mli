@@ -1,0 +1,33 @@
+(** ABC-style flow scripts.
+
+    Grammar (whitespace-insensitive):
+
+    {v script  ::= command (';' command)*
+command ::= NAME flagarg*
+flagarg ::= FLAG VALUE? v}
+
+    where [NAME] matches [[A-Za-z_][A-Za-z0-9_-]*], flags start with
+    ['-'] and whether a flag consumes a value is decided by the pass's
+    {!Pass.spec}. Example:
+
+    {v sweep -e stp --retry-schedule 100,1000; rewrite -k 4; balance; verify v}
+
+    Every error — bad pass name, unknown flag, malformed flag value,
+    dangling [';'] — raises {!Parse_error} carrying the 1-based column
+    of the offending token; [Report.cli_guard] maps it to exit 2, the
+    same surface as a malformed input file. *)
+
+exception Parse_error of string
+(** Message always starts with ["col N: "]. *)
+
+type token = { text : string; pos : int }  (** [pos] is 1-based. *)
+
+val parse : string -> (token * token list) list
+(** Grammar-level parse: one [(name, argument tokens)] pair per command.
+    Raises {!Parse_error} on empty scripts, empty commands, dangling
+    [';'], or a command not starting with a name. *)
+
+val compile : string -> Pass.t list
+(** [parse] plus registry lookup and flag validation: unknown passes,
+    unknown flags, missing or malformed flag values all raise positioned
+    {!Parse_error}s. The result is ready for {!Pass.run_pipeline}. *)

@@ -18,6 +18,8 @@ module Sweep = Sweep
 module Gen = Gen
 module Synth = Synth
 module Report = Report
+module Pass = Pass
+module Script = Script
 
 let version = "1.0.0"
 

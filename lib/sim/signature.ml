@@ -9,7 +9,39 @@ let num_patterns_mask n sig_ =
     sig_.(last) <- sig_.(last) land ((1 lsl tail) - 1)
   end
 
-let equal a b = a = b
+(* Monomorphic word loop: the polymorphic [=] walks the runtime
+   representation tag-by-tag and shows up in sweep profiles — signature
+   comparison is the inner loop of candidate filtering. *)
+let equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i =
+    i >= n
+    || (Array.unsafe_get a i = (Array.unsafe_get b i : int) && go (i + 1))
+  in
+  go 0
+
+(* [a = ~b] over the first [num_patterns] bits, without materializing the
+   complement signature. Tail bits of [a] are zero by invariant, so the
+   last word compares against the masked complement. *)
+let equal_complement ~num_patterns a b =
+  let n = Array.length a in
+  n = Array.length b
+  && (n = 0
+     ||
+     let tail = num_patterns land 31 in
+     let last = n - 1 in
+     let rec go i =
+       i >= last
+       || (Array.unsafe_get a i
+           = lnot (Array.unsafe_get b i) land word_mask
+          && go (i + 1))
+     in
+     go 0
+     &&
+     let m = if tail = 0 then word_mask else (1 lsl tail) - 1 in
+     a.(last) = lnot b.(last) land m)
 
 let complement_of ~num_patterns s =
   let out = Array.map (fun w -> lnot w land word_mask) s in
@@ -17,7 +49,7 @@ let complement_of ~num_patterns s =
   out
 
 let equal_up_to_compl ~num_patterns a b =
-  equal a b || equal a (complement_of ~num_patterns b)
+  equal a b || equal_complement ~num_patterns a b
 
 let normalize ~num_patterns s =
   if s.(0) land 1 = 1 then (complement_of ~num_patterns s, true)

@@ -13,7 +13,15 @@ val num_patterns_mask : int -> int array -> unit
     word (in place). *)
 
 val equal : int array -> int array -> bool
+(** Word-by-word comparison (monomorphic — avoids the polymorphic [=]
+    dispatch in the sweeper's candidate-filter inner loop). *)
+
 val complement_of : num_patterns:int -> int array -> int array
+
+val equal_complement : num_patterns:int -> int array -> int array -> bool
+(** [equal_complement ~num_patterns a b] is [equal a (complement_of
+    ~num_patterns b)] without allocating the complement. *)
+
 val equal_up_to_compl : num_patterns:int -> int array -> int array -> bool
 
 val normalize : num_patterns:int -> int array -> int array * bool

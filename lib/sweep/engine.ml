@@ -389,10 +389,11 @@ let try_merge st nd =
       let np = st.sim_np in
       let compl = not (Sg.equal sig_n st.sigs.(r)) in
       (* Signature agreement is necessary but a stale complement
-         relation can slip in right after CEs; re-check cheaply. *)
-      if
-        compl
-        && not (Sg.equal sig_n (Sg.complement_of ~num_patterns:np st.sigs.(r)))
+         relation can slip in right after CEs; re-check cheaply.
+         [equal_complement] compares in place — this runs once per
+         representative comparison, so allocating a full complement
+         signature here was a measurable hot-path cost. *)
+      if compl && not (Sg.equal_complement ~num_patterns:np sig_n st.sigs.(r))
       then attempt tried rest
       else
         let window_verdict =

@@ -11,6 +11,17 @@ type stats = {
   cache_hits : int;
 }
 
+let stats_to_json s =
+  let open Obs.Json in
+  Obj
+    [
+      ("candidates", Int s.candidates);
+      ("applied", Int s.applied);
+      ("gates_saved", Int s.gates_saved);
+      ("classes_synthesized", Int s.classes_synthesized);
+      ("cache_hits", Int s.cache_hits);
+    ]
+
 (* Evaluate a single-PO implementation network as a truth table over its
    PIs — used to double-check every instantiation. *)
 let function_of_impl net =

@@ -22,6 +22,10 @@ type stats = {
   cache_hits : int;
 }
 
+val stats_to_json : stats -> Obs.Json.t
+(** The rewrite section of a pass record: one flat object with the five
+    counters — what the pass manager embeds instead of ad-hoc printing. *)
+
 val rewrite :
   ?k:int ->
   ?conflict_limit:int ->

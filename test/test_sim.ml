@@ -551,7 +551,47 @@ let test_signature_helpers () =
   check "normalized value" true (norm = s);
   check_int "count" 2 (Sg.count_ones s);
   check "const0" true (Sg.is_const0 [| 0; 0 |]);
-  check "const1" true (Sg.is_const1 ~num_patterns:40 [| -1 land 0xFFFFFFFF; 0xFF |])
+  check "const1" true (Sg.is_const1 ~num_patterns:40 [| -1 land 0xFFFFFFFF; 0xFF |]);
+  (* equal_complement is the allocation-free equivalent of comparing
+     against complement_of. *)
+  check "equal_complement" true (Sg.equal_complement ~num_patterns:40 s c);
+  check "equal_complement self" false (Sg.equal_complement ~num_patterns:40 s s);
+  check "equal words" true (Sg.equal (Array.copy s) s);
+  check "equal length" false (Sg.equal s [| 0b1010 |])
+
+(* The monomorphic equality pair must agree with the allocating
+   reference formulation on arbitrary masked signatures. *)
+let arb_sig_pair =
+  QCheck.make
+    ~print:(fun (np, a, b) ->
+      Printf.sprintf "np=%d a=[|%s|] b=[|%s|]" np
+        (String.concat ";" (Array.to_list (Array.map string_of_int a)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int b))))
+    QCheck.Gen.(
+      let* words = int_range 1 4 in
+      let* np = int_range ((words - 1) * 32 + 1) (words * 32) in
+      let word = int_bound 0xFFFFFFFF in
+      let masked =
+        map
+          (fun a ->
+            Sg.num_patterns_mask np a;
+            a)
+          (array_size (return words) word)
+      in
+      let* a = masked in
+      let* b =
+        (* Bias towards related signatures so the equal branches are hit. *)
+        oneof
+          [ return (Array.copy a); return (Sg.complement_of ~num_patterns:np a); masked ]
+      in
+      return (np, a, b))
+
+let prop_signature_equal (np, a, b) =
+  Sg.equal a b = (a = b)
+  && Sg.equal_complement ~num_patterns:np a b
+     = Sg.equal a (Sg.complement_of ~num_patterns:np b)
+  && Sg.equal_up_to_compl ~num_patterns:np a b
+     = (a = b || a = Sg.complement_of ~num_patterns:np b)
 
 let () =
   Alcotest.run "sim"
@@ -611,5 +651,9 @@ let () =
         ] );
       ("activity", [ Alcotest.test_case "stats" `Quick test_activity ]);
       ( "signature",
-        [ Alcotest.test_case "helpers" `Quick test_signature_helpers ] );
+        [
+          Alcotest.test_case "helpers" `Quick test_signature_helpers;
+          qcheck_case ~name:"equal/equal_complement = reference" ~count:300
+            arb_sig_pair prop_signature_equal;
+        ] );
     ]
