@@ -1,0 +1,16 @@
+#!/bin/sh
+# Reproducible solver bench run — the spirit of MiniSat's
+# bench-satrace_06.sh: one command, a table on stdout, a JSON report
+# for the archive. Every solver PR reruns this and ships the
+# before/after table; the checked-in baseline lives at
+# results/BENCH_solver.json.
+#
+#   ./bench/bench_solver.sh                  # all suites -> BENCH_solver.json
+#   ./bench/bench_solver.sh --suites php,xor # CI smoke subset
+#   OUT=results/BENCH_solver.json ./bench/bench_solver.sh   # refresh baseline
+set -eu
+cd "$(dirname "$0")/.."
+OUT="${OUT:-BENCH_solver.json}"
+dune build bin/solver_bench.exe
+dune exec bin/solver_bench.exe -- --json "$OUT" "$@"
+echo "report written to $OUT"

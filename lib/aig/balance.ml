@@ -47,7 +47,9 @@ let balance net =
       let by_level =
         List.sort
           (fun a b ->
-            compare (Network.level fresh (Lit.node a)) (Network.level fresh (Lit.node b)))
+            Int.compare
+              (Network.level fresh (Lit.node a))
+              (Network.level fresh (Lit.node b)))
           translated
       in
       let rec reduce = function

@@ -1,0 +1,107 @@
+module Rng = Sutil.Rng
+
+type instance = {
+  name : string;
+  num_vars : int;
+  clauses : int list list;
+  expect : [ `Sat | `Unsat | `Any ];
+}
+
+let plit v = v lsl 1
+let nlit v = (v lsl 1) lor 1
+
+let php ~pigeons ~holes =
+  (* p(i,j) = pigeon i sits in hole j. *)
+  let v i j = (i * holes) + j in
+  let at_least =
+    List.init pigeons (fun i -> List.init holes (fun j -> plit (v i j)))
+  in
+  let at_most = ref [] in
+  for j = holes - 1 downto 0 do
+    for i1 = pigeons - 1 downto 0 do
+      for i2 = pigeons - 1 downto i1 + 1 do
+        at_most := [ nlit (v i1 j); nlit (v i2 j) ] :: !at_most
+      done
+    done
+  done;
+  {
+    name = Printf.sprintf "php-%d-%d" pigeons holes;
+    num_vars = pigeons * holes;
+    clauses = at_least @ !at_most;
+    expect = (if pigeons > holes then `Unsat else `Sat);
+  }
+
+let xor_chain ~n =
+  (* Inputs x_0..x_{n-1}; two chains c_i <-> c_{i-1} xor x_i built from
+     separate chain variables, asserted to opposite polarities. *)
+  let clauses = ref [] in
+  let next = ref n in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let add c = clauses := c :: !clauses in
+  let xor_gate out a b =
+    (* out <-> a xor b, on literals *)
+    add [ out lxor 1; a; b ];
+    add [ out lxor 1; a lxor 1; b lxor 1 ];
+    add [ out; a lxor 1; b ];
+    add [ out; a; b lxor 1 ]
+  in
+  let chain () =
+    let acc = ref (plit 0) in
+    for i = 1 to n - 1 do
+      let c = plit (fresh ()) in
+      xor_gate c !acc (plit i);
+      acc := c
+    done;
+    !acc
+  in
+  let a = chain () and b = chain () in
+  add [ a ];
+  add [ b lxor 1 ];
+  {
+    name = Printf.sprintf "xor-%d" n;
+    num_vars = !next;
+    clauses = List.rev !clauses;
+    expect = `Unsat;
+  }
+
+let random3 ~seed ~num_vars ~ratio =
+  let rng = Rng.create seed in
+  let num_clauses = int_of_float (ratio *. float_of_int num_vars) in
+  let clause () =
+    (* Three distinct variables, random polarity. *)
+    let rec pick taken =
+      let v = Rng.int rng num_vars in
+      if List.memq v taken then pick taken else v
+    in
+    let a = pick [] in
+    let b = pick [ a ] in
+    let c = pick [ a; b ] in
+    List.map
+      (fun v -> if Rng.bool rng then plit v else nlit v)
+      [ a; b; c ]
+  in
+  {
+    name = Printf.sprintf "random3-v%d-s%Ld" num_vars seed;
+    num_vars;
+    clauses = List.init num_clauses (fun _ -> clause ());
+    expect = `Any;
+  }
+
+let suites =
+  [
+    ("php", [ php ~pigeons:7 ~holes:6; php ~pigeons:8 ~holes:7 ]);
+    ("xor", [ xor_chain ~n:14; xor_chain ~n:16; xor_chain ~n:18 ]);
+    ( "random3sat",
+      (* Phase-transition instances: a deterministic spread of seeds so
+         the suite mixes SAT and UNSAT answers. *)
+      List.init 20 (fun i ->
+          random3 ~seed:(Int64.of_int (0x5EED + i)) ~num_vars:130 ~ratio:4.26)
+    );
+  ]
+
+let suite name = List.assoc name suites
+let suite_names = List.map fst suites

@@ -1,0 +1,42 @@
+(** Deterministic CNF instance generators for the solver bench harness.
+
+    Literals use the solver/AIG packing ([2v] positive, [2v + 1]
+    negated). Every generator is a pure function of its parameters, so a
+    suite run on two machines measures the same search — the bench
+    harness ([bin/solver_bench.ml]) relies on this to make before/after
+    tables comparable across checkouts.
+
+    The named suites lean small on purpose: CI runs them on every push,
+    so each instance must finish in at most a few seconds even on a
+    cold container. *)
+
+type instance = {
+  name : string;
+  num_vars : int;
+  clauses : int list list;
+  expect : [ `Sat | `Unsat | `Any ];
+      (** Known answer, when the construction fixes one — the harness
+          fails loudly on a wrong verdict, so a bench run doubles as a
+          correctness check. [`Any] for random instances. *)
+}
+
+val php : pigeons:int -> holes:int -> instance
+(** Pigeonhole principle; UNSAT iff [pigeons > holes]. Pure conflict
+    throughput: resolution-hard, no satisfying shortcuts. *)
+
+val xor_chain : n:int -> instance
+(** Two Tseitin parity chains over the same [n] inputs asserted to
+    opposite values — UNSAT, forces genuine clause learning. *)
+
+val random3 : seed:int64 -> num_vars:int -> ratio:float -> instance
+(** Uniform random 3-CNF with [ratio * num_vars] clauses. At ratio
+    ~4.26 the instances straddle the phase transition. *)
+
+val suites : (string * instance list) list
+(** The named bench suites, in declaration order:
+    ["php"], ["xor"], ["random3sat"]. *)
+
+val suite : string -> instance list
+(** Raises [Not_found] for unknown names. *)
+
+val suite_names : string list

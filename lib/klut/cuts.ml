@@ -91,7 +91,8 @@ let enumerate net ~k ?(max_cuts = 12) () =
           c0;
         let by_size =
           List.sort
-            (fun a b -> compare (Array.length a.leaves) (Array.length b.leaves))
+            (fun a b ->
+              Int.compare (Array.length a.leaves) (Array.length b.leaves))
             !merged
         in
         let rec take n = function

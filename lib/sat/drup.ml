@@ -172,7 +172,13 @@ let propagate t =
   done;
   !ok
 
-let tautology lits = List.exists (fun l -> List.mem (l lxor 1) lits) lits
+(* On sorted literals a variable's two polarities are adjacent (packed
+   literals 2v and 2v+1 differ only in bit 0), so tautology is a linear
+   adjacency scan — callers sort with [List.sort_uniq Int.compare]
+   first. *)
+let rec tautology = function
+  | a :: (b :: _ as rest) -> a lxor b = 1 || tautology rest
+  | _ -> false
 
 (* Store a (sorted, non-tautological) clause and integrate it into the
    root state: conflict, unit propagation, or watches as appropriate. *)
@@ -214,7 +220,7 @@ let add_core t lits =
 
 let add_input t lits =
   grow_for_lits t lits;
-  let lits = List.sort_uniq compare lits in
+  let lits = List.sort_uniq Int.compare lits in
   if not (tautology lits) then add_core t lits
 
 let pp_clause lits =
@@ -250,7 +256,7 @@ let rup t lits =
 
 let add_derived t lits =
   grow_for_lits t lits;
-  let lits = List.sort_uniq compare lits in
+  let lits = List.sort_uniq Int.compare lits in
   if tautology lits then begin
     t.checked <- t.checked + 1;
     Ok ()
@@ -279,7 +285,7 @@ let is_root_reason t id c =
 
 let delete t lits =
   grow_for_lits t lits;
-  let key = List.sort_uniq compare lits in
+  let key = List.sort_uniq Int.compare lits in
   match Hashtbl.find_opt t.index key with
   | None -> ()
   | Some ids -> (

@@ -3,9 +3,19 @@
     A from-scratch conflict-driven solver with the standard machinery the
     sweeping engines need: two-watched-literal propagation, first-UIP
     conflict analysis with recursive clause minimization, EVSIDS variable
-    activities, phase saving, Luby restarts, learnt-clause garbage
-    collection, incremental solving under assumptions, and per-call
-    conflict budgets (the paper's [unDET] outcome).
+    activities, phase saving, Luby restarts with glue-aware
+    postponement, LBD-ranked learnt-clause reduction, incremental
+    solving under assumptions, and per-call conflict budgets (the
+    paper's [unDET] outcome).
+
+    Clause storage is a single flat int arena (MiniSat's
+    [ClauseAllocator]): every clause is a header word followed by its
+    literals, learnt clauses carry two extra words (glue, activity).
+    Watch lists hold [(clause, blocker)] pairs so propagation skips
+    satisfied clauses without touching the arena. Killed clauses only
+    set a dead bit; a compaction pass ([gc]) reclaims the space and
+    rebuilds watches once a quarter of the arena is garbage. DESIGN.md
+    §"Solver internals" documents the layout and invariants.
 
     Literals are ints: [2 * var] is the positive literal of [var],
     [2 * var + 1] its negation — the same packing as {!Aig.Lit}. *)
@@ -29,6 +39,8 @@ type stats = {
   propagations : int;
   learned : int;
   solve_calls : int;
+  reductions : int;  (** learnt-DB reduction passes *)
+  gcs : int;  (** arena compaction passes *)
 }
 
 val create : unit -> t
@@ -86,6 +98,29 @@ val failed_assumptions : t -> int list
 (** After an [Unsat] answer under assumptions: a subset of the assumptions
     sufficient for unsatisfiability (coarse: the falsified one, or all of
     them when the conflict is global). *)
+
+val set_max_learnts : t -> int -> unit
+(** Overrides the learnt-clause ceiling that triggers {e reduce_db}
+    (default 3000, grown by half after each reduction). Callers issuing
+    many small budgeted queries on one solver — the sweep engine — set
+    this from their conflict budgets so the learnt DB stays proportional
+    to a query, not to the whole run. Clamped to at least 16. *)
+
+val live_learnts : t -> int
+(** Learnt clauses currently alive (allocated and not killed). *)
+
+val arena_words : t -> int
+(** Words of the clause arena in use (live + dead-but-unreclaimed). *)
+
+val arena_wasted : t -> int
+(** Words owned by killed clauses, reclaimable by the next compaction. *)
+
+val gc_count : t -> int
+(** Arena compaction passes run so far. *)
+
+val debug_count_learnts : t -> int
+(** O(arena) recount of live learnt clauses by walking the arena —
+    test-only ground truth for the {!live_learnts} counter. *)
 
 val stats : t -> stats
 (** Cumulative counters over the solver's lifetime (all solve calls). *)

@@ -41,7 +41,9 @@ let grow_cone net ~limit ~is_target root =
         end)
       candidates
   done;
-  let sorted tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+  let sorted tbl =
+    List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+  in
   (sorted interior, sorted leaves)
 
 (* Function of the cone root over the cone leaves, by STP composition of
@@ -105,7 +107,7 @@ let cut net ~limit ~targets =
     node_map.(K.pi_node net i) <- K.add_pi out
   done;
   let roots =
-    Hashtbl.fold (fun r _ acc -> r :: acc) cones [] |> List.sort compare
+    Hashtbl.fold (fun r _ acc -> r :: acc) cones [] |> List.sort Int.compare
   in
   List.iter
     (fun root ->

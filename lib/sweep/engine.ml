@@ -417,7 +417,8 @@ let try_merge st nd =
                     (* Structural duplicates usually share the support
                        exactly; skip the lift then. *)
                     let la, lb =
-                      if sa = sb then (window_tt st nd, window_tt st r)
+                      if List.equal Int.equal sa sb then
+                        (window_tt st nd, window_tt st r)
                       else
                         ( lift_tt (window_tt st nd) sa joint,
                           lift_tt (window_tt st r) sb joint )
@@ -539,6 +540,15 @@ let run ?(config = stp_config) old_net =
   stats.Stats.initial_patterns <- P.num_patterns pats;
   let fresh = A.create ~capacity:(A.num_nodes old_net) () in
   let solver = Sat.Solver.create () in
+  (* Budgeted sweeps issue thousands of small queries on this one
+     solver; size the learnt-DB ceiling to the largest per-query budget
+     (the last retry rung) rather than the solver's whole-run default,
+     so LBD reduction keeps the database proportional to a query. *)
+  (match config.conflict_limit with
+  | Some base ->
+    let top = List.fold_left max base config.retry_schedule in
+    Sat.Solver.set_max_learnts solver (max 2000 (4 * top))
+  | None -> ());
   (* Certified mode: the checker must observe the clause stream from the
      first Tseitin clause on, so it attaches before any encoding. *)
   let cert =

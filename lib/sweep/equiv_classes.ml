@@ -34,7 +34,7 @@ let candidate_nodes t =
     (fun _ cell acc ->
       match !cell with _ :: _ :: _ -> List.rev_append !cell acc | _ -> acc)
     t.buckets []
-  |> List.sort compare
+  |> List.sort Int.compare
 
 let clear t ~num_patterns =
   Hashtbl.reset t.buckets;

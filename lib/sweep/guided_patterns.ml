@@ -46,7 +46,7 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
     let lo = int_of_float (ceil (threshold *. float_of_int n)) in
     let proven = List.map fst !consts in
     A.iter_ands net (fun nd ->
-        if !queries < max_queries && (not (expired ())) && not (List.mem nd proven)
+        if !queries < max_queries && (not (expired ())) && not (List.memq nd proven)
         then begin
           let ones = Sg.count_ones tbl.(nd) in
           if ones <= lo then ignore (query nd true)

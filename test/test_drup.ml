@@ -95,6 +95,71 @@ let prop_certified_answers (seed, num_vars, num_clauses) =
   check_int "no rejections" 0 (Dr.num_rejected c);
   true
 
+(* ---- certification across learnt-DB reduction and arena GC ---- *)
+
+let test_certified_with_gc () =
+  (* php(6,5) with the learnt ceiling pinned at the clamp minimum:
+     reductions kill clauses mid-refutation and compaction recycles
+     their arena slots while the proof is still being built. Deletions
+     are streamed at kill time, before any compaction, so the checker's
+     database stays in sync and the refutation must still certify. *)
+  let s, c = certified_solver () in
+  S.set_max_learnts s 2 (* clamps to 16 *);
+  let clauses = php_clauses ~pigeons:6 ~holes:5 in
+  declare_vars s clauses;
+  List.iter (S.add_clause s) clauses;
+  (match S.solve s with
+   | S.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) must be unsat");
+  let st = S.stats s in
+  check "reductions fired" true (st.S.reductions > 0);
+  check "arena GC fired" true (S.gc_count s > 0);
+  (match Dr.certify_unsat c ~assumptions:[] with
+   | Ok () -> ()
+   | Error why -> Alcotest.failf "refutation with GC not certified: %s" why);
+  check_int "no rejections" 0 (Dr.num_rejected c);
+  check "deletions reached the checker" true (Dr.num_deleted c > 0)
+
+let arb_cnf_reduce =
+  (* Larger than [arb_cnf] so a ceiling-16 learnt DB actually hits
+     reduction on a fair share of the instances. *)
+  QCheck.make
+    ~print:(fun (seed, nv, nc) ->
+      Printf.sprintf "seed=%Ld vars=%d clauses=%d" seed nv nc)
+    QCheck.Gen.(
+      let* seed = ui64 in
+      let* nv = int_range 8 20 in
+      let* nc = int_range (3 * nv) (5 * nv) in
+      return (seed, nv, nc))
+
+let prop_certified_with_reduction (seed, num_vars, num_clauses) =
+  let rng = Rng.create seed in
+  let clauses = random_cnf rng ~num_vars ~num_clauses in
+  let s, c = certified_solver () in
+  S.set_max_learnts s 2;
+  for _ = 1 to num_vars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  let certify assumptions =
+    match S.solve ~assumptions s with
+    | S.Unsat -> (
+      match Dr.certify_unsat c ~assumptions with
+      | Ok () -> ()
+      | Error why -> Alcotest.failf "unsat not certified: %s" why)
+    | S.Sat -> (
+      match Dr.certify_model c ~value:(S.value s) with
+      | Ok () -> ()
+      | Error why -> Alcotest.failf "model rejected: %s" why)
+    | S.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown"
+  in
+  certify [];
+  (* A second, assumption-bound solve on the same (possibly reduced and
+     compacted) database must certify too. *)
+  certify [ S.lit_of (Rng.int rng num_vars) (Rng.bool rng) ];
+  check_int "no rejections" 0 (Dr.num_rejected c);
+  true
+
 (* ---- proof text round-trip: stream -> DRUP file -> standalone replay ---- *)
 
 let capture_proof_text s =
@@ -139,6 +204,29 @@ let test_proof_roundtrip () =
   match replay clauses steps with
   | Ok () -> ()
   | Error why -> Alcotest.failf "round-tripped proof rejected: %s" why
+
+let test_proof_roundtrip_with_deletions () =
+  (* Same round-trip, but with the learnt ceiling forcing reductions:
+     the textual proof now carries [d] lines, and the strict standalone
+     replay must apply them and still reach the refutation. *)
+  let clauses = php_clauses ~pigeons:6 ~holes:5 in
+  let s = S.create () in
+  S.set_max_learnts s 2;
+  let buf = capture_proof_text s in
+  declare_vars s clauses;
+  List.iter (S.add_clause s) clauses;
+  (match S.solve s with
+   | S.Unsat -> ()
+   | _ -> Alcotest.fail "php(6,5) must be unsat");
+  check "reductions fired" true ((S.stats s).S.reductions > 0);
+  let steps = D.parse_proof (Buffer.contents buf) in
+  let deletions =
+    List.length (List.filter (function `Delete _ -> true | _ -> false) steps)
+  in
+  check "proof has deletions" true (deletions > 0);
+  match replay clauses steps with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "proof with deletions rejected: %s" why
 
 let test_proof_mutations () =
   (* Corrupt one proof line at a time: replacing any addition with a
@@ -306,11 +394,19 @@ let () =
           QCheck_alcotest.to_alcotest
             (QCheck.Test.make ~name:"random 3-CNF answers certify" ~count:200
                arb_cnf prop_certified_answers);
+          Alcotest.test_case "certified across reduction and GC" `Quick
+            test_certified_with_gc;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make
+               ~name:"random runs certify with forced reduction" ~count:100
+               arb_cnf_reduce prop_certified_with_reduction);
         ] );
       ( "replay",
         [
           Alcotest.test_case "proof text round-trips" `Quick
             test_proof_roundtrip;
+          Alcotest.test_case "deletions replay" `Quick
+            test_proof_roundtrip_with_deletions;
           Alcotest.test_case "single-line mutations rejected" `Quick
             test_proof_mutations;
         ] );

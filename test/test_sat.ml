@@ -289,6 +289,70 @@ let test_force_unknown_fault () =
   S.add_clause s [ S.lit v.(0) ];
   Alcotest.check result "normal after reset" S.Sat (S.solve s)
 
+(* ---- clause arena and learnt-DB bookkeeping ---- *)
+
+let learnt_accounting s where =
+  let live = S.live_learnts s and truth = S.debug_count_learnts s in
+  if live <> truth then
+    Alcotest.failf "%s: live_learnts %d but arena recount says %d" where live
+      truth
+
+let test_incremental_arena_stress () =
+  (* Thousands of budgeted solves on one long-lived solver, with the
+     learnt ceiling pinned low so reductions and arena compactions fire
+     constantly. The live-learnt counter must track the arena ground
+     truth the whole way, and the arena must stay bounded — reclaimed by
+     GC, not growing with the number of calls. *)
+  let rng = Rng.create 0xA3EAL in
+  let num_vars = 40 in
+  let s, _ = fresh num_vars in
+  let lit () = S.lit_of (Rng.int rng num_vars) (Rng.bool rng) in
+  for _ = 1 to 100 do
+    S.add_clause s [ lit (); lit (); lit () ]
+  done;
+  for round = 1 to 2000 do
+    S.set_max_learnts s 30;
+    if round mod 50 = 0 then S.add_clause s [ lit (); lit (); lit () ];
+    ignore (S.solve ~assumptions:[ lit (); lit () ] ~conflict_limit:60 s);
+    learnt_accounting s (Printf.sprintf "round %d" round)
+  done;
+  let st = S.stats s in
+  check "reductions fired" true (st.S.reductions > 0);
+  check "arena GC fired" true (S.gc_count s > 0);
+  (* The live database is capped by the pinned ceiling plus one call's
+     learning, and GC keeps waste at a quarter of the arena, so total
+     arena size is independent of the 2000 calls. *)
+  if S.arena_words s > 65536 then
+    Alcotest.failf "arena grew unbounded: %d words" (S.arena_words s)
+
+let prop_learnt_accounting (seed, num_vars, num_clauses) =
+  let rng = Rng.create seed in
+  let clauses = random_cnf rng ~num_vars ~num_clauses ~width:3 in
+  let s = S.create () in
+  for _ = 1 to num_vars do
+    ignore (S.new_var s)
+  done;
+  S.set_max_learnts s 16;
+  List.iter (S.add_clause s) clauses;
+  ignore (S.solve s);
+  learnt_accounting s "after solve";
+  for round = 1 to 10 do
+    let a = S.lit_of (Rng.int rng num_vars) (Rng.bool rng) in
+    ignore (S.solve ~assumptions:[ a ] ~conflict_limit:50 s);
+    learnt_accounting s (Printf.sprintf "assumption round %d" round)
+  done;
+  true
+
+let arb_accounting_cnf =
+  QCheck.make
+    ~print:(fun (seed, nv, nc) ->
+      Printf.sprintf "seed=%Ld vars=%d clauses=%d" seed nv nc)
+    QCheck.Gen.(
+      let* seed = ui64 in
+      let* nv = int_range 8 25 in
+      let* nc = int_range nv (5 * nv) in
+      return (seed, nv, nc))
+
 (* ---- Tseitin over AIGs ---- *)
 
 let xor_network () =
@@ -366,6 +430,14 @@ let () =
           Alcotest.test_case "many solves reuse" `Quick test_many_solves_reuse;
           Alcotest.test_case "deadline" `Quick test_deadline;
           Alcotest.test_case "force_unknown fault" `Quick test_force_unknown_fault;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "incremental stress stays bounded" `Slow
+            test_incremental_arena_stress;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"live_learnts matches arena recount"
+               ~count:100 arb_accounting_cnf prop_learnt_accounting);
         ] );
       ("dimacs", [ Alcotest.test_case "parse/print" `Quick test_dimacs ]);
       ( "fuzz",
