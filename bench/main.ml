@@ -76,6 +76,13 @@ let parallel =
       Test.make_indexed ~name:"lut6-stp" ~args:doms (fun d ->
           Staged.stage (fun () ->
               Sim.Stp_sim.simulate_klut ~domains:d sim_lut sim_pats));
+      (* Whole-sweep SAT dispatch across solver domains (the PR 7
+         tentpole). On one core the interesting output is the dispatch
+         overhead vs. sweep:1; on a multicore box, the SAT-phase
+         speedup. *)
+      Test.make_indexed ~name:"sweep" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sweep.Stp_sweep.sweep ~sat_domains:d sweep_net));
     ]
 
 let table2 =

@@ -23,8 +23,8 @@ let default_script ~engine ~no_rewrite ~no_balance ~verify =
   if verify then Buffer.add_string b "; verify";
   Buffer.contents b
 
-let run circuit file script engine domains timeout verify certify output
-    no_rewrite no_balance json trace () =
+let run circuit file script engine domains sat_domains timeout verify certify
+    output no_rewrite no_balance json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = Report.load_network ?circuit ?file () in
@@ -47,7 +47,10 @@ let run circuit file script engine domains timeout verify certify output
       else (s, passes)
   in
   let echo s = print_string s; flush stdout in
-  let ctx = Pass.create_ctx ~sim_domains:domains ?timeout ~certify ~echo net in
+  let ctx =
+    Pass.create_ctx ~sim_domains:domains ~sat_domains ?timeout ~certify ~echo
+      net
+  in
   echo (Printf.sprintf "%-14s %s\n" name
           (Format.asprintf "%a" Aig.Network.pp_stats net));
   let t_flow = Obs.Clock.now () in
@@ -104,6 +107,14 @@ let domains =
        & info [ "domains"; "d" ]
            ~doc:"OCaml domains for the sweeper's bulk resimulation passes.")
 
+let sat_domains =
+  Arg.(value & opt int 0
+       & info [ "sat-domains" ] ~docv:"N"
+           ~doc:
+             "Default solver-domain count for every sweep pass's parallel \
+              SAT dispatch (0 = inline); a per-pass --sat-domains inside \
+              -c overrides it.")
+
 let timeout =
   Arg.(
     value
@@ -145,8 +156,9 @@ let trace =
 let cmd =
   Cmd.v
     (Cmd.info "flow" ~doc:"script-driven optimization flow (default: sweep -> rewrite -> balance)")
-    Term.(const (fun a b c d e f g h i j k l m -> run a b c d e f g h i j k l m ())
-          $ circuit $ file $ script $ engine $ domains $ timeout $ verify
-          $ certify $ output $ no_rewrite $ no_balance $ json $ trace)
+    Term.(const (fun a b c d e f g h i j k l m n ->
+              run a b c d e f g h i j k l m n ())
+          $ circuit $ file $ script $ engine $ domains $ sat_domains $ timeout
+          $ verify $ certify $ output $ no_rewrite $ no_balance $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -8,8 +8,8 @@
 
 open Stp_sweep
 
-let run circuit file engine timeout retries self_verify verify certify output
-    json trace () =
+let run circuit file engine timeout retries sat_domains self_verify verify
+    certify output json trace () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = Report.load_network ?circuit ?file () in
@@ -23,6 +23,8 @@ let run circuit file engine timeout retries self_verify verify certify output
         (" --retry-schedule "
         ^ String.concat "," (List.map string_of_int limits))
     | None -> ());
+    if sat_domains > 0 then
+      Buffer.add_string b (Printf.sprintf " --sat-domains %d" sat_domains);
     if verify then Buffer.add_string b "; verify";
     Buffer.contents b
   in
@@ -90,6 +92,16 @@ let retries =
           "Escalating conflict limits re-tried on SAT queries that come \
            back undetermined.")
 
+let sat_domains =
+  Arg.(
+    value & opt int 0
+    & info [ "sat-domains" ] ~docv:"N"
+        ~doc:
+          "Dispatch SAT queries to a pool of $(docv) solver domains (each \
+           with its own incremental solver and, under --certify, its own \
+           DRUP checker). 0 (default) keeps the inline sequential path; \
+           the result is CEC-equivalent for every value.")
+
 let self_verify =
   Arg.(
     value & flag
@@ -128,8 +140,8 @@ let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
     Term.(
-      const (fun a b c d e f g h i j k -> run a b c d e f g h i j k ())
-      $ circuit $ file $ engine $ timeout $ retries $ self_verify $ verify
-      $ certify $ output $ json $ trace)
+      const (fun a b c d e f g h i j k l -> run a b c d e f g h i j k l ())
+      $ circuit $ file $ engine $ timeout $ retries $ sat_domains
+      $ self_verify $ verify $ certify $ output $ json $ trace)
 
 let () = exit (Cmd.eval cmd)

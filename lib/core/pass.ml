@@ -16,6 +16,7 @@ type ctx = {
          makes the legacy flow byte-identical to the pre-pass-manager
          binaries *)
   sim_domains : int;
+  sat_domains : int;
   budget : Obs.Budget.t;
   verify : bool;
   certify : bool;
@@ -26,8 +27,8 @@ type ctx = {
   echo : string -> unit;
 }
 
-let create_ctx ?seed ?(sim_domains = 1) ?timeout ?(verify = false)
-    ?(certify = false) ?(echo = print_string) input =
+let create_ctx ?seed ?(sim_domains = 1) ?(sat_domains = 0) ?timeout
+    ?(verify = false) ?(certify = false) ?(echo = print_string) input =
   let budget =
     match timeout with
     | Some s -> Obs.Budget.create ~timeout:s ()
@@ -36,6 +37,7 @@ let create_ctx ?seed ?(sim_domains = 1) ?timeout ?(verify = false)
   {
     seed;
     sim_domains;
+    sat_domains;
     budget;
     verify;
     certify;
@@ -113,21 +115,28 @@ let sweep_make args =
   let conflict_limit =
     Option.map (int_arg "conflict-limit") (List.assoc_opt "conflict-limit" args)
   in
+  let sat_domains_arg =
+    Option.map (int_arg "sat-domains") (List.assoc_opt "sat-domains" args)
+  in
   fun ctx net ->
     (* The pipeline budget is shared via its absolute deadline: a sweep
        that starts with 0.3s left gets exactly those 0.3s, and the
        engine's own degradation (PR 3) handles mid-pass exhaustion. *)
     let deadline = Obs.Budget.deadline ctx.budget in
+    (* Per-pass --sat-domains wins over the pipeline-level default. *)
+    let sat_domains =
+      match sat_domains_arg with Some d -> d | None -> ctx.sat_domains
+    in
     let swept, stats =
       match engine with
       | `Stp ->
         Sweep.Stp_sweep.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
-          ~sim_domains:ctx.sim_domains ?deadline ~verify:ctx.verify
-          ~certify:ctx.certify net
+          ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
+          ~verify:ctx.verify ~certify:ctx.certify net
       | `Fraig ->
         Sweep.Fraig.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
-          ~sim_domains:ctx.sim_domains ?deadline ~verify:ctx.verify
-          ~certify:ctx.certify net
+          ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
+          ~verify:ctx.verify ~certify:ctx.certify net
     in
     ctx.echo
       (Printf.sprintf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats));
@@ -237,6 +246,11 @@ let () =
               keys = [ "--conflict-limit" ];
               arity = Value;
               flag_doc = "per-query conflict cap";
+            };
+            {
+              keys = [ "--sat-domains" ];
+              arity = Value;
+              flag_doc = "solver domains for parallel SAT dispatch (0 = inline)";
             };
           ];
         transform = true;

@@ -24,6 +24,10 @@ type ctx = {
       (** [None] — each engine uses its own default seed (the legacy
           CLI behaviour); [Some s] overrides every pass. *)
   sim_domains : int;
+  sat_domains : int;
+      (** default solver-domain count for every sweep pass's parallel
+          SAT dispatch ([0] = inline sequential queries); a per-pass
+          [--sat-domains] flag overrides it *)
   budget : Obs.Budget.t;  (** one budget for the whole pipeline *)
   verify : bool;  (** self-verify policy for sweeps ({!Sweep.Selfcheck}) *)
   certify : bool;  (** DRUP-certified solver answers, pipeline-wide *)
@@ -40,6 +44,7 @@ type ctx = {
 val create_ctx :
   ?seed:int64 ->
   ?sim_domains:int ->
+  ?sat_domains:int ->
   ?timeout:float ->
   ?verify:bool ->
   ?certify:bool ->

@@ -1,12 +1,17 @@
 type reason = Deadline | Conflicts | Propagations
 
+(* [countdown] and [exhausted] are atomics so solver domains can share
+   one budget: any worker's check may trip exhaustion, and the sticky
+   flag is immediately visible to every other worker. The countdown
+   races benignly — a lost decrement only shifts which call pays the
+   clock read. *)
 type t = {
   deadline : float option;
   max_conflicts : int option;
   max_propagations : int option;
   stride : int;
-  mutable countdown : int; (* check calls until the next clock read *)
-  mutable exhausted : reason option;
+  countdown : int Atomic.t; (* check calls until the next clock read *)
+  exhausted : reason option Atomic.t;
 }
 
 let make ~deadline ~conflicts ~propagations ~stride =
@@ -15,8 +20,8 @@ let make ~deadline ~conflicts ~propagations ~stride =
     max_conflicts = conflicts;
     max_propagations = propagations;
     stride = max 1 stride;
-    countdown = 0; (* first check reads the clock *)
-    exhausted = None;
+    countdown = Atomic.make 0; (* first check reads the clock *)
+    exhausted = Atomic.make None;
   }
 
 let unlimited () =
@@ -39,12 +44,12 @@ let deadline t = t.deadline
 let remaining_s t =
   match t.deadline with Some d -> Some (d -. Clock.now ()) | None -> None
 
-let exhausted t = t.exhausted
+let exhausted t = Atomic.get t.exhausted
 
 let over cap v = match cap with Some c -> v >= c | None -> false
 
 let check_gen ~force ?(conflicts = 0) ?(propagations = 0) t =
-  match t.exhausted with
+  match Atomic.get t.exhausted with
   | Some _ as r -> r
   | None ->
     let r =
@@ -54,14 +59,14 @@ let check_gen ~force ?(conflicts = 0) ?(propagations = 0) t =
         match t.deadline with
         | None -> None
         | Some d ->
-          t.countdown <- t.countdown - 1;
-          if force || t.countdown <= 0 then begin
-            t.countdown <- t.stride;
+          let c = Atomic.fetch_and_add t.countdown (-1) in
+          if force || c <= 1 then begin
+            Atomic.set t.countdown t.stride;
             if Clock.now () > d then Some Deadline else None
           end
           else None
     in
-    if r <> None then t.exhausted <- r;
+    if r <> None then Atomic.set t.exhausted r;
     r
 
 let check ?conflicts ?propagations t =

@@ -13,7 +13,15 @@
 
     A budget never interrupts anything by itself: exhaustion is a value
     the caller acts on, which is what makes "finish the in-flight merge,
-    then stop" degradation possible. *)
+    then stop" degradation possible.
+
+    Thread safety: one budget may be shared across OCaml domains (the
+    sweep engine's parallel SAT dispatch hands the pipeline budget to
+    every solver worker). The sticky exhaustion flag and the stride
+    countdown are atomics — any domain's {!check} can trip exhaustion
+    and every other domain observes it on its next check. Countdown
+    races are benign: a lost decrement only shifts which call pays the
+    next clock read. *)
 
 type reason =
   | Deadline  (** the wall-clock deadline passed *)

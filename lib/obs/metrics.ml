@@ -1,9 +1,28 @@
+(* A mutex (rather than lock-free cells) keeps the table itself safe to
+   grow from any domain; every operation is a handful of instructions
+   under the lock, far off any hot path. *)
 type t = {
+  m : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
   timers : (string, float ref) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 16; timers = Hashtbl.create 16 }
+let create () =
+  {
+    m = Mutex.create ();
+    counters = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+    Mutex.unlock t.m;
+    v
+  | exception e ->
+    Mutex.unlock t.m;
+    raise e
 
 let cell tbl make name =
   match Hashtbl.find_opt tbl name with
@@ -14,15 +33,18 @@ let cell tbl make name =
     c
 
 let incr ?(by = 1) t name =
-  let c = cell t.counters (fun () -> ref 0) name in
-  c := !c + by
+  locked t (fun () ->
+      let c = cell t.counters (fun () -> ref 0) name in
+      c := !c + by)
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some c -> !c | None -> 0)
 
 let add_time t name secs =
-  let c = cell t.timers (fun () -> ref 0.) name in
-  c := !c +. secs
+  locked t (fun () ->
+      let c = cell t.timers (fun () -> ref 0.) name in
+      c := !c +. secs)
 
 let time t name f =
   let t0 = Clock.now () in
@@ -31,14 +53,15 @@ let time t name f =
   r
 
 let phase_time t name =
-  match Hashtbl.find_opt t.timers name with Some c -> !c | None -> 0.
+  locked t (fun () ->
+      match Hashtbl.find_opt t.timers name with Some c -> !c | None -> 0.)
 
 let sorted tbl =
   Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters t = sorted t.counters
-let phases t = sorted t.timers
+let counters t = locked t (fun () -> sorted t.counters)
+let phases t = locked t (fun () -> sorted t.timers)
 
 let to_json t =
   Json.Obj

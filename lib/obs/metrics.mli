@@ -2,9 +2,11 @@
 
     One [t] per run (a sweep, a table regeneration): counters count
     events, phases accumulate wall-clock seconds per named stage. Both
-    export to {!Json} for the run report. Not synchronized — record from
-    the orchestrating domain only (the parallel simulators do not touch
-    metrics; they are timed from outside). *)
+    export to {!Json} for the run report. Synchronized with an internal
+    mutex — safe to record from worker domains (the sweep engine's
+    parallel SAT dispatch shares the pipeline metrics); every operation
+    is a few instructions under the lock, so keep it off per-word hot
+    loops all the same. *)
 
 type t
 

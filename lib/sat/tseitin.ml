@@ -56,16 +56,18 @@ let extract_ce env =
       if is_encoded env n then Solver.value env.solver (Solver.lit env.vars.(n))
       else false)
 
-let check_diff ?conflict_limit ?deadline ?certify env mk_diff =
+let check_diff ?conflict_limit ?deadline ?certify ?(assume = []) env mk_diff =
   (* Selector s: s -> (difference holds). Assume s; retire s after.
      Certification happens before retirement: the retire clause [~s]
-     would make UNSAT-under-[s] vacuous and falsify any model. *)
+     would make UNSAT-under-[s] vacuous and falsify any model. Extra
+     [assume] literals (cube-and-conquer) join the selector in both the
+     solve and the UNSAT certification, so a cube refutation is only
+     certified under its own cube. *)
   let s = Solver.new_var env.solver in
   let sl = Solver.lit s in
   mk_diff sl;
-  let r =
-    Solver.solve ?conflict_limit ?deadline ~assumptions:[ sl ] env.solver
-  in
+  let assumptions = sl :: assume in
+  let r = Solver.solve ?conflict_limit ?deadline ~assumptions env.solver in
   let verdict =
     match r with
     | Solver.Sat -> (
@@ -79,7 +81,7 @@ let check_diff ?conflict_limit ?deadline ?certify env mk_diff =
       match certify with
       | None -> Equivalent
       | Some checker -> (
-        match Drup.certify_unsat checker ~assumptions:[ sl ] with
+        match Drup.certify_unsat checker ~assumptions with
         | Ok () -> Equivalent
         | Error why -> Uncertified why))
     | Solver.Unknown -> Undetermined
@@ -87,9 +89,9 @@ let check_diff ?conflict_limit ?deadline ?certify env mk_diff =
   Solver.add_clause env.solver [ Solver.neg sl ];
   verdict
 
-let check_equiv ?conflict_limit ?deadline ?certify env la lb =
+let check_equiv ?conflict_limit ?deadline ?certify ?assume env la lb =
   let a = lit_of env la and b = lit_of env lb in
-  check_diff ?conflict_limit ?deadline ?certify env (fun sl ->
+  check_diff ?conflict_limit ?deadline ?certify ?assume env (fun sl ->
       (* s -> (a xor b): encode via a fresh miter output m with
          m <-> a xor b, then clause (~s | m). *)
       let m = Solver.lit (Solver.new_var env.solver) in
@@ -99,9 +101,9 @@ let check_equiv ?conflict_limit ?deadline ?certify env la lb =
       Solver.add_clause env.solver [ m; a; Solver.neg b ];
       Solver.add_clause env.solver [ Solver.neg sl; m ])
 
-let check_const ?conflict_limit ?deadline ?certify env l b =
+let check_const ?conflict_limit ?deadline ?certify ?assume env l b =
   let a = lit_of env l in
-  check_diff ?conflict_limit ?deadline ?certify env (fun sl ->
+  check_diff ?conflict_limit ?deadline ?certify ?assume env (fun sl ->
       (* s -> (l <> b), i.e. assume l takes the other value. *)
       let target = if b then Solver.neg a else a in
       Solver.add_clause env.solver [ Solver.neg sl; target ])

@@ -36,6 +36,7 @@ val check_equiv :
   ?conflict_limit:int ->
   ?deadline:float ->
   ?certify:Drup.t ->
+  ?assume:int list ->
   env ->
   Aig.Lit.t ->
   Aig.Lit.t ->
@@ -43,12 +44,17 @@ val check_equiv :
 (** Miter query: satisfiable iff the two literals differ on some input.
     Each call uses a fresh selector variable retired afterwards, keeping
     the solver reusable. [deadline] (absolute wall clock) also yields
-    [Undetermined], so one hard pair cannot blow a sweep's budget. *)
+    [Undetermined], so one hard pair cannot blow a sweep's budget.
+    [assume] adds extra solver literals (see {!lit_of}/{!var_of_node})
+    to the query's assumptions — cube-and-conquer restricts a hard miter
+    to one cube per call; [Equivalent] then only means "equivalent on
+    this cube", and an UNSAT certificate replays under the same cube. *)
 
 val check_const :
   ?conflict_limit:int ->
   ?deadline:float ->
   ?certify:Drup.t ->
+  ?assume:int list ->
   env ->
   Aig.Lit.t ->
   bool ->

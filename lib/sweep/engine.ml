@@ -26,6 +26,8 @@ type config = {
   window_max_leaves : int;
   sim_domains : int;
   par_threshold : int;
+  sat_domains : int;
+  sat_wave : int;
   deadline : float option;
   verify : bool;
   certify : bool;
@@ -45,6 +47,8 @@ let fraig_config =
     window_max_leaves = 16;
     sim_domains = 1;
     par_threshold = 2048;
+    sat_domains = 0;
+    sat_wave = 128;
     deadline = None;
     verify = false;
     certify = false;
@@ -367,6 +371,39 @@ let ce_distinguishes st ce nd r compl =
   in
   a <> b
 
+(* Exhaustive-window comparison from the cached tables: lift both onto
+   the joint support and compare columns. Exact — equal tables prove
+   equivalence, different tables refute it — so no SAT call happens
+   either way. Shared by the inline walk and the dispatcher's collect
+   phase. *)
+let window_verdict st nd r =
+  if not st.cfg.window_refine then `Unknown
+  else if Obs.Fault.fires fault_fail_window then
+    (* Injected fault: refinement unavailable — fall back to the
+       solver, which must reach the same verdict. *)
+    `Unknown
+  else
+    match (st.supports.(nd), st.supports.(r)) with
+    | Some sa, Some sb -> (
+      match merge_support st.cfg.window_max_leaves sa sb with
+      | None -> `Unknown
+      | Some joint ->
+        timed st `Window (fun () ->
+            let module T = Tt.Truth_table in
+            (* Structural duplicates usually share the support
+               exactly; skip the lift then. *)
+            let la, lb =
+              if List.equal Int.equal sa sb then
+                (window_tt st nd, window_tt st r)
+              else
+                ( lift_tt (window_tt st nd) sa joint,
+                  lift_tt (window_tt st r) sb joint )
+            in
+            if T.equal la lb then `Equal
+            else if T.equal la (T.not_ lb) then `Compl
+            else `Different))
+    | _ -> `Unknown
+
 (* Try to merge fresh node [nd] onto an earlier node. Returns the literal
    [nd] proved equal to, if any. *)
 let try_merge st nd =
@@ -392,43 +429,13 @@ let try_merge st nd =
          relation can slip in right after CEs; re-check cheaply.
          [equal_complement] compares in place — this runs once per
          representative comparison, so allocating a full complement
-         signature here was a measurable hot-path cost. *)
+         signature here was a measurable hot-path cost. The skip is a
+         pure filter (no verdict was sought), so it does not charge
+         [tried]. *)
       if compl && not (Sg.equal_complement ~num_patterns:np sig_n st.sigs.(r))
       then attempt tried rest
       else
-        let window_verdict =
-          if not st.cfg.window_refine then `Unknown
-          else if Obs.Fault.fires fault_fail_window then
-            (* Injected fault: refinement unavailable — fall back to the
-               solver, which must reach the same verdict. *)
-            `Unknown
-          else
-            (* Exhaustive-window comparison from the cached tables: lift
-               both onto the joint support and compare columns. Exact —
-               equal tables prove equivalence, different tables refute
-               it — so no SAT call happens either way. *)
-            match (st.supports.(nd), st.supports.(r)) with
-            | Some sa, Some sb -> (
-              match merge_support st.cfg.window_max_leaves sa sb with
-              | None -> `Unknown
-              | Some joint ->
-                timed st `Window (fun () ->
-                    let module T = Tt.Truth_table in
-                    (* Structural duplicates usually share the support
-                       exactly; skip the lift then. *)
-                    let la, lb =
-                      if List.equal Int.equal sa sb then
-                        (window_tt st nd, window_tt st r)
-                      else
-                        ( lift_tt (window_tt st nd) sa joint,
-                          lift_tt (window_tt st r) sb joint )
-                    in
-                    if T.equal la lb then `Equal
-                    else if T.equal la (T.not_ lb) then `Compl
-                    else `Different))
-            | _ -> `Unknown
-        in
-        match window_verdict with
+        match window_verdict st nd r with
         | `Equal ->
           st.stats.Stats.window_merges <- st.stats.Stats.window_merges + 1;
           Some (L.of_node r false)
@@ -437,7 +444,10 @@ let try_merge st nd =
           Some (L.of_node r true)
         | `Different ->
           st.stats.Stats.window_splits <- st.stats.Stats.window_splits + 1;
-          attempt tried rest
+          (* Every examined representative charges [max_compares] — a
+             class dominated by window splits must still terminate its
+             walk. (This used to count only counterexample attempts.) *)
+          attempt (tried + 1) rest
         | `Unknown ->
           (* SAT attempts walk the escalating retry schedule: a pair that
              comes back undetermined under the base conflict limit is
@@ -508,6 +518,327 @@ let try_merge st nd =
   in
   attempt 0 reps
 
+(* ---- parallel dispatch (config.sat_domains >= 1) ----
+
+   The engine runs in waves. Collect: translate old nodes on the main
+   thread, resolving structural hits and window verdicts inline, until
+   [sat_wave] nodes need solver work; each becomes a task carrying its
+   pre-filtered candidate walk. Solve: the network frozen, the solver
+   domains drain the task queue ({!Dispatch.run_wave}), each loading
+   cone CNFs into its own incremental solver. Cube: tasks whose retry
+   schedule ran dry are split over all assignments of a few cone PIs
+   and re-attacked across the pool. Merge: the main thread — the single
+   writer — applies results in task order: proven merges into the map,
+   validated counterexamples into the pattern set (batched into one
+   shared resimulation), counters into stats.
+
+   Merges stay proof-gated exactly as in the inline path, so the result
+   is CEC-equivalent to the input regardless of domain count or merge
+   arrival order; what can drift between domain counts is only how much
+   redundancy a wave's deferred merges leave for later passes. *)
+
+type collected =
+  | C_none
+  | C_window_merge of L.t
+  | C_task of Dispatch.cand list
+
+(* The window/signature part of [try_merge], producing the candidate
+   walk a worker will run. Window splits are charged to [max_compares]
+   here; a window-proved equality before any SAT candidate merges on
+   the spot, after one it terminates the task's walk (nothing beyond it
+   is reachable). *)
+let collect_candidates st nd =
+  let reps =
+    List.filter
+      (fun r -> r < nd)
+      (Equiv_classes.candidates st.classes st.sigs.(nd))
+  in
+  let sig_n = st.sigs.(nd) in
+  let np = st.sim_np in
+  let finish acc =
+    match acc with [] -> C_none | l -> C_task (List.rev l)
+  in
+  let rec walk tried acc = function
+    | [] -> finish acc
+    | _ when tried >= st.cfg.max_compares -> finish acc
+    | r :: rest -> (
+      let compl = not (Sg.equal sig_n st.sigs.(r)) in
+      if compl && not (Sg.equal_complement ~num_patterns:np sig_n st.sigs.(r))
+      then walk tried acc rest
+      else
+        match window_verdict st nd r with
+        | (`Equal | `Compl) as v ->
+          let c = match v with `Compl -> true | `Equal -> false in
+          if acc = [] then begin
+            st.stats.Stats.window_merges <- st.stats.Stats.window_merges + 1;
+            C_window_merge (L.of_node r c)
+          end
+          else
+            finish
+              ({ Dispatch.c_rep = r; c_compl = c; c_window_eq = true } :: acc)
+        | `Different ->
+          st.stats.Stats.window_splits <- st.stats.Stats.window_splits + 1;
+          walk (tried + 1) acc rest
+        | `Unknown ->
+          walk (tried + 1)
+            ({ Dispatch.c_rep = r; c_compl = compl; c_window_eq = false }
+            :: acc)
+            rest)
+  in
+  walk 0 [] reps
+
+let last_conflict_limit cfg =
+  match List.rev cfg.retry_schedule with
+  | top :: _ -> Some top
+  | [] -> cfg.conflict_limit
+
+(* Cube width: enough cubes to keep the pool busy (>= 2 per domain),
+   capped at 4 variables (16 cubes) and by the cone's PI count. *)
+let cube_vars ~domains ~available =
+  if available = 0 then 0
+  else begin
+    let rec bits k = if 1 lsl k >= 2 * domains then k else bits (k + 1) in
+    min (min 4 available) (bits 1)
+  end
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(* Re-attack the wave's hard tasks cube-and-conquer style: enumerate all
+   2^k assignments of k cone PIs as assumption cubes and solve them
+   across the pool. A pair merges only if every cube of its complete
+   enumeration is UNSAT (each certified in certified mode); any SAT cube
+   is an ordinary counterexample. *)
+let cube_phase st disp tasks results =
+  let hard = ref [] in
+  Array.iteri
+    (fun j (res : Dispatch.result) ->
+      match res.Dispatch.r_outcome with
+      | Dispatch.Hard c -> hard := (j, c) :: !hard
+      | _ -> ())
+    results;
+  let hard = List.rev !hard in
+  if hard <> [] && budget_ok st "sat" then begin
+    let queries = ref [] and nq = ref 0 and spans = ref [] in
+    List.iter
+      (fun (j, (c : Dispatch.cand)) ->
+        let node = tasks.(j).Dispatch.t_node in
+        let pis = Aig.Cone.leaves st.fresh [ node; c.Dispatch.c_rep ] in
+        let k =
+          cube_vars ~domains:(Dispatch.domains disp)
+            ~available:(List.length pis)
+        in
+        if k > 0 then begin
+          let pis = take k pis in
+          st.stats.Stats.cube_splits <- st.stats.Stats.cube_splits + 1;
+          spans := (j, c, 1 lsl k, !nq) :: !spans;
+          for m = 0 to (1 lsl k) - 1 do
+            queries :=
+              {
+                Dispatch.q_node = node;
+                q_rep = c.Dispatch.c_rep;
+                q_compl = c.Dispatch.c_compl;
+                q_cube = List.mapi (fun b pi -> (pi, (m lsr b) land 1 = 1)) pis;
+              }
+              :: !queries;
+            incr nq
+          done
+        end)
+      hard;
+    let qarr = Array.of_list (List.rev !queries) in
+    if Array.length qarr > 0 then begin
+      st.stats.Stats.cube_queries <-
+        st.stats.Stats.cube_queries + Array.length qarr;
+      Obs.Trace.emitf "cube-and-conquer: %d hard pairs, %d cube queries"
+        (List.length !spans) (Array.length qarr);
+      let answers =
+        timed st `Sat (fun () ->
+            Dispatch.run_cubes disp
+              ~conflict_limit:(last_conflict_limit st.cfg)
+              qarr)
+      in
+      List.iter
+        (fun (j, (c : Dispatch.cand), ncubes, start) ->
+          let res = results.(j) in
+          let counts = res.Dispatch.r_counts in
+          let all_unsat = ref true in
+          for i = start to start + ncubes - 1 do
+            match answers.(i) with
+            | Dispatch.C_unsat ->
+              counts.Dispatch.n_unsat <- counts.Dispatch.n_unsat + 1;
+              if st.cert <> None then
+                counts.Dispatch.n_cert_unsat <-
+                  counts.Dispatch.n_cert_unsat + 1
+            | Dispatch.C_ce ce ->
+              all_unsat := false;
+              res.Dispatch.r_ces <-
+                (ce, c.Dispatch.c_rep, c.Dispatch.c_compl)
+                :: res.Dispatch.r_ces
+            | Dispatch.C_undet ->
+              all_unsat := false;
+              counts.Dispatch.n_undet <- counts.Dispatch.n_undet + 1
+            | Dispatch.C_uncert ->
+              all_unsat := false;
+              counts.Dispatch.n_cert_rejected <-
+                counts.Dispatch.n_cert_rejected + 1
+          done;
+          res.Dispatch.r_outcome <-
+            (if !all_unsat then
+               Dispatch.Merged
+                 (L.of_node c.Dispatch.c_rep c.Dispatch.c_compl, false)
+             else Dispatch.Exhausted))
+        (List.rev !spans)
+    end
+  end
+
+(* Merge phase for one task: fold the worker's counters into stats,
+   validate and apply its counterexamples in attempt order, then apply
+   the proven merge (if any) to the translation map. Runs only on the
+   main thread.
+
+   [seen] deduplicates counterexample patterns across the whole
+   dispatched sweep: tasks of one wave walk the same frozen classes, so
+   different tasks routinely return bit-identical counterexamples, and
+   a duplicate pattern refines nothing — adding it would only grow the
+   pattern set (and with it every subsequent resimulation) linearly in
+   SAT answers. The query still counts into [sat_sat]; only the
+   redundant pattern is dropped, so [ce_patterns] counts patterns that
+   actually entered the simulation set. *)
+let apply_result st seen (task : Dispatch.task) (res : Dispatch.result) map
+    old_nd l =
+  let counts = res.Dispatch.r_counts in
+  st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + counts.Dispatch.n_unsat;
+  st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + counts.Dispatch.n_undet;
+  st.stats.Stats.sat_retries <-
+    st.stats.Stats.sat_retries + counts.Dispatch.n_retries;
+  st.stats.Stats.certified_unsat <-
+    st.stats.Stats.certified_unsat + counts.Dispatch.n_cert_unsat;
+  if counts.Dispatch.n_cert_rejected > 0 then begin
+    st.stats.Stats.certificate_rejected <-
+      st.stats.Stats.certificate_rejected + counts.Dispatch.n_cert_rejected;
+    Obs.Trace.emitf
+      "certificate rejected — node %d keeps its structural translation"
+      task.Dispatch.t_node
+  end;
+  List.iter
+    (fun (ce, rep, compl) ->
+      if
+        st.cert <> None
+        && not (ce_distinguishes st ce task.Dispatch.t_node rep compl)
+      then begin
+        st.stats.Stats.certificate_rejected <-
+          st.stats.Stats.certificate_rejected + 1;
+        Obs.Trace.emitf
+          "counterexample rejected (does not distinguish nodes %d and %d) — \
+           pattern discarded"
+          task.Dispatch.t_node rep
+      end
+      else begin
+        st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
+        if st.cert <> None then
+          st.stats.Stats.certified_models <-
+            st.stats.Stats.certified_models + 1;
+        let key =
+          String.init (Array.length ce) (fun i -> if ce.(i) then '1' else '0')
+        in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          note_counterexample st ce
+        end
+      end)
+    (List.rev res.Dispatch.r_ces);
+  match res.Dispatch.r_outcome with
+  | Dispatch.Merged (lit, via_window) ->
+    if via_window then
+      st.stats.Stats.window_merges <- st.stats.Stats.window_merges + 1;
+    st.stats.Stats.merges <- st.stats.Stats.merges + 1;
+    if L.is_const lit then
+      st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;
+    map.(old_nd) <- L.xor_compl lit (L.is_compl l)
+  | Dispatch.Exhausted | Dispatch.Hard _ -> ()
+  | Dispatch.Stopped -> (
+    match Obs.Budget.exhausted st.budget with
+    | Some reason -> note_exhausted st reason "sat"
+    | None -> ())
+
+let sweep_dispatched st old_net map tr =
+  let cfg = st.cfg in
+  let disp =
+    Dispatch.create ~domains:cfg.sat_domains ~certify:cfg.certify
+      ~conflict_limit:cfg.conflict_limit ~retry_schedule:cfg.retry_schedule
+      st.fresh st.budget
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let ds = Dispatch.solver_stats disp in
+      st.stats.Stats.sat_decisions <-
+        st.stats.Stats.sat_decisions + ds.Sat.Solver.decisions;
+      st.stats.Stats.sat_conflicts <-
+        st.stats.Stats.sat_conflicts + ds.Sat.Solver.conflicts;
+      st.stats.Stats.sat_propagations <-
+        st.stats.Stats.sat_propagations + ds.Sat.Solver.propagations;
+      st.stats.Stats.sat_learned <-
+        st.stats.Stats.sat_learned + ds.Sat.Solver.learned;
+      Dispatch.shutdown disp)
+  @@ fun () ->
+  let ands = ref [] in
+  A.iter_ands old_net (fun nd -> ands := nd :: !ands);
+  let ands = Array.of_list (List.rev !ands) in
+  let n = Array.length ands in
+  let seen_ces = Hashtbl.create 256 in
+  let wave = max 1 cfg.sat_wave in
+  let trace_every = 4096 in
+  let i = ref 0 in
+  while !i < n do
+    (* Collect: translate until [sat_wave] tasks await solver work. *)
+    let tasks = ref [] and infos = ref [] and pending = ref 0 in
+    while !i < n && !pending < wave do
+      let old_nd = ands.(!i) in
+      incr i;
+      if Obs.Trace.enabled () && !i mod trace_every = 0 then
+        Obs.Trace.emitf "progress: %d/%d ANDs, %d merges, %d SAT calls" !i n
+          st.stats.Stats.merges
+          (Stats.total_sat_calls st.stats);
+      let before = A.num_nodes st.fresh in
+      let l =
+        A.add_and st.fresh
+          (tr (A.fanin0 old_net old_nd))
+          (tr (A.fanin1 old_net old_nd))
+      in
+      map.(old_nd) <- l;
+      if A.num_nodes st.fresh <> before && budget_ok st "sweep" then begin
+        register_new_nodes st;
+        match collect_candidates st (L.node l) with
+        | C_none -> ()
+        | C_window_merge merged ->
+          st.stats.Stats.merges <- st.stats.Stats.merges + 1;
+          if L.is_const merged then
+            st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;
+          map.(old_nd) <- L.xor_compl merged (L.is_compl l)
+        | C_task cands ->
+          tasks := { Dispatch.t_node = L.node l; t_cands = cands } :: !tasks;
+          infos := (old_nd, l) :: !infos;
+          incr pending
+      end
+    done;
+    if !pending > 0 then begin
+      let tasks = Array.of_list (List.rev !tasks) in
+      let infos = Array.of_list (List.rev !infos) in
+      (* Solve: the network is frozen until the wave returns. *)
+      let results =
+        timed st `Sat (fun () -> Dispatch.run_wave disp tasks)
+      in
+      cube_phase st disp tasks results;
+      (* Merge: single writer, task order. *)
+      Array.iteri
+        (fun j res ->
+          let old_nd, l = infos.(j) in
+          apply_result st seen_ces tasks.(j) res map old_nd l)
+        results
+    end
+  done
+
 let run ?(config = stp_config) old_net =
   let t_start = Obs.Clock.now () in
   let stats = Stats.create () in
@@ -534,8 +865,16 @@ let run ?(config = stp_config) old_net =
     in
     stats.Stats.guided_time <-
       stats.Stats.guided_time +. (Obs.Clock.now () -. t0);
-    Obs.Trace.emitf "guided init: +%d patterns, %d queries"
+    (* Guided queries that came back UNSAT proved input nodes constant.
+       The engine does not need them seeded: a truly constant node's
+       signature collides with node 0 on every pattern set, so the
+       class walk proves the merge anyway — but the work was real, so
+       record it instead of discarding the list silently. *)
+    stats.Stats.guided_consts <-
+      List.length outcome.Guided_patterns.proven_const;
+    Obs.Trace.emitf "guided init: +%d patterns, %d queries, %d consts proven"
       outcome.Guided_patterns.patterns_added outcome.Guided_patterns.queries
+      stats.Stats.guided_consts
   end;
   stats.Stats.initial_patterns <- P.num_patterns pats;
   let fresh = A.create ~capacity:(A.num_nodes old_net) () in
@@ -598,36 +937,42 @@ let run ?(config = stp_config) old_net =
     assert (m >= 0);
     L.xor_compl m (L.is_compl l)
   in
-  let trace_every = 4096 in
-  let processed = ref 0 in
-  A.iter_ands old_net (fun nd ->
-      incr processed;
-      if Obs.Trace.enabled () && !processed mod trace_every = 0 then
-        Obs.Trace.emitf "progress: %d/%d ANDs, %d merges, %d SAT calls"
-          !processed (A.num_ands old_net) st.stats.Stats.merges
-          (Stats.total_sat_calls st.stats);
-      let before = A.num_nodes st.fresh in
-      let l = A.add_and st.fresh (tr (A.fanin0 old_net nd)) (tr (A.fanin1 old_net nd)) in
-      if A.num_nodes st.fresh = before then
-        (* Structural hash hit or constant fold: already merged. *)
-        map.(nd) <- l
-      else if not (budget_ok st "sweep") then
-        (* Degraded mode: the budget is gone, so the rest of the pass is
-           a plain structural translation — linear, no simulation, no
-           SAT. Every merge recorded so far was proven, so the partial
-           sweep stays functionally equivalent to the input. *)
-        map.(nd) <- l
-      else begin
-        register_new_nodes st;
-        let fresh_node = L.node l in
-        match try_merge st fresh_node with
-        | Some merged ->
-          st.stats.Stats.merges <- st.stats.Stats.merges + 1;
-          if L.is_const merged then
-            st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;
-          map.(nd) <- L.xor_compl merged (L.is_compl l)
-        | None -> map.(nd) <- l
-      end);
+  if config.sat_domains >= 1 then
+    (* Parallel dispatch: wave-collected tasks solved across a pool of
+       solver domains, merges applied by this (single-writer) thread. *)
+    sweep_dispatched st old_net map tr
+  else begin
+    let trace_every = 4096 in
+    let processed = ref 0 in
+    A.iter_ands old_net (fun nd ->
+        incr processed;
+        if Obs.Trace.enabled () && !processed mod trace_every = 0 then
+          Obs.Trace.emitf "progress: %d/%d ANDs, %d merges, %d SAT calls"
+            !processed (A.num_ands old_net) st.stats.Stats.merges
+            (Stats.total_sat_calls st.stats);
+        let before = A.num_nodes st.fresh in
+        let l = A.add_and st.fresh (tr (A.fanin0 old_net nd)) (tr (A.fanin1 old_net nd)) in
+        if A.num_nodes st.fresh = before then
+          (* Structural hash hit or constant fold: already merged. *)
+          map.(nd) <- l
+        else if not (budget_ok st "sweep") then
+          (* Degraded mode: the budget is gone, so the rest of the pass is
+             a plain structural translation — linear, no simulation, no
+             SAT. Every merge recorded so far was proven, so the partial
+             sweep stays functionally equivalent to the input. *)
+          map.(nd) <- l
+        else begin
+          register_new_nodes st;
+          let fresh_node = L.node l in
+          match try_merge st fresh_node with
+          | Some merged ->
+            st.stats.Stats.merges <- st.stats.Stats.merges + 1;
+            if L.is_const merged then
+              st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;
+            map.(nd) <- L.xor_compl merged (L.is_compl l)
+          | None -> map.(nd) <- l
+        end)
+  end;
   Array.iter (fun l -> ignore (A.add_po st.fresh (tr l))) (A.pos old_net);
   (* The fresh network still holds nodes that lost their fanout to a
      merge; a cleanup pass drops them. *)
@@ -658,11 +1003,14 @@ let run ?(config = stp_config) old_net =
                   o)))
       (A.pos old_net)
   end;
+  (* Accumulate (not assign): the dispatch path already folded its pool
+     members' solver counters in. *)
   let s = Sat.Solver.stats solver in
-  stats.Stats.sat_decisions <- s.Sat.Solver.decisions;
-  stats.Stats.sat_conflicts <- s.Sat.Solver.conflicts;
-  stats.Stats.sat_propagations <- s.Sat.Solver.propagations;
-  stats.Stats.sat_learned <- s.Sat.Solver.learned;
+  stats.Stats.sat_decisions <- stats.Stats.sat_decisions + s.Sat.Solver.decisions;
+  stats.Stats.sat_conflicts <- stats.Stats.sat_conflicts + s.Sat.Solver.conflicts;
+  stats.Stats.sat_propagations <-
+    stats.Stats.sat_propagations + s.Sat.Solver.propagations;
+  stats.Stats.sat_learned <- stats.Stats.sat_learned + s.Sat.Solver.learned;
   stats.Stats.total_time <- Obs.Clock.now () -. t_start;
   Obs.Trace.emitf "sweep done: %d -> %d ANDs, %d merges, %.3fs"
     (A.num_ands old_net) (A.num_ands result) stats.Stats.merges

@@ -46,6 +46,24 @@ type config = {
   par_threshold : int;
       (** minimum pattern count before the parallel path is taken — below
           it the fork-join overhead outweighs the sharded work *)
+  sat_domains : int;
+      (** [0] (default): SAT queries issue inline from the rebuild loop
+          — the legacy sequential path, untouched. [>= 1]: queries
+          dispatch to a pool of that many solver domains ({!Dispatch}),
+          each owning an incremental solver (and, in certified mode, its
+          own DRUP checker); the engine collects per-node candidate
+          tasks in waves of [sat_wave], freezes the network while the
+          pool drains them, then applies the results in task order as
+          the single writer. Merges stay proof-gated, so the result is
+          CEC-equivalent to the input for every domain count.
+          [sat_domains = 1] exercises the dispatch machinery without
+          concurrency. See DESIGN.md "Parallel dispatch". *)
+  sat_wave : int;
+      (** tasks collected per dispatch wave (default 128). Larger waves
+          amortize synchronization but defer merges longer, leaving
+          same-wave duplicates to later structural hashing; a wave at
+          least the task count makes a dispatched sweep fully
+          deterministic across domain counts. *)
   deadline : float option;
       (** absolute {!Obs.Clock} deadline for the whole sweep. Once it
           passes, the engine stops issuing SAT queries, finishes the

@@ -1,5 +1,6 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-    ?deadline ?timeout ?(verify = false) ?(certify = false) () =
+    ?sat_domains ?sat_wave ?deadline ?timeout ?(verify = false)
+    ?(certify = false) () =
   let base = Engine.fraig_config in
   let deadline =
     match (deadline, timeout) with
@@ -16,16 +17,18 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
     retry_schedule =
       Option.value retry_schedule ~default:base.Engine.retry_schedule;
     sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
+    sat_domains = Option.value sat_domains ~default:base.Engine.sat_domains;
+    sat_wave = Option.value sat_wave ~default:base.Engine.sat_wave;
     deadline;
     verify;
     certify;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-    ?deadline ?timeout ?verify ?certify net =
+    ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-      ?deadline ?timeout ?verify ?certify ()
+      ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

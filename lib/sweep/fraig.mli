@@ -12,6 +12,8 @@ val sweep :
   ?conflict_limit:int ->
   ?retry_schedule:int list ->
   ?sim_domains:int ->
+  ?sat_domains:int ->
+  ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
@@ -25,6 +27,8 @@ val config :
   ?conflict_limit:int ->
   ?retry_schedule:int list ->
   ?sim_domains:int ->
+  ?sat_domains:int ->
+  ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->

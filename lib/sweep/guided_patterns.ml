@@ -17,6 +17,11 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
   let queries = ref 0 in
   let added = ref 0 in
   let consts = ref [] in
+  (* Proven-constant flags, updated the moment a query proves one: an
+     O(1) check per node instead of a per-round [List.memq] scan of a
+     snapshot (O(ANDs x consts), and blind to constants proven earlier
+     in the same pass over the network). *)
+  let proven = Bytes.make (max 1 (A.num_nodes net)) '\000' in
   let np () = Sim.Patterns.num_patterns pats in
   let expired () =
     match deadline with Some d -> Obs.Clock.now () > d | None -> false
@@ -37,6 +42,7 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
     | Sat.Tseitin.Equivalent ->
       (* node is constantly [not want]. *)
       consts := (node, not want) :: !consts;
+      Bytes.set proven node '\001';
       false
     | Sat.Tseitin.Undetermined | Sat.Tseitin.Uncertified _ -> false
   in
@@ -44,9 +50,9 @@ let generate ?(max_queries = 256) ?(low_ratio = 0.02) ?conflict_limit
     let tbl = Sim.Bitwise.simulate_aig net pats in
     let n = np () in
     let lo = int_of_float (ceil (threshold *. float_of_int n)) in
-    let proven = List.map fst !consts in
     A.iter_ands net (fun nd ->
-        if !queries < max_queries && (not (expired ())) && not (List.memq nd proven)
+        if !queries < max_queries && (not (expired ()))
+           && Bytes.get proven nd = '\000'
         then begin
           let ones = Sg.count_ones tbl.(nd) in
           if ones <= lo then ignore (query nd true)

@@ -25,6 +25,9 @@ type t = {
   mutable certified_unsat : int;
   mutable certified_models : int;
   mutable certificate_rejected : int;
+  mutable guided_consts : int;
+  mutable cube_splits : int;
+  mutable cube_queries : int;
   mutable budget_exhausted : exhaustion option;
 }
 
@@ -54,6 +57,9 @@ let create () =
     certified_unsat = 0;
     certified_models = 0;
     certificate_rejected = 0;
+    guided_consts = 0;
+    cube_splits = 0;
+    cube_queries = 0;
     budget_exhausted = None;
   }
 
@@ -93,6 +99,9 @@ let to_json t =
             ("certified_unsat", Int t.certified_unsat);
             ("certified_models", Int t.certified_models);
             ("certificate_rejected", Int t.certificate_rejected);
+            ("guided_consts", Int t.guided_consts);
+            ("cube_splits", Int t.cube_splits);
+            ("cube_queries", Int t.cube_queries);
           ] );
       ( "phases_s",
         Obj
@@ -125,6 +134,11 @@ let pp ppf t =
   if t.certified_unsat + t.certified_models + t.certificate_rejected > 0 then
     Format.fprintf ppf " cert_unsat=%d cert_models=%d cert_rejected=%d"
       t.certified_unsat t.certified_models t.certificate_rejected;
+  if t.guided_consts > 0 then
+    Format.fprintf ppf " guided_consts=%d" t.guided_consts;
+  if t.cube_splits > 0 then
+    Format.fprintf ppf " cube_splits=%d cube_queries=%d" t.cube_splits
+      t.cube_queries;
   match t.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf ppf " budget_exhausted=%s/%s" e.reason e.phase

@@ -58,6 +58,18 @@ type t = {
       (** certified mode: solver answers whose certificate failed to
           replay; each one degrades its node to structural translation,
           exactly like budget exhaustion. Zero unless the solver lies. *)
+  mutable guided_consts : int;
+      (** nodes the guided-pattern initialization proved constant on the
+          input network. The engine merges them through the ordinary
+          class machinery (a constant node's signature always collides
+          with node 0), so this records guided work rather than extra
+          merges. *)
+  mutable cube_splits : int;
+      (** parallel dispatch: hard miters (retry schedule exhausted)
+          split cube-and-conquer style across the solver domains *)
+  mutable cube_queries : int;
+      (** parallel dispatch: per-cube solver queries issued by splits;
+          each also counts into the ordinary sat_* outcome counters *)
   mutable budget_exhausted : exhaustion option;
       (** set once, at the moment the engine's budget first reports
           exhaustion; [None] on an unbudgeted or in-budget run *)

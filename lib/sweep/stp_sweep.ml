@@ -1,5 +1,6 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule
-    ?window_max_leaves ?sim_domains ?deadline ?timeout ?(verify = false) ?(certify = false) () =
+    ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
+    ?(verify = false) ?(certify = false) () =
   let base = Engine.stp_config in
   let deadline =
     match (deadline, timeout) with
@@ -18,16 +19,20 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     window_max_leaves =
       Option.value window_max_leaves ~default:base.Engine.window_max_leaves;
     sim_domains = Option.value sim_domains ~default:base.Engine.sim_domains;
+    sat_domains = Option.value sat_domains ~default:base.Engine.sat_domains;
+    sat_wave = Option.value sat_wave ~default:base.Engine.sat_wave;
     deadline;
     verify;
     certify;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule
-    ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify ?certify net =
+    ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
+    ?verify ?certify net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule
-      ?window_max_leaves ?sim_domains ?deadline ?timeout ?verify ?certify ()
+      ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline
+      ?timeout ?verify ?certify ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

@@ -10,7 +10,9 @@
     conflict limits re-tried on undetermined pairs. [verify] routes the
     sweep through {!Selfcheck.run}, raising
     {!Engine.Verification_failed} unless the result provably matches
-    the input. [certify] makes every solver answer carry a replayed
+    the input. [sat_domains] (default 0 = inline) dispatches SAT
+    queries to a pool of solver domains in waves of [sat_wave] — see
+    {!Engine.config}. [certify] makes every solver answer carry a replayed
     certificate ({!Engine.config}); rejected certificates degrade their
     node instead of merging it. *)
 
@@ -21,6 +23,8 @@ val sweep :
   ?retry_schedule:int list ->
   ?window_max_leaves:int ->
   ?sim_domains:int ->
+  ?sat_domains:int ->
+  ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->
@@ -35,6 +39,8 @@ val config :
   ?retry_schedule:int list ->
   ?window_max_leaves:int ->
   ?sim_domains:int ->
+  ?sat_domains:int ->
+  ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
   ?verify:bool ->

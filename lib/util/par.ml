@@ -145,6 +145,29 @@ module Pool = struct
             f ~lo ~hi
           end)
 
+  let drain t n f =
+    if n > 0 then
+      if t.domains = 1 then
+        for i = 0 to n - 1 do
+          f ~domain:0 i
+        done
+      else begin
+        (* A single atomic ticket counter is the whole queue: tasks are
+           claimed in index order, so a caller that records results into
+           slot [i] gets deterministic placement regardless of which
+           domain ran the task. *)
+        let next = Atomic.make 0 in
+        run t (fun domain ->
+            let rec go () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < n then begin
+                f ~domain i;
+                go ()
+              end
+            in
+            go ())
+      end
+
   let shutdown t =
     Mutex.lock t.m;
     let ws = t.workers in

@@ -48,6 +48,16 @@ module Pool : sig
 
   val for_ranges : t -> int -> (lo:int -> hi:int -> unit) -> unit
 
+  val drain : t -> int -> (domain:int -> int -> unit) -> unit
+  (** [drain t n f] runs [f ~domain i] for every [i] in [0, n), the pool
+      members claiming task indices from a shared atomic counter in
+      ascending order — a work queue for tasks of uneven cost (the sweep
+      engine's SAT dispatch). [domain] is the pool-member index running
+      the task, for per-domain scratch state (each solver belongs to one
+      member). Tasks must not touch shared mutable state except through
+      their own [i]-indexed slots. Single-member pools degrade to a
+      plain loop. *)
+
   val shutdown : t -> unit
   (** Joins the workers. The pool must not be used afterwards;
       [shutdown] twice is harmless. *)

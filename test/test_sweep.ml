@@ -383,6 +383,246 @@ let test_parallel_sweep_identical () =
     check "function preserved" true (exhaustive_equal net par)
   done
 
+(* ---- compare-budget charging (regression) ---- *)
+
+let test_max_compares_charges_window_splits () =
+  (* Three structurally distinct 14-PI minterms plus a balanced-tree
+     duplicate of the last one. Every minterm signature is all-zeros
+     under any realistic random pattern set, so they all land in the
+     constant-0 class, and the duplicate's candidate walk marches
+     through constant 0 and the foreign minterms — all window-proved
+     splits — before reaching its window-equal twin. With
+     [max_compares = 1] the walk must stop at the first split; before
+     the fix only counterexample attempts were charged, so a
+     window-split-dominated class was never bounded and the merge
+     happened regardless of the budget. *)
+  let pis = 14 in
+  let net = A.create () in
+  let ins = Array.init pis (fun _ -> A.add_pi net) in
+  let lit i phase = L.xor_compl ins.(i) phase in
+  let chain phases =
+    let acc = ref (lit 0 phases.(0)) in
+    for i = 1 to pis - 1 do
+      acc := A.add_and net !acc (lit i phases.(i))
+    done;
+    !acc
+  in
+  let p3 = Array.init pis (fun i -> i = 1) in
+  let m1 = chain (Array.make pis false) in
+  let m2 = chain (Array.init pis (fun i -> i = 0)) in
+  let m3 = chain p3 in
+  let rec tree lo hi =
+    if lo = hi then lit lo p3.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      A.add_and net (tree lo mid) (tree (mid + 1) hi)
+  in
+  let d3 = tree 0 (pis - 1) in
+  List.iter (fun l -> ignore (A.add_po net l)) [ m1; m2; m3; d3 ];
+  (* Guided init off: its rare-value queries would add patterns that
+     split the minterms apart before the walk under test ever runs. *)
+  let run ~max_compares ~sat_domains =
+    Sweep.Engine.run
+      ~config:
+        {
+          Sweep.Engine.stp_config with
+          Sweep.Engine.guided_init = false;
+          guided_queries = 0;
+          max_compares;
+          sat_domains;
+        }
+      net
+  in
+  (* The balanced tree's inner nodes merge onto chain prefixes with
+     unique signatures — first-candidate window merges that cost no
+     compare budget and happen under either setting. Only the top-level
+     duplicate sits behind a wall of window splits, so a correctly
+     charged budget of 1 must find exactly one merge fewer than the
+     ample budget; the uncharged-splits bug made the two runs agree. *)
+  List.iter
+    (fun sat_domains ->
+      let label = Printf.sprintf "sat_domains=%d" sat_domains in
+      let starved, st1 = run ~max_compares:1 ~sat_domains in
+      check (label ^ ": function preserved (starved)") true
+        (exhaustive_equal net starved);
+      check (label ^ ": splits were charged") true
+        (st1.Sweep.Stats.window_splits > 0);
+      let swept, st = run ~max_compares:1000 ~sat_domains in
+      check (label ^ ": function preserved") true (exhaustive_equal net swept);
+      check
+        (label ^ ": starved walk stops short of the split-guarded twin")
+        true
+        (st1.Sweep.Stats.merges < st.Sweep.Stats.merges))
+    [ 0; 1 ]
+
+(* ---- parallel SAT dispatch ---- *)
+
+let dispatch_config ?(certify = false) ~sat_domains () =
+  {
+    Sweep.Engine.stp_config with
+    Sweep.Engine.sat_domains;
+    (* One wave >> task count: every task derives from the
+       seed-deterministic initial signatures alone, making the whole
+       dispatched sweep reproducible across domain counts. *)
+    sat_wave = 16384;
+    certify;
+  }
+
+let test_dispatch_domains_agree () =
+  (* --sat-domains 1/2/4 must produce CEC-equivalent results with
+     identical merge counts: merges are proof-gated and the solver is
+     complete without a conflict limit, so which domain runs a task
+     cannot change its verdict. *)
+  let rng = Rng.create 0xD15BA7L in
+  for round = 1 to 3 do
+    let base = random_network rng ~pis:8 ~gates:150 ~pos:5 in
+    let net = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.4 base in
+    let runs =
+      List.map
+        (fun d -> (d, Sweep.Engine.run ~config:(dispatch_config ~sat_domains:d ()) net))
+        [ 1; 2; 4 ]
+    in
+    let _, (r1, s1) = List.hd runs in
+    List.iter
+      (fun (d, (r, s)) ->
+        if not (exhaustive_equal net r) then
+          Alcotest.failf "round %d: %d domains changed the function" round d;
+        (match Sweep.Cec.check net r with
+        | Sweep.Cec.Equivalent -> ()
+        | _ -> Alcotest.failf "round %d: %d domains fail CEC" round d);
+        check_int
+          (Printf.sprintf "round %d: merges agree (1 vs %d domains)" round d)
+          s1.Sweep.Stats.merges s.Sweep.Stats.merges;
+        check_int
+          (Printf.sprintf "round %d: size agrees (1 vs %d domains)" round d)
+          (A.num_ands r1) (A.num_ands r))
+      runs
+  done
+
+let arb_dispatch_case =
+  QCheck.make
+    ~print:(fun (seed, gates, certify) ->
+      Printf.sprintf "seed=%Ld gates=%d certify=%b" seed gates certify)
+    QCheck.Gen.(
+      let* seed = ui64 in
+      let* gates = int_range 40 160 in
+      let* certify = bool in
+      return (seed, gates, certify))
+
+let prop_dispatch_equivalent (seed, gates, certify) =
+  let rng = Rng.create seed in
+  let base = random_network rng ~pis:7 ~gates ~pos:4 in
+  let net = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.4 base in
+  let runs =
+    List.map
+      (fun d ->
+        Sweep.Engine.run ~config:(dispatch_config ~certify ~sat_domains:d ()) net)
+      [ 1; 2; 4 ]
+  in
+  let _, s1 = List.hd runs in
+  List.iter
+    (fun (r, s) ->
+      if not (exhaustive_equal net r) then
+        QCheck.Test.fail_report "dispatched sweep changed the function";
+      if s.Sweep.Stats.merges <> s1.Sweep.Stats.merges then
+        QCheck.Test.fail_reportf "merge counts diverge: %d vs %d"
+          s1.Sweep.Stats.merges s.Sweep.Stats.merges;
+      if certify then begin
+        if s.Sweep.Stats.certificate_rejected <> 0 then
+          QCheck.Test.fail_reportf "%d certificates rejected on an honest run"
+            s.Sweep.Stats.certificate_rejected;
+        if s.Sweep.Stats.sat_unsat <> s.Sweep.Stats.certified_unsat then
+          QCheck.Test.fail_report "not every UNSAT was certified";
+        if s.Sweep.Stats.sat_sat <> s.Sweep.Stats.certified_models then
+          QCheck.Test.fail_report "not every model was certified"
+      end;
+      check_phase_accounting "dispatch" s;
+      check_report_roundtrip "dispatch" s)
+    runs;
+  true
+
+let test_dispatch_cube_and_conquer () =
+  (* A starved conflict limit makes real miters exhaust the retry
+     schedule, so hard candidates must reach the cube-and-conquer
+     phase — and however the cubes come back, the result stays
+     equivalent. *)
+  let rng = Rng.create 0xC0BE5L in
+  let base = random_network rng ~pis:12 ~gates:400 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:23L ~fraction:0.4 base in
+  let swept, st =
+    Sweep.Engine.run
+      ~config:
+        {
+          Sweep.Engine.fraig_config with
+          Sweep.Engine.sat_domains = 2;
+          sat_wave = 256;
+          conflict_limit = Some 1;
+          retry_schedule = [ 2 ];
+        }
+      net
+  in
+  check "function preserved" true (exhaustive_equal net swept);
+  (match Sweep.Cec.check net swept with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "cube-split sweep not CEC-equivalent");
+  check "hard candidates were cube-split" true (st.Sweep.Stats.cube_splits > 0);
+  check "each split enumerated its cubes" true
+    (st.Sweep.Stats.cube_queries >= 2 * st.Sweep.Stats.cube_splits);
+  check_report_roundtrip "cube" st
+
+let test_dispatch_budget_degrades () =
+  (* Budget exhaustion with workers in flight: any domain may trip the
+     shared budget; the sweep must still finish with only its proven
+     merges and report why it stopped. *)
+  let rng = Rng.create 0xB4D6E7L in
+  let base = random_network rng ~pis:10 ~gates:8000 ~pos:8 in
+  let net = Gen.Redundant.inject ~seed:13L ~fraction:0.3 base in
+  let swept, st =
+    Sweep.Stp_sweep.sweep ~timeout:0.01 ~sat_domains:2 ~sat_wave:64 net
+  in
+  (match st.Sweep.Stats.budget_exhausted with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected the budget to run out");
+  check "function preserved" true (exhaustive_equal net swept);
+  (match Sweep.Cec.check net swept with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "degraded dispatch sweep not CEC-equivalent");
+  (* And an already-expired deadline, which every worker sees sticky. *)
+  let swept0, st0 =
+    Sweep.Stp_sweep.sweep
+      ~deadline:(Obs.Clock.now () -. 1.)
+      ~sat_domains:2 net
+  in
+  check "expired deadline preserved the function" true
+    (exhaustive_equal net swept0);
+  match st0.Sweep.Stats.budget_exhausted with
+  | Some e ->
+    check "reason is deadline" true (e.Sweep.Stats.reason = "deadline")
+  | None -> Alcotest.fail "expired deadline not recorded"
+
+let test_guided_consts_recorded () =
+  (* Constants proven during guided initialization must surface in the
+     stats and the JSON report instead of being silently discarded. *)
+  let net = A.create () in
+  let a = A.add_pi net and b = A.add_pi net in
+  let x = A.add_xor net a b in
+  let y = A.add_xor net a (L.not_ b) in
+  ignore (A.add_po net (A.add_or net x y));
+  ignore (A.add_po net (A.add_and net x y));
+  let _, st = Sweep.Stp_sweep.sweep net in
+  check "guided consts recorded" true (st.Sweep.Stats.guided_consts > 0);
+  let counters =
+    match Obs.Json.member "counters" (Sweep.Stats.to_json st) with
+    | Some (Obs.Json.Obj _ as o) -> o
+    | _ -> Alcotest.fail "no counters object in the report"
+  in
+  List.iter
+    (fun k ->
+      match Obs.Json.member k counters with
+      | Some (Obs.Json.Int _) -> ()
+      | _ -> Alcotest.failf "%s missing from the JSON report" k)
+    [ "guided_consts"; "cube_splits"; "cube_queries" ]
+
 (* ---- budgets, degradation, faults ---- *)
 
 let with_faults spec f =
@@ -425,7 +665,7 @@ let test_timeout_partial () =
      itself short mid-flight and the partial result — only the merges
      proven before exhaustion — must still be a correct network. *)
   let rng = Rng.create 31337L in
-  let base = random_network rng ~pis:10 ~gates:1500 ~pos:8 in
+  let base = random_network rng ~pis:10 ~gates:8000 ~pos:8 in
   let net = Gen.Redundant.inject ~seed:13L ~fraction:0.3 base in
   let swept, st = Sweep.Stp_sweep.sweep ~timeout:0.01 net in
   (match st.Sweep.Stats.budget_exhausted with
@@ -658,6 +898,22 @@ let () =
             test_engine_ablation_configs;
           Alcotest.test_case "parallel sweep identical" `Quick
             test_parallel_sweep_identical;
+          Alcotest.test_case "max_compares charges window splits" `Quick
+            test_max_compares_charges_window_splits;
+          Alcotest.test_case "guided consts recorded" `Quick
+            test_guided_consts_recorded;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "domain counts agree" `Slow
+            test_dispatch_domains_agree;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"sat-domains 1/2/4 equivalent" ~count:10
+               arb_dispatch_case prop_dispatch_equivalent);
+          Alcotest.test_case "cube and conquer" `Slow
+            test_dispatch_cube_and_conquer;
+          Alcotest.test_case "budget degrades" `Quick
+            test_dispatch_budget_degrades;
         ] );
       ( "robustness",
         [
