@@ -8,8 +8,59 @@
 
 open Stp_sweep
 
+(* Client ("sweepc") mode: same flags, but the pipeline runs inside a
+   sweepd daemon reached over --connect SOCK. The daemon's report is the
+   authority — the verdict, the JSON and the swept AIG all come off the
+   wire; exit codes mirror the local path (1 = CEC different, 2 =
+   parse/IO, 3 = verification failed). *)
+let run_remote sock name net script timeout verify certify output json echo =
+  let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
+  @@ fun () ->
+  Svc.Proto.write_request oc
+    {
+      Svc.Proto.req_id = Unix.getpid ();
+      script;
+      aiger = Aig.Aiger.write net;
+      req_timeout = timeout;
+      req_verify = verify;
+      req_certify = certify;
+    };
+  match Svc.Proto.read_response ic with
+  | None ->
+    prerr_endline "sweep: server closed the connection without responding";
+    exit 2
+  | Some (Svc.Proto.R_error { kind; message; _ }) ->
+    Printf.eprintf "sweep: server error (%s): %s\n" kind message;
+    exit (if kind = "verification_failed" then 3 else 2)
+  | Some (Svc.Proto.R_ok { report; _ }) ->
+    let open Obs.Json in
+    let int_of name = match member name report with Some (Int i) -> Some i | _ -> None in
+    (match (int_of "input_ands", int_of "result_ands") with
+    | Some i, Some r ->
+      echo (Printf.sprintf "%-14s server: %d -> %d ands\n" name i r)
+    | _ -> ());
+    (match member "cec" report with
+    | Some (String v) -> echo (Printf.sprintf "cec: %s\n" v)
+    | _ -> ());
+    (match (output, member "result_aiger" report) with
+    | Some path, Some (String aag) ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc aag);
+      Printf.printf "wrote: %s\n" path
+    | Some _, _ ->
+      prerr_endline "sweep: server report carries no result_aiger";
+      exit 2
+    | None, _ -> ());
+    (match json with
+    | Some path ->
+      to_file path report;
+      Printf.printf "wrote: %s\n" path
+    | None -> ());
+    if member "cec" report = Some (String "different") then exit 1
+
 let run circuit file engine timeout retries sat_domains self_verify verify
-    certify output json trace () =
+    certify output json trace connect () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = Report.load_network ?circuit ?file () in
@@ -29,6 +80,10 @@ let run circuit file engine timeout retries sat_domains self_verify verify
     Buffer.contents b
   in
   let echo s = print_string s; flush stdout in
+  match connect with
+  | Some sock ->
+    run_remote sock name net script timeout self_verify certify output json echo
+  | None ->
   let ctx =
     Pass.create_ctx ?timeout ~verify:self_verify ~certify ~echo net
   in
@@ -136,12 +191,22 @@ let trace =
     value & flag
     & info [ "trace" ] ~doc:"Stream sweep progress to stderr (or STP_SWEEP_TRACE=1).")
 
+let connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCK"
+        ~doc:
+          "Run the pipeline inside a sweepd daemon listening on the \
+           Unix-domain socket $(docv) instead of in-process; the swept \
+           AIG, report and exit code come from the server's response.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
     Term.(
-      const (fun a b c d e f g h i j k l -> run a b c d e f g h i j k l ())
+      const (fun a b c d e f g h i j k l m -> run a b c d e f g h i j k l m ())
       $ circuit $ file $ engine $ timeout $ retries $ sat_domains
-      $ self_verify $ verify $ certify $ output $ json $ trace)
+      $ self_verify $ verify $ certify $ output $ json $ trace $ connect)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,120 @@
+(* sweepd: the sweep service daemon.
+
+   Listens on a Unix-domain socket for framed pipeline requests
+   (bin/sweep_cli.exe --connect is the matching client), runs each
+   through Pass.run_pipeline on a pool of worker domains, and answers
+   with the same schema-2 report the CLIs write. An optional on-disk
+   cache (--cache DIR) carries proven equivalences and counterexamples
+   across requests and across daemon restarts; --paranoid replays every
+   stored DRUP certificate before a hit is served.
+
+   SIGTERM/SIGINT drain: in-flight requests finish, connections close
+   at the next frame boundary, the socket is unlinked and the process
+   exits 0. *)
+
+open Stp_sweep
+
+let run socket domains cache_dir paranoid request_timeout global_timeout trace
+    () =
+  Report.cli_guard @@ fun () ->
+  if trace then Obs.Trace.enable ();
+  let stop = Atomic.make false in
+  let quit _ = Atomic.set stop true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+  (* A peer that hangs up mid-response must not kill the daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let echo s = Printf.printf "sweepd: %s\n%!" s in
+  let cache = Option.map (fun dir -> Svc.Cache.open_ ~dir) cache_dir in
+  (match cache with
+  | Some c -> echo (Printf.sprintf "cache: %s" (Svc.Cache.dir c))
+  | None -> ());
+  let outcome =
+    Svc.Server.run ~stop
+      {
+        Svc.Server.socket_path = socket;
+        domains;
+        cache;
+        paranoid;
+        request_timeout;
+        global_timeout;
+        echo;
+      }
+  in
+  (match cache with
+  | Some c ->
+    let t = Svc.Cache.counters c in
+    echo
+      (Printf.sprintf "cache: %d hits, %d misses, %d stores, %d quarantined"
+         t.Svc.Cache.c_hits t.c_misses t.c_stores t.c_quarantined)
+  | None -> ());
+  echo
+    (Printf.sprintf "drained: %d served, %d errors, %d dropped"
+       outcome.Svc.Server.served outcome.errors outcome.dropped)
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (created, unlinked on exit).")
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains; up to $(docv) requests run in parallel.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed equivalence cache directory (created if \
+           missing). Entries carry DRUP certificates or counterexamples \
+           and survive restarts; corrupt entries are quarantined, never \
+           served.")
+
+let paranoid =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Replay every cached DRUP certificate through the independent \
+           checker before serving the hit; rejected certificates degrade \
+           to fresh SAT queries and count into cache_rejected.")
+
+let request_timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "request-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Per-request budget cap; a request's own timeout_s can only \
+           shrink it.")
+
+let global_timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "global-timeout" ] ~docv:"SEC"
+        ~doc:"Stop serving and drain after $(docv) seconds of lifetime.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Stream progress to stderr (or STP_SWEEP_TRACE=1).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sweepd" ~doc:"serve sweep pipelines over a Unix socket")
+    Term.(
+      const (fun a b c d e f g -> run a b c d e f g ())
+      $ socket $ domains $ cache_dir $ paranoid $ request_timeout
+      $ global_timeout $ trace)
+
+let () = exit (Cmd.eval cmd)

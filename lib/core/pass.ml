@@ -20,6 +20,10 @@ type ctx = {
   budget : Obs.Budget.t;
   verify : bool;
   certify : bool;
+  cache : Sweep.Engine.cache_ops option;
+      (* cross-run equivalence cache handed to every sweep pass; the
+         daemon shares one store across all requests *)
+  cache_paranoid : bool;
   metrics : Obs.Metrics.t;
   input : A.t;
   mutable checkpoint : A.t;
@@ -28,7 +32,8 @@ type ctx = {
 }
 
 let create_ctx ?seed ?(sim_domains = 1) ?(sat_domains = 0) ?timeout
-    ?(verify = false) ?(certify = false) ?(echo = print_string) input =
+    ?(verify = false) ?(certify = false) ?cache ?(cache_paranoid = false)
+    ?(echo = print_string) input =
   let budget =
     match timeout with
     | Some s -> Obs.Budget.create ~timeout:s ()
@@ -41,6 +46,8 @@ let create_ctx ?seed ?(sim_domains = 1) ?(sat_domains = 0) ?timeout
     budget;
     verify;
     certify;
+    cache;
+    cache_paranoid;
     metrics = Obs.Metrics.create ();
     input;
     checkpoint = input;
@@ -132,11 +139,13 @@ let sweep_make args =
       | `Stp ->
         Sweep.Stp_sweep.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
           ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
-          ~verify:ctx.verify ~certify:ctx.certify net
+          ~verify:ctx.verify ~certify:ctx.certify ?cache:ctx.cache
+          ~cache_paranoid:ctx.cache_paranoid net
       | `Fraig ->
         Sweep.Fraig.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
           ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
-          ~verify:ctx.verify ~certify:ctx.certify net
+          ~verify:ctx.verify ~certify:ctx.certify ?cache:ctx.cache
+          ~cache_paranoid:ctx.cache_paranoid net
     in
     ctx.echo
       (Printf.sprintf "  %s\n" (Format.asprintf "%a" Sweep.Stats.pp stats));

@@ -31,6 +31,12 @@ type ctx = {
   budget : Obs.Budget.t;  (** one budget for the whole pipeline *)
   verify : bool;  (** self-verify policy for sweeps ({!Sweep.Selfcheck}) *)
   certify : bool;  (** DRUP-certified solver answers, pipeline-wide *)
+  cache : Sweep.Engine.cache_ops option;
+      (** cross-run equivalence cache for every sweep pass — the daemon
+          hands each request the same store, so proven merges flow
+          between requests; see {!Sweep.Engine.cache_ops} *)
+  cache_paranoid : bool;
+      (** replay stored certificates before serving cache hits *)
   metrics : Obs.Metrics.t;
   input : Aig.Network.t;  (** snapshot of the pipeline input *)
   mutable checkpoint : Aig.Network.t;
@@ -48,6 +54,8 @@ val create_ctx :
   ?timeout:float ->
   ?verify:bool ->
   ?certify:bool ->
+  ?cache:Sweep.Engine.cache_ops ->
+  ?cache_paranoid:bool ->
   ?echo:(string -> unit) ->
   Aig.Network.t ->
   ctx

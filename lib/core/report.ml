@@ -65,6 +65,25 @@ let cli_guard f =
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2
+  | Obs.Json.Parse_error (at, msg) ->
+    Printf.eprintf "parse error: offset %d: %s\n" at msg;
+    exit 2
+  | Unix.Unix_error (err, fn, arg) ->
+    (* The daemon/client paths surface socket errors here; a refused
+       connection or a stale socket path is an input problem, not a
+       crash, so it shares the parse-error exit surface. *)
+    let what = if arg = "" then fn else Printf.sprintf "%s %s" fn arg in
+    let hint =
+      match err with
+      | Unix.ECONNREFUSED ->
+        " (is the daemon running? start it with sweepd --socket PATH)"
+      | Unix.ENOENT -> " (no such file or socket)"
+      | Unix.EADDRINUSE ->
+        " (socket already in use — another daemon, or a stale path)"
+      | _ -> ""
+    in
+    Printf.eprintf "error: %s: %s%s\n" what (Unix.error_message err) hint;
+    exit 2
   | Sweep.Engine.Verification_failed msg ->
     Printf.eprintf "verification failed: %s\n" msg;
     exit 3

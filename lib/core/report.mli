@@ -25,10 +25,13 @@ val fmt_ratio : float -> string
 val cli_guard : (unit -> 'a) -> 'a
 (** Wraps a CLI body. Malformed or unreadable inputs
     ([Aig.Aiger.Parse_error], [Klut.Blif.Parse_error],
-    [Sat.Dimacs.Parse_error], [Script.Parse_error], [Sys_error]) become
-    a one-line stderr message and exit code 2;
-    [Sweep.Engine.Verification_failed] becomes one and exit code 3.
-    Anything else propagates (Cmdliner reports it as exit 125). *)
+    [Sat.Dimacs.Parse_error], [Script.Parse_error],
+    [Obs.Json.Parse_error], [Sys_error]) and [Unix.Unix_error] (socket
+    and file paths — a refused connection, a missing socket, an address
+    in use — rendered with a human hint) become a one-line stderr
+    message and exit code 2; [Sweep.Engine.Verification_failed] becomes
+    one and exit code 3. Anything else propagates (Cmdliner reports it
+    as exit 125). *)
 
 val load_network :
   ?circuit:string -> ?file:string -> unit -> string * Aig.Network.t

@@ -88,7 +88,13 @@ let to_file path v =
 
 exception Parse_error of int * string
 
-let of_string s =
+(* Hostile-input bound: the recursive-descent parser consumes stack
+   proportional to the nesting depth, so an adversarial "[[[[..." frame
+   on the cache/wire path would otherwise be a Stack_overflow crash
+   instead of a typed parse error. 512 is far beyond any report. *)
+let max_depth = 512
+
+let parse s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (!pos, msg)) in
@@ -115,10 +121,23 @@ let of_string s =
     else fail ("expected " ^ word)
   in
   let hex4 () =
+    (* By hand, not [int_of_string "0x..."]: that accepts '_' and raises
+       Failure (not Parse_error) on anything else — a crash on hostile
+       input like "\uZZZZ". *)
     if !pos + 4 > n then fail "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
-    pos := !pos + 4;
-    v
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v lsl 4) lor d;
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -184,8 +203,9 @@ let of_string s =
         | Some f -> Float f
         | None -> fail ("bad number " ^ tok))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then fail "nesting too deep";
     match peek () with
     | None -> fail "unexpected end of input"
     | Some '{' ->
@@ -198,7 +218,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); members ((k, v) :: acc)
@@ -213,7 +233,7 @@ let of_string s =
       if peek () = Some ']' then begin advance (); List [] end
       else begin
         let rec elements acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); elements (v :: acc)
@@ -228,12 +248,13 @@ let of_string s =
     | Some 'n' -> literal "null" Null
     | Some _ -> parse_number ()
   in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
+  let v = parse_value 0 in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_string s =
+  match parse s with
   | v -> Ok v
   | exception Parse_error (at, msg) ->
     Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)

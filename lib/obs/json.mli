@@ -27,9 +27,20 @@ val to_string : ?pretty:bool -> t -> string
 val to_file : string -> t -> unit
 (** Pretty-prints to a file with a trailing newline. *)
 
+exception Parse_error of int * string
+(** Character offset plus message. The only exception the parser raises,
+    whatever the input: hostile bytes on the cache/wire path become a
+    typed, positioned error, never [Failure] or [Stack_overflow]
+    (nesting is capped). *)
+
+val parse : string -> t
+(** Parses one JSON value (surrounding whitespace allowed); raises
+    [Parse_error]. Entry point for wire/cache payloads where the caller
+    maps the exception to a protocol-level error response. *)
+
 val of_string : string -> (t, string) result
-(** Parses one JSON value (surrounding whitespace allowed). Errors carry
-    a character offset. *)
+(** [parse] with the error rendered as a message carrying the character
+    offset. *)
 
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on anything else or a missing key. *)

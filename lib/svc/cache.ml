@@ -1,0 +1,217 @@
+module J = Obs.Json
+module E = Sweep.Engine
+
+(* Both sites force the same pessimistic outcome — an entry that fails
+   its integrity checks on the next read and gets quarantined. Neither
+   can fabricate a hit. *)
+let fault_corrupt = Obs.Fault.register "cache.corrupt_entry"
+let fault_torn = Obs.Fault.register "cache.torn_write"
+
+type counters = {
+  c_hits : int;
+  c_misses : int;
+  c_stores : int;
+  c_quarantined : int;
+}
+
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable quarantined : int;
+  mutable tmp_seq : int;
+}
+
+let counted t f =
+  Mutex.lock t.lock;
+  f t;
+  Mutex.unlock t.lock
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let tmp_marker = ".tmp."
+
+let sweep_stale_tmp dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun sub ->
+        let subdir = Filename.concat dir sub in
+        if Sys.is_directory subdir then
+          Array.iter
+            (fun f ->
+              (* A temp file is a write that never committed — a crash
+                 artifact by definition, safe to drop. *)
+              if
+                String.length f > String.length tmp_marker
+                && String.sub f 0 (String.length tmp_marker) = tmp_marker
+              then try Sys.remove (Filename.concat subdir f) with _ -> ())
+            (Sys.readdir subdir))
+      (Sys.readdir dir)
+
+let open_ ~dir =
+  mkdir_p dir;
+  sweep_stale_tmp dir;
+  {
+    dir;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    quarantined = 0;
+    tmp_seq = 0;
+  }
+
+let dir t = t.dir
+
+(* Keys are hex digests, but never trust that: a hostile key must not
+   escape the cache directory. *)
+let safe_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+       key
+
+let entry_path t key =
+  let fan = if String.length key >= 2 then String.sub key 0 2 else "xx" in
+  let sub = Filename.concat t.dir fan in
+  (sub, Filename.concat sub (key ^ ".json"))
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let quarantine t path =
+  (try Unix.rename path (path ^ ".quarantined")
+   with Unix.Unix_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  counted t (fun t -> t.quarantined <- t.quarantined + 1);
+  Obs.Trace.emitf "cache: quarantined %s" path
+
+let checksum body = Digest.to_hex (Digest.string body)
+
+let find t ~key =
+  if not (safe_key key) then E.Cache_miss
+  else begin
+    let _, path = entry_path t key in
+    if not (Sys.file_exists path) then begin
+      counted t (fun t -> t.misses <- t.misses + 1);
+      E.Cache_miss
+    end
+    else
+      (* Everything below treats the file as untrusted bytes: any
+         surprise — unreadable, unparsable, checksum or key mismatch —
+         quarantines the entry and degrades to a counted miss. *)
+      match read_all path with
+      | exception (Sys_error _ | End_of_file) ->
+        quarantine t path;
+        E.Cache_corrupt
+      | raw -> (
+        match J.parse raw with
+        | exception J.Parse_error _ ->
+          quarantine t path;
+          E.Cache_corrupt
+        | payload -> (
+          let stored_key = J.member "key" payload in
+          let stored_sum = J.member "checksum" payload in
+          let entry = J.member "entry" payload in
+          match (stored_key, stored_sum, entry) with
+          | Some (J.String k), Some (J.String sum), Some entry
+            when k = key && sum = checksum (J.to_string entry) ->
+            counted t (fun t -> t.hits <- t.hits + 1);
+            E.Cache_hit entry
+          | _ ->
+            quarantine t path;
+            E.Cache_corrupt))
+  end
+
+let apply_write_faults payload =
+  let payload =
+    if Obs.Fault.fires fault_corrupt && String.length payload > 0 then begin
+      let b = Bytes.of_string payload in
+      let i = String.length payload / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+      Bytes.to_string b
+    end
+    else payload
+  in
+  if Obs.Fault.fires fault_torn then
+    String.sub payload 0 (String.length payload / 2)
+  else payload
+
+let store t ~key entry =
+  if safe_key key then begin
+    let sub, path = entry_path t key in
+    mkdir_p sub;
+    let payload =
+      J.to_string
+        (J.Obj
+           [
+             ("key", J.String key);
+             ("checksum", J.String (checksum (J.to_string entry)));
+             ("entry", entry);
+           ])
+    in
+    (* Faults strike the bytes, not the protocol: the write itself
+       still goes through temp + rename, exactly like a torn sector or
+       bit rot under a correct writer. *)
+    let payload = apply_write_faults payload in
+    let seq =
+      Mutex.lock t.lock;
+      let s = t.tmp_seq in
+      t.tmp_seq <- s + 1;
+      Mutex.unlock t.lock;
+      s
+    in
+    let tmp =
+      Filename.concat sub
+        (Printf.sprintf "%s%d.%d" tmp_marker (Unix.getpid ()) seq)
+    in
+    match
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc payload);
+      Unix.rename tmp path
+    with
+    | () -> counted t (fun t -> t.stores <- t.stores + 1)
+    | exception (Sys_error _ | Unix.Unix_error _) ->
+      (* A failed store is a lost entry, never a failed sweep. *)
+      (try Sys.remove tmp with Sys_error _ -> ())
+  end
+
+let ops t =
+  {
+    E.cache_find = (fun ~key -> find t ~key);
+    E.cache_store = (fun ~key body -> store t ~key body);
+  }
+
+let counters t =
+  Mutex.lock t.lock;
+  let c =
+    {
+      c_hits = t.hits;
+      c_misses = t.misses;
+      c_stores = t.stores;
+      c_quarantined = t.quarantined;
+    }
+  in
+  Mutex.unlock t.lock;
+  c
+
+let counters_json t =
+  let c = counters t in
+  J.Obj
+    [
+      ("hits", J.Int c.c_hits);
+      ("misses", J.Int c.c_misses);
+      ("stores", J.Int c.c_stores);
+      ("quarantined", J.Int c.c_quarantined);
+    ]

@@ -1,0 +1,61 @@
+(** Content-addressed, crash-safe disk cache for proven equivalence
+    results.
+
+    Layout: one file per entry, [dir/<k0k1>/<key>.json] (two-hex-char
+    fan-out), where [key] is the {!Sweep.Cone_cert} canonical cone-pair
+    digest. The file holds [{key, checksum, entry}]: the key again (a
+    misfiled entry must not be served), an MD5 checksum of the
+    serialized entry body, and the body itself — an equivalence
+    certificate or a counterexample ({!Sweep.Cone_cert.entry_to_json}).
+
+    Invalidation is by hash, never by time: a key is a pure function of
+    the cone pair's structure, so an entry can only ever be right for
+    the query that computed its key — network edits simply stop
+    producing that key.
+
+    Crash safety is the rename discipline: entries are written to a
+    unique temp file in the same directory and [rename]d into place, so
+    a reader sees an old entry, a new entry, or nothing — never a torn
+    one ([kill -9] mid-write leaves only a temp file, swept out on the
+    next {!open_}). Whatever reaches disk is still treated as hostile
+    on the way back in: a file that fails to parse, fails its checksum,
+    or carries the wrong key is {e quarantined} (renamed to
+    [*.quarantined], preserved for post-mortem) and reported as
+    {!Sweep.Engine.Cache_corrupt} — a miss with a counter, never a
+    crash, never an unproven hit. The proof-level defenses (certificate
+    replay, counterexample re-evaluation) live above, in the engine.
+
+    Fault sites [cache.corrupt_entry] (flips a payload byte before the
+    write) and [cache.torn_write] (truncates the payload, simulating a
+    torn sector) exercise exactly this path.
+
+    Thread safety: counters are mutex-guarded; file operations rely on
+    POSIX atomic rename, so concurrent readers/writers (the daemon's
+    worker domains) need no further coordination. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Creates [dir] (and parents) if needed and sweeps out temp files
+    left by a previous crash. Raises [Unix.Unix_error] if the directory
+    cannot be created or is not writable. *)
+
+val dir : t -> string
+
+val find : t -> key:string -> Sweep.Engine.cache_found
+val store : t -> key:string -> Obs.Json.t -> unit
+(** [store] never raises on injected write faults — a failed store is a
+    lost entry, not a failed sweep. *)
+
+val ops : t -> Sweep.Engine.cache_ops
+(** The record {!Sweep.Engine.config.cache} consumes. *)
+
+type counters = {
+  c_hits : int;  (** entries found and structurally intact *)
+  c_misses : int;  (** no entry on disk *)
+  c_stores : int;  (** entries written (after fault injection) *)
+  c_quarantined : int;  (** corrupt/torn/misfiled entries set aside *)
+}
+
+val counters : t -> counters
+val counters_json : t -> Obs.Json.t

@@ -1,0 +1,203 @@
+module J = Obs.Json
+module A = Aig.Network
+module Pass = Stp_sweep.Pass
+module Script = Stp_sweep.Script
+
+let fault_drop_conn = Obs.Fault.register "svc.drop_conn"
+
+type config = {
+  socket_path : string;
+  domains : int;
+  cache : Cache.t option;
+  paranoid : bool;
+  request_timeout : float option;
+  global_timeout : float option;
+  echo : string -> unit;
+}
+
+type outcome = { served : int; errors : int; dropped : int }
+
+(* ---- one request, fully isolated ---- *)
+
+let request_timeout cfg global_deadline (req : Proto.request) =
+  let candidates =
+    List.filter_map Fun.id
+      [
+        req.req_timeout;
+        cfg.request_timeout;
+        Option.map (fun d -> d -. Obs.Clock.now ()) global_deadline;
+      ]
+  in
+  match candidates with
+  | [] -> None
+  | l ->
+    (* A deadline already in the past still gets a sliver of budget:
+       the pipeline then skips its transform passes and reports them
+       skipped, rather than the request failing outright. *)
+    Some (Float.max 0.01 (List.fold_left Float.min Float.infinity l))
+
+let process cfg global_deadline (req : Proto.request) =
+  let id = req.req_id in
+  match
+    let net = Aig.Aiger.read req.aiger in
+    let passes = Script.compile req.script in
+    let ctx =
+      Pass.create_ctx
+        ?timeout:(request_timeout cfg global_deadline req)
+        ~verify:req.req_verify ~certify:req.req_certify
+        ?cache:(Option.map Cache.ops cfg.cache) ~cache_paranoid:cfg.paranoid
+        ~echo:ignore net
+    in
+    let t0 = Obs.Clock.now () in
+    let result, records = Pass.run_pipeline ctx passes net in
+    let report =
+      J.Obj
+        ([
+           ("request_id", J.Int id);
+           ("script", J.String req.script);
+           ("input_ands", J.Int (A.num_ands net));
+           ("result_ands", J.Int (A.num_ands result));
+           ("wall_s", J.Float (Obs.Clock.now () -. t0));
+         ]
+        @ Pass.summary_json ctx records
+        @ (match cfg.cache with
+          | None -> []
+          | Some c -> [ ("cache", Cache.counters_json c) ])
+        @ [ ("result_aiger", J.String (Aig.Aiger.write result)) ])
+    in
+    (report, A.num_ands net, A.num_ands result)
+  with
+  | report, before, after ->
+    cfg.echo
+      (Printf.sprintf "req %d: ok, %d -> %d ands" id before after);
+    Proto.R_ok { rsp_id = id; report }
+  | exception Proto.Parse_error m ->
+    Proto.R_error { rsp_id = id; kind = "parse_error"; message = m }
+  | exception Obs.Json.Parse_error (at, m) ->
+    Proto.R_error
+      {
+        rsp_id = id;
+        kind = "parse_error";
+        message = Printf.sprintf "offset %d: %s" at m;
+      }
+  | exception Aig.Aiger.Parse_error m ->
+    Proto.R_error { rsp_id = id; kind = "parse_error"; message = "aiger: " ^ m }
+  | exception Script.Parse_error m ->
+    Proto.R_error { rsp_id = id; kind = "parse_error"; message = "script: " ^ m }
+  | exception Sweep.Engine.Verification_failed m ->
+    Proto.R_error { rsp_id = id; kind = "verification_failed"; message = m }
+  | exception exn ->
+    Proto.R_error
+      { rsp_id = id; kind = "internal"; message = Printexc.to_string exn }
+
+(* ---- connection loop ---- *)
+
+let rec wait_readable stop fd =
+  if Atomic.get stop then false
+  else
+    match Unix.select [ fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable stop fd
+    | [], _, _ -> wait_readable stop fd
+    | _ -> true
+
+let handle_conn cfg global_deadline ~stop ~served ~errors ~dropped conn =
+  (* Some systems hand accepted sockets the listener's O_NONBLOCK. *)
+  Unix.clear_nonblock conn;
+  let count r =
+    match r with
+    | Proto.R_ok _ -> Atomic.incr served
+    | Proto.R_error _ -> Atomic.incr errors
+  in
+  let rec serve () =
+    if wait_readable stop conn then
+      match Proto.read_frame_fd conn with
+      | None -> () (* clean EOF *)
+      | Some payload -> (
+        match Proto.request_of_string payload with
+        | req ->
+          let rsp = process cfg global_deadline req in
+          if Obs.Fault.fires fault_drop_conn then (
+            cfg.echo (Printf.sprintf "req %d: connection dropped (fault)"
+                        req.req_id);
+            Atomic.incr dropped (* close without responding *))
+          else (
+            Proto.write_frame_fd conn (Proto.response_to_string rsp);
+            count rsp;
+            serve ())
+        | exception Proto.Parse_error m ->
+          (* The frame arrived intact but its payload is garbage: the
+             stream is still framed, so answer and keep serving. *)
+          let rsp =
+            Proto.R_error { rsp_id = 0; kind = "parse_error"; message = m }
+          in
+          Proto.write_frame_fd conn (Proto.response_to_string rsp);
+          Atomic.incr errors;
+          serve ())
+      | exception Proto.Parse_error m ->
+        (* Framing itself is broken; best-effort error, then hang up. *)
+        let rsp =
+          Proto.R_error { rsp_id = 0; kind = "parse_error"; message = m }
+        in
+        (try Proto.write_frame_fd conn (Proto.response_to_string rsp)
+         with _ -> ());
+        Atomic.incr errors
+  in
+  (* A peer that vanished mid-write (EPIPE, reset) is its own problem;
+     the worker moves on to the next connection. *)
+  (try serve () with Unix.Unix_error _ | Sys_error _ -> ());
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
+(* ---- accept loop ---- *)
+
+let run ?(stop = Atomic.make false) cfg =
+  let served = Atomic.make 0
+  and errors = Atomic.make 0
+  and dropped = Atomic.make 0 in
+  let global_deadline =
+    Option.map (fun s -> Obs.Clock.now () +. s) cfg.global_timeout
+  in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let domains = max 1 cfg.domains in
+  cfg.echo
+    (Printf.sprintf "listening on %s (%d worker domain%s)" cfg.socket_path
+       domains
+       (if domains = 1 then "" else "s"));
+  let worker _i =
+    let rec loop () =
+      (match global_deadline with
+      | Some d when Obs.Clock.now () >= d -> Atomic.set stop true
+      | _ -> ());
+      if not (Atomic.get stop) then (
+        (match Unix.select [ listen_fd ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+          (* The listener is shared and non-blocking: a sibling domain
+             may win the race for this connection — just go around. *)
+          match Unix.accept ~cloexec:true listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            ()
+          | conn, _ ->
+            handle_conn cfg global_deadline ~stop ~served ~errors ~dropped conn));
+        loop ())
+    in
+    loop ()
+  in
+  Sutil.Par.run ~domains worker;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  {
+    served = Atomic.get served;
+    errors = Atomic.get errors;
+    dropped = Atomic.get dropped;
+  }

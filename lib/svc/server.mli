@@ -1,0 +1,52 @@
+(** The sweep service loop: accept connections on a Unix-domain socket,
+    run each framed request through the pass pipeline, stream back
+    schema-2 reports.
+
+    Concurrency is [domains] worker domains ({!Sutil.Par.run}), each
+    alternating between accepting new connections and serving one
+    connection to completion — so up to [domains] requests run truly in
+    parallel, and further connections queue in the listen backlog.
+
+    Per-request isolation is the core contract: a hostile frame, an
+    unparsable script or AIGER payload, a failed verification, or any
+    other exception inside one request produces a typed
+    {!Proto.R_error} response on that connection — the worker, the
+    other connections and the daemon itself live on. The only
+    process-fatal errors are the ones before serving starts (socket
+    bind failures), which the CLI maps to exit 2.
+
+    Shutdown is cooperative: setting [stop] (the daemon's signal
+    handlers do) makes every worker finish its in-flight request,
+    close its connection at the next frame boundary, and join. {!run}
+    then removes the socket and returns its tallies — a drained
+    daemon exits 0.
+
+    Fault site [svc.drop_conn] severs a connection after the request
+    ran but before the response is written — the client sees EOF
+    mid-conversation, never a half frame. *)
+
+type config = {
+  socket_path : string;
+  domains : int;  (** worker domains; clamped to at least 1 *)
+  cache : Cache.t option;
+      (** shared equivalence cache handed to every request's pipeline *)
+  paranoid : bool;  (** replay stored certificates before serving hits *)
+  request_timeout : float option;
+      (** server-side per-request budget cap, seconds; a request's own
+          [timeout_s] can only shrink it *)
+  global_timeout : float option;
+      (** lifetime cap for the whole daemon, seconds; on expiry the
+          server stops as if signalled *)
+  echo : string -> unit;  (** one progress line per request served *)
+}
+
+type outcome = {
+  served : int;  (** requests answered [R_ok] *)
+  errors : int;  (** requests answered [R_error] *)
+  dropped : int;  (** connections severed by [svc.drop_conn] *)
+}
+
+val run : ?stop:bool Atomic.t -> config -> outcome
+(** Binds, serves until [stop] is set (or [global_timeout] expires),
+    drains, unlinks the socket, returns the tallies. Raises
+    [Unix.Unix_error] only for pre-serving failures (bind/listen). *)

@@ -13,6 +13,21 @@ exception Verification_failed of string
 let fault_drop_ce = Obs.Fault.register "sweep.drop_ce"
 let fault_fail_window = Obs.Fault.register "sweep.fail_window"
 
+(* The cross-run cache is a service-layer concern (disk layout, fault
+   sites, quarantine live in [Svc.Cache], which sits above this
+   library), so the engine sees it only through this record — the
+   classic dependency inversion. The contract the engine enforces on
+   top of whatever the store does: nothing read from a hit is trusted
+   until re-validated here (certificate replay, counterexample
+   re-evaluation), so a malicious store can cost time, never
+   soundness. *)
+type cache_found = Cache_hit of Obs.Json.t | Cache_miss | Cache_corrupt
+
+type cache_ops = {
+  cache_find : key:string -> cache_found;
+  cache_store : key:string -> Obs.Json.t -> unit;
+}
+
 type config = {
   seed : int64;
   initial_words : int;
@@ -31,6 +46,8 @@ type config = {
   deadline : float option;
   verify : bool;
   certify : bool;
+  cache : cache_ops option;
+  cache_paranoid : bool;
 }
 
 let fraig_config =
@@ -52,6 +69,8 @@ let fraig_config =
     deadline = None;
     verify = false;
     certify = false;
+    cache = None;
+    cache_paranoid = false;
   }
 
 let stp_config =
@@ -404,6 +423,186 @@ let window_verdict st nd r =
             else `Different))
     | _ -> `Unknown
 
+(* ---- cross-run cache path ----
+
+   With [config.cache] armed, the solver work of the inline walk runs
+   through {!Cone_cert}: the pair's joint TFI is extracted into a
+   canonical standalone network, its key looked up, and on a miss the
+   pair is proven on a throwaway solver whose recorded refutation is
+   self-contained — exactly what can be stored and replayed by another
+   run. Nothing from disk is trusted: an equivalence entry is served
+   only after its certificate replays (paranoid or certified mode;
+   otherwise the store's checksum gates it), a counterexample entry
+   only after it actually distinguishes the two cones on the AIG.
+   Undetermined outcomes are never stored, so a warm cache replays the
+   cold run's verdict sequence exactly. *)
+
+let cache_conflict_limits cfg =
+  match cfg.conflict_limit with
+  | None -> []
+  | Some base -> base :: cfg.retry_schedule
+
+(* Cache entries store counterexamples over the extracted cone's PIs;
+   the engine's pattern set wants them over all PIs of [st.fresh]. *)
+let expand_ce st (pc : Cone_cert.t) small =
+  let ce = Array.make (A.num_pis st.fresh) false in
+  Array.iteri
+    (fun i v -> if v then ce.(pc.Cone_cert.pc_leaves.(i)) <- true)
+    small;
+  ce
+
+let fold_cone_stats st (cs : Cone_cert.stats) =
+  let s = cs.Cone_cert.s_solver in
+  st.stats.Stats.sat_decisions <-
+    st.stats.Stats.sat_decisions + s.Sat.Solver.decisions;
+  st.stats.Stats.sat_conflicts <-
+    st.stats.Stats.sat_conflicts + s.Sat.Solver.conflicts;
+  st.stats.Stats.sat_propagations <-
+    st.stats.Stats.sat_propagations + s.Sat.Solver.propagations;
+  st.stats.Stats.sat_learned <-
+    st.stats.Stats.sat_learned + s.Sat.Solver.learned;
+  (* Each retried call was an undetermined outcome, mirroring the
+     inline path's per-call counting. *)
+  st.stats.Stats.sat_undet <-
+    st.stats.Stats.sat_undet + cs.Cone_cert.s_retries;
+  st.stats.Stats.sat_retries <-
+    st.stats.Stats.sat_retries + cs.Cone_cert.s_retries
+
+(* Replay gate for a stored equivalence certificate. Certified runs
+   must replay (a hit feeds a merge the run promises is proven);
+   paranoid mode replays by policy; otherwise the checksum the store
+   already verified is the line of defense and the proof is trusted. *)
+let cache_accept_equiv st pc proof =
+  if st.cfg.cache_paranoid || st.cert <> None then (
+    match timed st `Sat (fun () -> Cone_cert.replay pc proof) with
+    | Ok () -> true
+    | Error why ->
+      Obs.Trace.emitf "cache certificate failed replay (%s) — entry rejected"
+        why;
+      false)
+  else true
+
+let cache_attempt st ops nd r compl =
+  let pc =
+    timed st `Sat (fun () ->
+        Cone_cert.extract st.fresh (L.of_node nd false) (L.of_node r compl))
+  in
+  let key = pc.Cone_cert.pc_key in
+  let solve_and_store () =
+    let outcome, cs =
+      timed st `Sat (fun () ->
+          Cone_cert.solve
+            ~conflict_limits:(cache_conflict_limits st.cfg)
+            ?deadline:(Obs.Budget.deadline st.budget)
+            ~certify:(st.cert <> None) pc)
+    in
+    fold_cone_stats st cs;
+    match outcome with
+    | Cone_cert.O_equiv proof ->
+      st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
+      if st.cert <> None then
+        st.stats.Stats.certified_unsat <- st.stats.Stats.certified_unsat + 1;
+      ops.cache_store ~key (Cone_cert.entry_to_json (Cone_cert.E_equiv proof));
+      `Merge (L.of_node r compl)
+    | Cone_cert.O_diff small ->
+      let ce = expand_ce st pc small in
+      if st.cert <> None && not (ce_distinguishes st ce nd r compl) then begin
+        st.stats.Stats.certificate_rejected <-
+          st.stats.Stats.certificate_rejected + 1;
+        Obs.Trace.emitf
+          "counterexample rejected (does not distinguish nodes %d and %d) — \
+           merge skipped"
+          nd r;
+        `Fail
+      end
+      else begin
+        st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
+        if st.cert <> None then
+          st.stats.Stats.certified_models <- st.stats.Stats.certified_models + 1;
+        ops.cache_store ~key (Cone_cert.entry_to_json (Cone_cert.E_diff small));
+        note_counterexample st ce;
+        `Ce
+      end
+    | Cone_cert.O_undet ->
+      st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + 1;
+      `Fail
+    | Cone_cert.O_uncert why ->
+      st.stats.Stats.certificate_rejected <-
+        st.stats.Stats.certificate_rejected + 1;
+      Obs.Trace.emitf
+        "certificate rejected (%s) — node %d keeps its structural translation"
+        why nd;
+      `Fail
+  in
+  let reject () =
+    st.stats.Stats.cache_rejected <- st.stats.Stats.cache_rejected + 1;
+    solve_and_store ()
+  in
+  match ops.cache_find ~key with
+  | Cache_corrupt -> reject ()
+  | Cache_miss ->
+    st.stats.Stats.cache_misses <- st.stats.Stats.cache_misses + 1;
+    solve_and_store ()
+  | Cache_hit body -> (
+    match Cone_cert.entry_of_json body with
+    | Error _ -> reject ()
+    | Ok (Cone_cert.E_equiv proof) ->
+      if cache_accept_equiv st pc proof then begin
+        st.stats.Stats.cache_hits <- st.stats.Stats.cache_hits + 1;
+        `Merge (L.of_node r compl)
+      end
+      else reject ()
+    | Ok (Cone_cert.E_diff small) ->
+      if Array.length small <> Array.length pc.Cone_cert.pc_leaves then
+        reject ()
+      else begin
+        let ce = expand_ce st pc small in
+        (* Unconditional (not just certified mode): the pattern came
+           from disk, and a non-distinguishing pattern would quietly
+           poison the class refinement. *)
+        if ce_distinguishes st ce nd r compl then begin
+          st.stats.Stats.cache_hits <- st.stats.Stats.cache_hits + 1;
+          note_counterexample st ce;
+          `Ce
+        end
+        else reject ()
+      end)
+
+(* Dispatch-mode cache use is lookup-only, and only for equivalence
+   entries heading a candidate walk: a hit there merges on the spot
+   exactly like a window-proved equality, anything else falls through
+   to the solver pool unchanged. Serving mid-walk hits would reorder
+   the walk relative to the inline path, and standalone store-backs
+   from worker domains would race the single-writer discipline — the
+   inline path is the cache's writer. Misses are deliberately not
+   counted here (every Unknown candidate would "miss"); rejections
+   are, because a rejection means an entry existed and was refused. *)
+let cache_lookup_equiv st ops nd r compl =
+  let pc =
+    timed st `Sat (fun () ->
+        Cone_cert.extract st.fresh (L.of_node nd false) (L.of_node r compl))
+  in
+  match ops.cache_find ~key:pc.Cone_cert.pc_key with
+  | Cache_miss -> None
+  | Cache_corrupt ->
+    st.stats.Stats.cache_rejected <- st.stats.Stats.cache_rejected + 1;
+    None
+  | Cache_hit body -> (
+    match Cone_cert.entry_of_json body with
+    | Ok (Cone_cert.E_equiv proof) ->
+      if cache_accept_equiv st pc proof then begin
+        st.stats.Stats.cache_hits <- st.stats.Stats.cache_hits + 1;
+        Some (L.of_node r compl)
+      end
+      else begin
+        st.stats.Stats.cache_rejected <- st.stats.Stats.cache_rejected + 1;
+        None
+      end
+    | Ok (Cone_cert.E_diff _) -> None
+    | Error _ ->
+      st.stats.Stats.cache_rejected <- st.stats.Stats.cache_rejected + 1;
+      None)
+
 (* Try to merge fresh node [nd] onto an earlier node. Returns the literal
    [nd] proved equal to, if any. *)
 let try_merge st nd =
@@ -448,7 +647,7 @@ let try_merge st nd =
              class dominated by window splits must still terminate its
              walk. (This used to count only counterexample attempts.) *)
           attempt (tried + 1) rest
-        | `Unknown ->
+        | `Unknown -> (
           (* SAT attempts walk the escalating retry schedule: a pair that
              comes back undetermined under the base conflict limit is
              re-queried with each schedule entry in turn (budget
@@ -466,7 +665,7 @@ let try_merge st nd =
               if st.cert <> None then
                 st.stats.Stats.certified_unsat <-
                   st.stats.Stats.certified_unsat + 1;
-              Some (L.of_node r compl)
+              `Merge (L.of_node r compl)
             | Sat.Tseitin.Uncertified why ->
               (* The solver answered but its certificate failed to
                  replay. Treated exactly like budget exhaustion on this
@@ -478,7 +677,7 @@ let try_merge st nd =
                 "certificate rejected (%s) — node %d keeps its structural \
                  translation"
                 why nd;
-              None
+              `Fail
             | Sat.Tseitin.Counterexample ce
               when st.cert <> None && not (ce_distinguishes st ce nd r compl)
               ->
@@ -491,14 +690,14 @@ let try_merge st nd =
                 "counterexample rejected (does not distinguish nodes %d and \
                  %d) — merge skipped"
                 nd r;
-              None
+              `Fail
             | Sat.Tseitin.Counterexample ce ->
               st.stats.Stats.sat_sat <- st.stats.Stats.sat_sat + 1;
               if st.cert <> None then
                 st.stats.Stats.certified_models <-
                   st.stats.Stats.certified_models + 1;
               note_counterexample st ce;
-              attempt (tried + 1) rest
+              `Ce
             | Sat.Tseitin.Undetermined -> (
               st.stats.Stats.sat_undet <- st.stats.Stats.sat_undet + 1;
               match schedule with
@@ -512,9 +711,17 @@ let try_merge st nd =
                 sat_attempt (Some next) later
               | _ ->
                 (* don't-touch: stop burning budget on this node *)
-                None)
+                `Fail)
           in
-          sat_attempt st.cfg.conflict_limit st.cfg.retry_schedule)
+          let verdict =
+            match st.cfg.cache with
+            | Some ops -> cache_attempt st ops nd r compl
+            | None -> sat_attempt st.cfg.conflict_limit st.cfg.retry_schedule
+          in
+          match verdict with
+          | `Merge lit -> Some lit
+          | `Ce -> attempt (tried + 1) rest
+          | `Fail -> None))
   in
   attempt 0 reps
 
@@ -540,6 +747,7 @@ let try_merge st nd =
 type collected =
   | C_none
   | C_window_merge of L.t
+  | C_cache_merge of L.t
   | C_task of Dispatch.cand list
 
 (* The window/signature part of [try_merge], producing the candidate
@@ -579,11 +787,19 @@ let collect_candidates st nd =
         | `Different ->
           st.stats.Stats.window_splits <- st.stats.Stats.window_splits + 1;
           walk (tried + 1) acc rest
-        | `Unknown ->
-          walk (tried + 1)
-            ({ Dispatch.c_rep = r; c_compl = compl; c_window_eq = false }
-            :: acc)
-            rest)
+        | `Unknown -> (
+          let defer () =
+            walk (tried + 1)
+              ({ Dispatch.c_rep = r; c_compl = compl; c_window_eq = false }
+              :: acc)
+              rest
+          in
+          match st.cfg.cache with
+          | Some ops when acc = [] -> (
+            match cache_lookup_equiv st ops nd r compl with
+            | Some lit -> C_cache_merge lit
+            | None -> defer ())
+          | _ -> defer ()))
   in
   walk 0 [] reps
 
@@ -811,7 +1027,7 @@ let sweep_dispatched st old_net map tr =
         register_new_nodes st;
         match collect_candidates st (L.node l) with
         | C_none -> ()
-        | C_window_merge merged ->
+        | C_window_merge merged | C_cache_merge merged ->
           st.stats.Stats.merges <- st.stats.Stats.merges + 1;
           if L.is_const merged then
             st.stats.Stats.const_merges <- st.stats.Stats.const_merges + 1;

@@ -20,6 +20,26 @@ exception Verification_failed of string
     disagrees with the input on some PO — see also {!Selfcheck.run},
     which adds a full CEC pass. *)
 
+type cache_found =
+  | Cache_hit of Obs.Json.t  (** the stored entry body, still untrusted *)
+  | Cache_miss
+  | Cache_corrupt
+      (** an entry existed but failed the store's integrity checks and
+          was quarantined; counted into [Stats.cache_rejected] *)
+
+type cache_ops = {
+  cache_find : key:string -> cache_found;
+  cache_store : key:string -> Obs.Json.t -> unit;
+}
+(** Interface to a cross-run equivalence cache (implemented by
+    [Svc.Cache], which lives above this library — dependency-inverted
+    so the engine never sees the disk). Keys are {!Cone_cert} canonical
+    cone-pair digests; bodies are {!Cone_cert.entry_to_json} values.
+    The engine treats everything returned by [cache_find] as untrusted
+    input: equivalence certificates are replayed (certified/paranoid
+    modes) and counterexamples re-evaluated on the AIG before being
+    served, so a hostile store costs time, never soundness. *)
+
 type config = {
   seed : int64;
   initial_words : int;
@@ -86,6 +106,24 @@ type config = {
           budget exhaustion) and counts into
           [Stats.certificate_rejected]. See DESIGN.md "Trust
           boundary". *)
+  cache : cache_ops option;
+      (** cross-run equivalence cache. When armed, the inline path runs
+          its SAT work through {!Cone_cert}: each Unknown pair is
+          extracted into a canonical standalone cone, looked up by
+          content key, and on a miss proven on a throwaway solver whose
+          self-contained certificate (or counterexample) is stored
+          back. Undetermined outcomes are never stored, so a warm sweep
+          replays the cold run's verdicts — identical merges, CEC-equal
+          results. Dispatch mode ([sat_domains >= 1]) is lookup-only:
+          walk-heading equivalence hits merge like window merges,
+          everything else goes to the solver pool and nothing is
+          written. *)
+  cache_paranoid : bool;
+      (** replay stored DRUP certificates through a fresh {!Sat.Drup}
+          before serving a hit even outside certified mode — the
+          defense against a cache produced by a buggy or hostile
+          writer, where the checksum (which only defends against torn
+          or corrupted files) is clean but the proof is junk. *)
 }
 
 val fraig_config : config

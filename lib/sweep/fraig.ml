@@ -1,6 +1,6 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
     ?sat_domains ?sat_wave ?deadline ?timeout ?(verify = false)
-    ?(certify = false) () =
+    ?(certify = false) ?cache ?(cache_paranoid = false) () =
   let base = Engine.fraig_config in
   let deadline =
     match (deadline, timeout) with
@@ -22,13 +22,16 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
     deadline;
     verify;
     certify;
+    cache;
+    cache_paranoid;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-    ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify net =
+    ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify ?cache ?cache_paranoid net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule ?sim_domains
-      ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify ()
+      ?sat_domains ?sat_wave ?deadline ?timeout ?verify ?certify ?cache
+      ?cache_paranoid ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

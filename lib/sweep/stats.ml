@@ -28,6 +28,9 @@ type t = {
   mutable guided_consts : int;
   mutable cube_splits : int;
   mutable cube_queries : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_rejected : int;
   mutable budget_exhausted : exhaustion option;
 }
 
@@ -60,6 +63,9 @@ let create () =
     guided_consts = 0;
     cube_splits = 0;
     cube_queries = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_rejected = 0;
     budget_exhausted = None;
   }
 
@@ -102,6 +108,9 @@ let to_json t =
             ("guided_consts", Int t.guided_consts);
             ("cube_splits", Int t.cube_splits);
             ("cube_queries", Int t.cube_queries);
+            ("cache_hits", Int t.cache_hits);
+            ("cache_misses", Int t.cache_misses);
+            ("cache_rejected", Int t.cache_rejected);
           ] );
       ( "phases_s",
         Obj
@@ -139,6 +148,9 @@ let pp ppf t =
   if t.cube_splits > 0 then
     Format.fprintf ppf " cube_splits=%d cube_queries=%d" t.cube_splits
       t.cube_queries;
+  if t.cache_hits + t.cache_misses + t.cache_rejected > 0 then
+    Format.fprintf ppf " cache_hits=%d cache_misses=%d cache_rejected=%d"
+      t.cache_hits t.cache_misses t.cache_rejected;
   match t.budget_exhausted with
   | None -> ()
   | Some e -> Format.fprintf ppf " budget_exhausted=%s/%s" e.reason e.phase

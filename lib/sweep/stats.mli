@@ -70,6 +70,18 @@ type t = {
   mutable cube_queries : int;
       (** parallel dispatch: per-cube solver queries issued by splits;
           each also counts into the ordinary sat_* outcome counters *)
+  mutable cache_hits : int;
+      (** cross-run cache: entries served — a validated equivalence
+          certificate (counted as a merge but not as a SAT call) or a
+          distinguishing counterexample *)
+  mutable cache_misses : int;
+      (** cross-run cache: lookups that found no entry; each falls
+          through to a fresh standalone solve whose result is stored *)
+  mutable cache_rejected : int;
+      (** cross-run cache: entries refused — quarantined as corrupt by
+          the store, malformed bodies, certificates that failed paranoid
+          replay, or counterexamples that do not distinguish the pair.
+          Every rejection degrades to a miss, never to a trusted hit. *)
   mutable budget_exhausted : exhaustion option;
       (** set once, at the moment the engine's budget first reports
           exhaustion; [None] on an unbudgeted or in-budget run *)

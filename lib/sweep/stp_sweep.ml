@@ -1,6 +1,6 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
-    ?(verify = false) ?(certify = false) () =
+    ?(verify = false) ?(certify = false) ?cache ?(cache_paranoid = false) () =
   let base = Engine.stp_config in
   let deadline =
     match (deadline, timeout) with
@@ -24,15 +24,17 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     deadline;
     verify;
     certify;
+    cache;
+    cache_paranoid;
   }
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule
     ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
-    ?verify ?certify net =
+    ?verify ?certify ?cache ?cache_paranoid net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule
       ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline
-      ?timeout ?verify ?certify ()
+      ?timeout ?verify ?certify ?cache ?cache_paranoid ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

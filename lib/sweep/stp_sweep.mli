@@ -29,6 +29,8 @@ val sweep :
   ?timeout:float ->
   ?verify:bool ->
   ?certify:bool ->
+  ?cache:Engine.cache_ops ->
+  ?cache_paranoid:bool ->
   Aig.Network.t ->
   Aig.Network.t * Stats.t
 
@@ -45,5 +47,7 @@ val config :
   ?timeout:float ->
   ?verify:bool ->
   ?certify:bool ->
+  ?cache:Engine.cache_ops ->
+  ?cache_paranoid:bool ->
   unit ->
   Engine.config

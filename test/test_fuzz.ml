@@ -100,6 +100,71 @@ let mutate rng text =
       (List.concat (List.mapi (fun i l -> if i = k then [ g; l ] else [ l ]) ls)
       @ if k = List.length ls then [ g ] else [])
 
+let random_json rng =
+  (* Skewed toward nesting and strings-with-escapes: the two places a
+     JSON parser can die in interesting ways. *)
+  let rec value depth =
+    match if depth > 4 then Rng.int rng 4 else Rng.int rng 6 with
+    | 0 -> "null"
+    | 1 -> if Rng.bool rng then "true" else "false"
+    | 2 -> string_of_int (Rng.int rng 2000 - 1000)
+    | 3 ->
+      let chars =
+        List.init (Rng.int rng 8) (fun _ ->
+            match Rng.int rng 5 with
+            | 0 -> "\\\""
+            | 1 -> "\\u0041"
+            | 2 -> "\\n"
+            | 3 -> "x"
+            | _ -> String.make 1 (Char.chr (32 + Rng.int rng 90)))
+      in
+      "\"" ^ String.concat "" chars ^ "\""
+    | 4 ->
+      let n = Rng.int rng 4 in
+      "[" ^ String.concat "," (List.init n (fun _ -> value (depth + 1))) ^ "]"
+    | _ ->
+      let n = Rng.int rng 4 in
+      "{"
+      ^ String.concat ","
+          (List.init n (fun i ->
+               Printf.sprintf "\"k%d\":%s" i (value (depth + 1))))
+      ^ "}"
+  in
+  value 0
+
+(* Hostile inputs aimed at specific parser weaknesses: unbounded
+   recursion (stack overflow is not a Parse_error) and the \u escape's
+   integer parsing. These are the wire-facing guarantees sweepd's
+   per-request isolation rests on. *)
+let json_directed () =
+  let deep n = String.concat "" (List.init n (fun _ -> "[")) in
+  List.iter
+    (fun text ->
+      match Obs.Json.parse text with
+      | _ -> ()
+      | exception Obs.Json.Parse_error _ -> ()
+      | exception e ->
+        Alcotest.failf "unexpected exception %s on %S..."
+          (Printexc.to_string e)
+          (String.sub text 0 (min 40 (String.length text))))
+    [
+      deep 100_000;
+      deep 100_000 ^ "1" ^ String.concat "" (List.init 100_000 (fun _ -> "]"));
+      "{\"a\":" ^ deep 50_000;
+      "\"\\uZZZZ\"";
+      "\"\\u12\"";
+      "\"\\u\"";
+      "\"\\x41\"";
+      "[1,2,";
+      "{\"a\"";
+      "\"unterminated";
+      "18446744073709551616";
+      "1e99999";
+      "nul";
+      "\xff\xfe";
+      "";
+    ]
+
 let arb_case =
   QCheck.make
     ~print:(fun (seed, rounds) -> Printf.sprintf "seed=%Ld rounds=%d" seed rounds)
@@ -144,5 +209,13 @@ let () =
             ~generate:random_dimacs
             ~parse:(fun t -> ignore (Sat.Dimacs.parse t))
             ~is_parse_error:(function Sat.Dimacs.Parse_error _ -> true | _ -> false);
+        ] );
+      ( "json",
+        [
+          fuzz_test "json mutations"
+            ~generate:random_json
+            ~parse:(fun t -> ignore (Obs.Json.parse t))
+            ~is_parse_error:(function Obs.Json.Parse_error _ -> true | _ -> false);
+          Alcotest.test_case "directed hostile inputs" `Quick json_directed;
         ] );
     ]

@@ -1,0 +1,348 @@
+(* Sweep-service tests: the framed wire protocol (round-trips, hostile
+   frames), and a live daemon loop — requests served over a real Unix
+   socket, per-request isolation (a garbage request answers an error
+   and the next request on the same connection still works), the
+   drop_conn fault, and cooperative drain. *)
+
+module A = Aig.Network
+module L = Aig.Lit
+module Rng = Sutil.Rng
+module J = Obs.Json
+module Proto = Svc.Proto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let random_network rng ~pis ~gates ~pos =
+  let net = A.create () in
+  let inputs = Array.init pis (fun _ -> A.add_pi net) in
+  let all = ref (Array.to_list inputs) in
+  for _ = 1 to gates do
+    let pick () =
+      let l = List.nth !all (Rng.int rng (List.length !all)) in
+      L.xor_compl l (Rng.bool rng)
+    in
+    let l = A.add_and net (pick ()) (pick ()) in
+    if not (L.is_const l) then all := l :: !all
+  done;
+  for _ = 1 to pos do
+    let l = List.nth !all (Rng.int rng (List.length !all)) in
+    ignore (A.add_po net (L.xor_compl l (Rng.bool rng)))
+  done;
+  net
+
+(* ---- framing ---- *)
+
+let with_pipe f =
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close rd with Unix.Unix_error _ -> ());
+      try Unix.close wr with Unix.Unix_error _ -> ())
+    (fun () -> f rd wr)
+
+let test_frame_fd_roundtrip () =
+  with_pipe @@ fun rd wr ->
+  List.iter
+    (fun payload ->
+      Proto.write_frame_fd wr payload;
+      match Proto.read_frame_fd rd with
+      | Some got -> check_str "payload round-trips" payload got
+      | None -> Alcotest.fail "unexpected EOF")
+    (* Payloads stay under the pipe buffer: writer and reader alternate
+       in one thread here. *)
+    [ ""; "x"; "{\"id\":1}"; String.make 20_000 'a'; "\x00\xff\n binary \x01" ];
+  Unix.close wr;
+  match Proto.read_frame_fd rd with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected clean EOF at the frame boundary"
+
+let test_frame_truncation () =
+  (* A header announcing more bytes than ever arrive. *)
+  with_pipe (fun rd wr ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 100l;
+      ignore (Unix.write wr hdr 0 4);
+      ignore (Unix.write_substring wr "short" 0 5);
+      Unix.close wr;
+      match Proto.read_frame_fd rd with
+      | exception Proto.Parse_error _ -> ()
+      | Some _ | None -> Alcotest.fail "truncated frame must be a Parse_error");
+  (* A header cut off mid-length. *)
+  with_pipe (fun rd wr ->
+      ignore (Unix.write_substring wr "\x00\x00" 0 2);
+      Unix.close wr;
+      match Proto.read_frame_fd rd with
+      | exception Proto.Parse_error _ -> ()
+      | Some _ | None -> Alcotest.fail "truncated header must be a Parse_error");
+  (* A length prefix announcing a memory bomb: rejected before
+     allocation, without reading the (absent) payload. *)
+  with_pipe (fun rd wr ->
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_be hdr 0 0x7fffffffl;
+      ignore (Unix.write wr hdr 0 4);
+      match Proto.read_frame_fd rd with
+      | exception Proto.Parse_error _ -> ()
+      | Some _ | None -> Alcotest.fail "oversized frame must be a Parse_error")
+
+let arb_request =
+  let arb_str = QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200)) in
+  QCheck.make
+    ~print:(fun (r : Proto.request) -> J.to_string (Proto.request_to_json r))
+    QCheck.Gen.(
+      let* req_id = int_range 0 1_000_000 in
+      let* script = arb_str in
+      let* aiger = arb_str in
+      let* req_timeout = opt (map (fun f -> Float.abs f) float) in
+      let* req_verify = bool in
+      let* req_certify = bool in
+      return { Proto.req_id; script; aiger; req_timeout; req_verify; req_certify })
+
+let prop_request_roundtrip (r : Proto.request) =
+  let r' = Proto.request_of_string (J.to_string (Proto.request_to_json r)) in
+  r' = r
+  ||
+  QCheck.Test.fail_reportf "request did not round-trip: %s"
+    (J.to_string (Proto.request_to_json r'))
+
+let test_response_codec () =
+  List.iter
+    (fun rsp ->
+      let rsp' =
+        match J.parse (Proto.response_to_string rsp) with
+        | j -> Proto.response_of_json j
+        | exception J.Parse_error _ -> Alcotest.fail "response must serialize"
+      in
+      check "response round-trips" true (rsp = rsp'))
+    [
+      Proto.R_ok { rsp_id = 3; report = J.Obj [ ("cec", J.String "equivalent") ] };
+      Proto.R_error { rsp_id = 0; kind = "parse_error"; message = "x\n\"y\"" };
+    ];
+  (* Decoding hostility: missing fields and type confusion are
+     Parse_error, never Match_failure or a crash. *)
+  List.iter
+    (fun txt ->
+      match Proto.request_of_string txt with
+      | _ -> Alcotest.failf "hostile request accepted: %s" txt
+      | exception Proto.Parse_error _ -> ())
+    [
+      "{}";
+      "[]";
+      "{\"id\":\"one\",\"script\":\"\",\"aiger\":\"\"}";
+      "{\"id\":1,\"script\":null,\"aiger\":\"\"}";
+      "{\"id\":1,\"script\":\"\",\"aiger\":\"\",\"timeout_s\":\"soon\"}";
+      "{\"id\":1,\"script\":\"\",\"aiger\":\"\",\"verify\":1}";
+      "not json";
+    ]
+
+(* ---- the live daemon loop ---- *)
+
+let with_server ?cache_dir ?(paranoid = false) f =
+  let dir = Filename.temp_file "svcsock" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "d.sock" in
+  let stop = Atomic.make false in
+  let cache = Option.map (fun d -> Svc.Cache.open_ ~dir:d) cache_dir in
+  let srv =
+    Domain.spawn (fun () ->
+        Svc.Server.run ~stop
+          {
+            Svc.Server.socket_path = sock;
+            domains = 1;
+            cache;
+            paranoid;
+            request_timeout = None;
+            global_timeout = Some 60.0;
+            echo = ignore;
+          })
+  in
+  let rec wait n =
+    if not (Sys.file_exists sock) then
+      if n = 0 then Alcotest.fail "server socket never appeared"
+      else begin
+        Unix.sleepf 0.02;
+        wait (n - 1)
+      end
+  in
+  wait 250;
+  let finish () =
+    Atomic.set stop true;
+    Domain.join srv
+  in
+  match f sock with
+  | v ->
+    let outcome = finish () in
+    check "socket unlinked after drain" false (Sys.file_exists sock);
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    (v, outcome)
+  | exception e ->
+    ignore (finish ());
+    raise e
+
+let send_recv oc ic req =
+  Proto.write_request oc req;
+  Proto.read_response ic
+
+let request ?(id = 1) ?(script = "sweep -e stp; verify") ?(verify = false)
+    ?(certify = false) aiger =
+  {
+    Proto.req_id = id;
+    script;
+    aiger;
+    req_timeout = None;
+    req_verify = verify;
+    req_certify = certify;
+  }
+
+let test_server_roundtrip () =
+  let rng = Rng.create 0x5E44E4L in
+  let base = random_network rng ~pis:7 ~gates:80 ~pos:4 in
+  let net = Gen.Redundant.inject ~seed:3L ~fraction:0.4 base in
+  let aiger = Aig.Aiger.write net in
+  let (), outcome =
+    with_server @@ fun sock ->
+    let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
+    (* 1: a good request. *)
+    (match send_recv oc ic (request ~id:7 aiger) with
+    | Some (Proto.R_ok { rsp_id; report }) ->
+      check_int "id echoed" 7 rsp_id;
+      check "cec equivalent" true
+        (J.member "cec" report = Some (J.String "equivalent"));
+      (match J.member "result_aiger" report with
+      | Some (J.String aag) ->
+        let swept = Aig.Aiger.read aag in
+        (match Sweep.Cec.check net swept with
+        | Sweep.Cec.Equivalent -> ()
+        | _ -> Alcotest.fail "returned AIG not equivalent to the input");
+        check "server swept something" true (A.num_ands swept <= A.num_ands net)
+      | _ -> Alcotest.fail "report carries no result_aiger")
+    | _ -> Alcotest.fail "expected R_ok for the good request");
+    (* 2: a bad script — isolated error, connection survives. *)
+    (match send_recv oc ic (request ~id:8 ~script:"no-such-pass" aiger) with
+    | Some (Proto.R_error { rsp_id; kind; _ }) ->
+      check_int "id echoed on error" 8 rsp_id;
+      check_str "script error kind" "parse_error" kind
+    | _ -> Alcotest.fail "expected R_error for the bad script");
+    (* 3: a bad AIGER payload. *)
+    (match send_recv oc ic (request ~id:9 "not an aiger file") with
+    | Some (Proto.R_error { kind; _ }) -> check_str "aiger error kind" "parse_error" kind
+    | _ -> Alcotest.fail "expected R_error for the bad AIGER");
+    (* 4: an unparsable frame payload — answered with id 0, still alive. *)
+    Proto.write_frame oc "this is not json";
+    (match Proto.read_response ic with
+    | Some (Proto.R_error { rsp_id; kind; _ }) ->
+      check_int "unattributable error is id 0" 0 rsp_id;
+      check_str "frame error kind" "parse_error" kind
+    | _ -> Alcotest.fail "expected R_error for the garbage frame");
+    (* 5: the same connection still serves. *)
+    (match send_recv oc ic (request ~id:10 aiger) with
+    | Some (Proto.R_ok { rsp_id; _ }) -> check_int "survivor id" 10 rsp_id
+    | _ -> Alcotest.fail "connection did not survive the garbage frame");
+    Unix.shutdown_connection ic
+  in
+  check_int "served" 2 outcome.Svc.Server.served;
+  check_int "errors" 3 outcome.Svc.Server.errors;
+  check_int "dropped" 0 outcome.Svc.Server.dropped
+
+let test_server_drop_conn_fault () =
+  (* Linking Svc.Server must register its fault site (test_sweep checks
+     the rest of the catalog; this binary is the one that links svc). *)
+  if not (List.mem "svc.drop_conn" (Obs.Fault.catalog ())) then
+    Alcotest.fail "svc.drop_conn not in the fault catalog";
+  let rng = Rng.create 0xD409L in
+  let net = random_network rng ~pis:6 ~gates:40 ~pos:3 in
+  let aiger = Aig.Aiger.write net in
+  let (), outcome =
+    with_server @@ fun sock ->
+    (match Obs.Fault.configure "seed=1,svc.drop_conn" with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "bad fault spec: %s" e);
+    Fun.protect ~finally:Obs.Fault.reset (fun () ->
+        let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
+        match send_recv oc ic (request ~id:11 aiger) with
+        | None -> (* the server hung up before responding — as injected *) ()
+        | Some _ -> Alcotest.fail "drop_conn fault did not drop the response");
+    (* The daemon survives its own fault: a fresh connection serves. *)
+    let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
+    (match send_recv oc ic (request ~id:12 aiger) with
+    | Some (Proto.R_ok { rsp_id; _ }) -> check_int "served after drop" 12 rsp_id
+    | _ -> Alcotest.fail "daemon did not survive the dropped connection");
+    Unix.shutdown_connection ic
+  in
+  check_int "dropped counted" 1 outcome.Svc.Server.dropped;
+  check_int "served counted" 1 outcome.Svc.Server.served
+
+let test_server_warm_cache () =
+  (* Same request twice through one daemon with a disk cache: the warm
+     report must show hits, no rejected certificates, and the same
+     result size — the service-level version of the engine tests. *)
+  (* Wide enough (> window_max_leaves = 16 PIs) that equivalences need
+     real SAT proofs — exhaustive windows alone would never consult the
+     cache. *)
+  let rng = Rng.create 0xCAFE05L in
+  let base = random_network rng ~pis:24 ~gates:300 ~pos:6 in
+  let net = Gen.Redundant.inject ~seed:9L ~fraction:0.5 base in
+  let aiger = Aig.Aiger.write net in
+  let dir = Filename.temp_file "svccache" "" in
+  Sys.remove dir;
+  let counters report =
+    match J.member "passes" report with
+    | Some (J.List (first :: _)) -> (
+      match J.member "stats" first with
+      | Some stats -> (
+        match J.member "counters" stats with
+        | Some (J.Obj kvs) -> kvs
+        | _ -> Alcotest.fail "no counters in the sweep record")
+      | _ -> Alcotest.fail "no stats in the sweep record")
+    | _ -> Alcotest.fail "no pass records in the report"
+  in
+  let int_counter kvs name =
+    match List.assoc_opt name kvs with
+    | Some (J.Int i) -> i
+    | _ -> Alcotest.failf "counter %s missing" name
+  in
+  let (), _ =
+    with_server ~cache_dir:dir ~paranoid:true @@ fun sock ->
+    let run id =
+      let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
+      let rsp = send_recv oc ic (request ~id ~certify:true aiger) in
+      Unix.shutdown_connection ic;
+      match rsp with
+      | Some (Proto.R_ok { report; _ }) -> report
+      | _ -> Alcotest.fail "expected R_ok"
+    in
+    let cold = counters (run 1) in
+    let warm = counters (run 2) in
+    check "cold run missed" true (int_counter cold "cache_misses" > 0);
+    check_int "cold run had no hits" 0 (int_counter cold "cache_hits");
+    check "warm run hit" true (int_counter warm "cache_hits" > 0);
+    check_int "warm run missed nothing" 0 (int_counter warm "cache_misses");
+    check_int "no rejected certificates" 0 (int_counter warm "cache_rejected");
+    check_int "merges identical" (int_counter cold "merges")
+      (int_counter warm "merges")
+  in
+  ()
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "proto",
+        [
+          Alcotest.test_case "frame fd round-trip" `Quick test_frame_fd_roundtrip;
+          Alcotest.test_case "hostile frames" `Quick test_frame_truncation;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"request round-trip" ~count:200 arb_request
+               prop_request_roundtrip);
+          Alcotest.test_case "response codec + hostile requests" `Quick
+            test_response_codec;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "round-trip + isolation" `Slow test_server_roundtrip;
+          Alcotest.test_case "drop_conn fault" `Slow test_server_drop_conn_fault;
+          Alcotest.test_case "warm cache across requests" `Slow
+            test_server_warm_cache;
+        ] );
+    ]

@@ -868,7 +868,233 @@ let test_fault_catalog_complete () =
       "sat.flip_unsat";
       "sat.corrupt_proof";
       "sat.bogus_model";
+      "cache.corrupt_entry";
+      "cache.torn_write";
+      (* svc.drop_conn registers at Svc.Server init, which this binary does
+         not link; test_svc asserts it instead. *)
     ]
+
+(* ---- the equivalence cache (Svc.Cache wired into the engine) ---- *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "swcache" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if (try Sys.is_directory p with Sys_error _ -> false) then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+let iter_cache_files dir f =
+  Array.iter
+    (fun sub ->
+      let p = Filename.concat dir sub in
+      if Sys.is_directory p then
+        Array.iter
+          (fun fn ->
+            if Filename.check_suffix fn ".json" then f (Filename.concat p fn))
+          (Sys.readdir p))
+    (Sys.readdir dir)
+
+let cache_sat_calls st =
+  st.Sweep.Stats.sat_sat + st.Sweep.Stats.sat_unsat + st.Sweep.Stats.sat_undet
+
+let test_cache_cold_warm () =
+  (* The headline soundness property: a warm-cache sweep must replay the
+     cold run's trajectory exactly — same merges, same result size, CEC
+     equivalent — while answering every solver query from disk. *)
+  List.iter
+    (fun (label, certify) ->
+      with_cache_dir @@ fun dir ->
+      let rng = Rng.create 0xCAC4EDL in
+      let base = random_network rng ~pis:8 ~gates:150 ~pos:5 in
+      let net = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.5 base in
+      let c = Svc.Cache.open_ ~dir in
+      let sweep () =
+        Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~certify
+          ~cache:(Svc.Cache.ops c) net
+      in
+      let cold, stc = sweep () in
+      let warm, stw = sweep () in
+      check (label ^ ": cold function preserved") true
+        (exhaustive_equal net cold);
+      check (label ^ ": warm function preserved") true
+        (exhaustive_equal net warm);
+      (match Sweep.Cec.check net warm with
+      | Sweep.Cec.Equivalent -> ()
+      | _ -> Alcotest.failf "%s: warm sweep not CEC-equivalent" label);
+      check (label ^ ": cold run misses") true
+        (stc.Sweep.Stats.cache_hits = 0 && stc.Sweep.Stats.cache_misses > 0);
+      check (label ^ ": warm run only hits") true
+        (stw.Sweep.Stats.cache_misses = 0 && stw.Sweep.Stats.cache_hits > 0);
+      check_int (label ^ ": merges identical") stc.Sweep.Stats.merges
+        stw.Sweep.Stats.merges;
+      check_int (label ^ ": sizes identical") (A.num_ands cold)
+        (A.num_ands warm);
+      check_int (label ^ ": warm run never solves") 0 (cache_sat_calls stw);
+      check_int (label ^ ": nothing rejected") 0 stw.Sweep.Stats.cache_rejected)
+    [ ("plain", false); ("certified", true) ]
+
+let test_cache_fault_matrix () =
+  (* Corrupt-entry and torn-write faults strike the bytes on the way to
+     disk; the next run must quarantine exactly those entries, count
+     them as rejected, re-prove them, and still land on the cold run's
+     merges — an unproven merge must never come out of the cache. *)
+  let rng = Rng.create 0xFA17CAL in
+  let base = random_network rng ~pis:9 ~gates:180 ~pos:5 in
+  let net = Gen.Redundant.inject ~seed:17L ~fraction:0.5 base in
+  List.iter
+    (fun site_name ->
+      let site = Obs.Fault.register site_name in
+      let fired = ref 0 and rejected = ref 0 in
+      for seed = 1 to 5 do
+        with_cache_dir @@ fun dir ->
+        let c = Svc.Cache.open_ ~dir in
+        let sweep () =
+          Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~cache:(Svc.Cache.ops c) net
+        in
+        let cold, stc =
+          with_faults
+            (Printf.sprintf "seed=%d,%s:0.5" seed site_name)
+            (fun () ->
+              let r = sweep () in
+              fired := !fired + Obs.Fault.hits site;
+              r)
+        in
+        (* Faults disarmed: whatever reached disk is now read back. *)
+        let warm, stw = sweep () in
+        check
+          (Printf.sprintf "%s seed %d: cold function preserved" site_name seed)
+          true (exhaustive_equal net cold);
+        check
+          (Printf.sprintf "%s seed %d: warm function preserved" site_name seed)
+          true (exhaustive_equal net warm);
+        (match Sweep.Cec.check net warm with
+        | Sweep.Cec.Equivalent -> ()
+        | _ -> Alcotest.failf "%s seed %d: warm CEC failed" site_name seed);
+        check_int
+          (Printf.sprintf "%s seed %d: merges identical" site_name seed)
+          stc.Sweep.Stats.merges stw.Sweep.Stats.merges;
+        (* Layering: every damaged entry the warm run touched was
+           quarantined by the cache and counted rejected by the engine. *)
+        check_int
+          (Printf.sprintf "%s seed %d: rejected = quarantined" site_name seed)
+          (Svc.Cache.counters c).Svc.Cache.c_quarantined
+          stw.Sweep.Stats.cache_rejected;
+        rejected := !rejected + stw.Sweep.Stats.cache_rejected
+      done;
+      if !fired = 0 then
+        Alcotest.failf "%s never struck across the seed matrix" site_name;
+      if !rejected = 0 then
+        Alcotest.failf "%s: no damaged entry was ever rejected" site_name)
+    [ "cache.corrupt_entry"; "cache.torn_write" ]
+
+let test_cache_paranoid_tamper () =
+  (* Forged entries with valid structure: correct key, correct checksum,
+     gutted proof. Structural integrity alone must not be enough under
+     --paranoid — the replayed certificate is the trust anchor. *)
+  with_cache_dir @@ fun dir ->
+  let rng = Rng.create 0x7A3BE2L in
+  let base = random_network rng ~pis:8 ~gates:120 ~pos:4 in
+  let net = Gen.Redundant.inject ~seed:5L ~fraction:0.5 base in
+  let c = Svc.Cache.open_ ~dir in
+  let _, stc =
+    Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~certify:true
+      ~cache:(Svc.Cache.ops c) net
+  in
+  let forged = ref 0 in
+  iter_cache_files dir (fun path ->
+      let raw = In_channel.with_open_bin path In_channel.input_all in
+      match Obs.Json.parse raw with
+      | payload -> (
+        match
+          (Obs.Json.member "key" payload, Obs.Json.member "entry" payload)
+        with
+        | Some (Obs.Json.String key), Some entry
+          when Obs.Json.member "verdict" entry
+               = Some (Obs.Json.String "equiv") ->
+          let open Obs.Json in
+          let entry' =
+            Obj
+              [
+                ("v", Int 1); ("verdict", String "equiv"); ("proof", List []);
+              ]
+          in
+          let sum = Digest.to_hex (Digest.string (to_string entry')) in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc
+                (to_string
+                   (Obj
+                      [
+                        ("key", String key);
+                        ("checksum", String sum);
+                        ("entry", entry');
+                      ])));
+          incr forged
+        | _ -> ())
+      | exception Obs.Json.Parse_error _ -> ());
+  check "some equivalence entries were forged" true (!forged > 0);
+  let warm, stw =
+    Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~certify:true ~cache_paranoid:true
+      ~cache:(Svc.Cache.ops c) net
+  in
+  check "function preserved despite forged cache" true
+    (exhaustive_equal net warm);
+  (match Sweep.Cec.check net warm with
+  | Sweep.Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "paranoid warm sweep not CEC-equivalent");
+  check "forged certificates rejected on replay" true
+    (stw.Sweep.Stats.cache_rejected > 0);
+  check_int "merges identical (rejects re-proven)" stc.Sweep.Stats.merges
+    stw.Sweep.Stats.merges;
+  (* The forgery is structurally pristine: the cache layer itself must
+     not have quarantined anything — rejection happened at the proof. *)
+  check_int "no quarantines for a structurally valid forgery" 0
+    (Svc.Cache.counters c).Svc.Cache.c_quarantined
+
+let test_cache_crash_recovery () =
+  (* The kill -9 contract at unit level: a committed-but-torn entry
+     (rename raced the tear) is quarantined on first read, a plain miss
+     afterwards, and the slot is re-storable; an uncommitted temp file
+     is swept by the next open_. *)
+  with_cache_dir @@ fun dir ->
+  let key = String.make 32 'a' in
+  let entry =
+    Obs.Json.Obj [ ("v", Obs.Json.Int 1); ("verdict", Obs.Json.String "diff") ]
+  in
+  let c = Svc.Cache.open_ ~dir in
+  with_faults "seed=1,cache.torn_write" (fun () ->
+      Svc.Cache.store c ~key entry);
+  (* restart *)
+  let c2 = Svc.Cache.open_ ~dir in
+  (match Svc.Cache.find c2 ~key with
+  | Sweep.Engine.Cache_corrupt -> ()
+  | _ -> Alcotest.fail "torn entry served instead of quarantined");
+  (match Svc.Cache.find c2 ~key with
+  | Sweep.Engine.Cache_miss -> ()
+  | _ -> Alcotest.fail "quarantined entry not degraded to a miss");
+  let sub = Filename.concat dir (String.sub key 0 2) in
+  check "quarantine file preserved for post-mortem" true
+    (Sys.file_exists (Filename.concat sub (key ^ ".json.quarantined")));
+  Svc.Cache.store c2 ~key entry;
+  (match Svc.Cache.find c2 ~key with
+  | Sweep.Engine.Cache_hit e -> check "entry round-trips" true (e = entry)
+  | _ -> Alcotest.fail "re-stored entry not served");
+  (* A temp file is a write that never committed: swept on open_. *)
+  let tmp = Filename.concat sub ".tmp.99999.0" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc "x");
+  let _ = Svc.Cache.open_ ~dir in
+  check "stale temp swept on restart" false (Sys.file_exists tmp);
+  (* Hostile keys stay inside the cache directory. *)
+  (match Svc.Cache.find c2 ~key:"../../escape" with
+  | Sweep.Engine.Cache_miss -> ()
+  | _ -> Alcotest.fail "traversal key must be a miss");
+  Svc.Cache.store c2 ~key:"../../escape" entry;
+  check "traversal key stored nothing" false
+    (Sys.file_exists (Filename.concat (Filename.dirname dir) "escape"))
 
 let () =
   Alcotest.run "sweep"
@@ -932,5 +1158,16 @@ let () =
             test_parse_truncate_fault;
           Alcotest.test_case "fault catalog complete" `Quick
             test_fault_catalog_complete;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "warm run replays the cold run" `Slow
+            test_cache_cold_warm;
+          Alcotest.test_case "corrupt/torn entry matrix" `Slow
+            test_cache_fault_matrix;
+          Alcotest.test_case "paranoid rejects forged certificates" `Slow
+            test_cache_paranoid_tamper;
+          Alcotest.test_case "crash recovery + hostile keys" `Quick
+            test_cache_crash_recovery;
         ] );
     ]
