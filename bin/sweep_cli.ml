@@ -9,32 +9,47 @@
 open Stp_sweep
 
 (* Client ("sweepc") mode: same flags, but the pipeline runs inside a
-   sweepd daemon reached over --connect SOCK. The daemon's report is the
-   authority — the verdict, the JSON and the swept AIG all come off the
-   wire; exit codes mirror the local path (1 = CEC different, 2 =
-   parse/IO, 3 = verification failed). *)
-let run_remote sock name net script timeout verify certify output json echo =
-  let ic, oc = Unix.open_connection (Unix.ADDR_UNIX sock) in
-  Fun.protect
-    ~finally:(fun () -> try Unix.shutdown_connection ic with _ -> ())
-  @@ fun () ->
-  Svc.Proto.write_request oc
-    {
-      Svc.Proto.req_id = Unix.getpid ();
-      script;
-      aiger = Aig.Aiger.write net;
-      req_timeout = timeout;
-      req_verify = verify;
-      req_certify = certify;
-    };
-  match Svc.Proto.read_response ic with
-  | None ->
-    prerr_endline "sweep: server closed the connection without responding";
+   sweepd daemon reached over --connect SOCK, through the Svc.Client
+   retry library: typed R_overloaded answers and refused connects are
+   retried with jittered exponential backoff (--remote-retries), so a
+   momentarily saturated daemon costs latency, not a failed run. The
+   daemon's report is the authority — the verdict, the JSON and the
+   swept AIG all come off the wire; exit codes mirror the local path
+   (1 = CEC different, 2 = parse/IO, 3 = verification failed). *)
+let run_remote sock remote_retries name net script timeout verify certify
+    output json echo =
+  let policy = { Svc.Client.default_policy with retries = remote_retries } in
+  let client =
+    match Svc.Client.connect ~policy sock with
+    | Ok c -> c
+    | Error e ->
+      Printf.eprintf "sweep: %s\n" (Svc.Client.error_to_string e);
+      exit 2
+  in
+  Fun.protect ~finally:(fun () -> Svc.Client.close client) @@ fun () ->
+  match
+    Svc.Client.request client
+      {
+        Svc.Proto.req_id = Unix.getpid ();
+        script;
+        aiger = Aig.Aiger.write net;
+        req_timeout = timeout;
+        req_verify = verify;
+        req_certify = certify;
+      }
+  with
+  | Error e ->
+    Printf.eprintf "sweep: %s\n" (Svc.Client.error_to_string e);
     exit 2
-  | Some (Svc.Proto.R_error { kind; message; _ }) ->
+  | Ok (Svc.Proto.R_error { kind; message; _ }) ->
     Printf.eprintf "sweep: server error (%s): %s\n" kind message;
     exit (if kind = "verification_failed" then 3 else 2)
-  | Some (Svc.Proto.R_ok { report; _ }) ->
+  | Ok (Svc.Proto.R_overloaded _ | Svc.Proto.R_health _) ->
+    (* The client library retries overloads internally and we sent a
+       run request, so neither should surface here. *)
+    prerr_endline "sweep: unexpected response from server";
+    exit 2
+  | Ok (Svc.Proto.R_ok { report; _ }) ->
     let open Obs.Json in
     let int_of name = match member name report with Some (Int i) -> Some i | _ -> None in
     (match (int_of "input_ands", int_of "result_ands") with
@@ -60,7 +75,7 @@ let run_remote sock name net script timeout verify certify output json echo =
     if member "cec" report = Some (String "different") then exit 1
 
 let run circuit file engine timeout retries sat_domains self_verify verify
-    certify output json trace connect () =
+    certify output json trace connect remote_retries () =
   Report.cli_guard @@ fun () ->
   if trace then Obs.Trace.enable ();
   let name, net = Report.load_network ?circuit ?file () in
@@ -82,7 +97,8 @@ let run circuit file engine timeout retries sat_domains self_verify verify
   let echo s = print_string s; flush stdout in
   match connect with
   | Some sock ->
-    run_remote sock name net script timeout self_verify certify output json echo
+    run_remote sock remote_retries name net script timeout self_verify certify
+      output json echo
   | None ->
   let ctx =
     Pass.create_ctx ?timeout ~verify:self_verify ~certify ~echo net
@@ -201,12 +217,24 @@ let connect =
            Unix-domain socket $(docv) instead of in-process; the swept \
            AIG, report and exit code come from the server's response.")
 
+let remote_retries =
+  Arg.(
+    value & opt int 5
+    & info [ "remote-retries" ] ~docv:"N"
+        ~doc:
+          "With --connect: retry up to $(docv) times (jittered \
+           exponential backoff, honoring the server's retry_after hint) \
+           when the daemon sheds the connection as overloaded or refuses \
+           it. 0 fails fast.")
+
 let cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"SAT-sweep a circuit")
     Term.(
-      const (fun a b c d e f g h i j k l m -> run a b c d e f g h i j k l m ())
+      const (fun a b c d e f g h i j k l m n ->
+          run a b c d e f g h i j k l m n ())
       $ circuit $ file $ engine $ timeout $ retries $ sat_domains
-      $ self_verify $ verify $ certify $ output $ json $ trace $ connect)
+      $ self_verify $ verify $ certify $ output $ json $ trace $ connect
+      $ remote_retries)
 
 let () = exit (Cmd.eval cmd)

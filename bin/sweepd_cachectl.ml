@@ -1,0 +1,115 @@
+(* sweepd-cachectl: offline maintenance for the sweepd equivalence
+   cache.
+
+   'stats' prints the store's resident size and counters as JSON;
+   'compact' garbage-collects it — sweeps crash-leftover temp files,
+   purges quarantined post-mortem files, and (with --max-bytes /
+   --max-entries) evicts least-recently-used entries until the budget
+   holds, through the same crash-safe rename discipline the daemon
+   uses. Running it against a live daemon's directory is safe in the
+   sense that every race degrades to a cache miss on one side or the
+   other (rename is atomic; a vanished file reads as a miss), but the
+   daemon's in-memory accounting won't see entries removed under it
+   until its next restart — compact during quiet hours. *)
+
+open Stp_sweep
+
+let with_cache dir max_bytes max_entries f =
+  match Svc.Cache.open_ ?max_bytes ?max_entries dir with
+  | cache -> f cache
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "sweepd-cachectl: cannot open %s: %s\n" dir
+      (Unix.error_message e);
+    exit 2
+
+let run_stats dir () =
+  Report.cli_guard @@ fun () ->
+  with_cache dir None None @@ fun cache ->
+  print_endline (Obs.Json.to_string (Svc.Cache.counters_json cache))
+
+let run_compact dir max_bytes max_entries dry_run () =
+  Report.cli_guard @@ fun () ->
+  with_cache dir None None @@ fun cache ->
+  if dry_run then begin
+    let bytes = Svc.Cache.bytes cache and entries = Svc.Cache.entries cache in
+    let over_bytes =
+      match max_bytes with Some b -> max 0 (bytes - b) | None -> 0
+    in
+    let over_entries =
+      match max_entries with Some e -> max 0 (entries - e) | None -> 0
+    in
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("dry_run", Obs.Json.Bool true);
+              ("bytes", Obs.Json.Int bytes);
+              ("entries", Obs.Json.Int entries);
+              ("over_bytes", Obs.Json.Int over_bytes);
+              ("over_entries", Obs.Json.Int over_entries);
+            ]))
+  end
+  else begin
+    let s = Svc.Cache.compact ?max_bytes ?max_entries cache in
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.Obj
+            [
+              ("tmp_swept", Obs.Json.Int s.Svc.Cache.k_tmp);
+              ("quarantined_purged", Obs.Json.Int s.k_quarantined);
+              ("evicted", Obs.Json.Int s.k_evicted);
+              ("evicted_bytes", Obs.Json.Int s.k_evicted_bytes);
+              ("bytes", Obs.Json.Int (Svc.Cache.bytes cache));
+              ("entries", Obs.Json.Int (Svc.Cache.entries cache));
+            ]))
+  end
+
+open Cmdliner
+
+let dir =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Cache directory (sweepd --cache DIR).")
+
+let max_bytes =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-bytes" ] ~docv:"BYTES"
+        ~doc:"Evict least-recently-used entries until at most $(docv) remain.")
+
+let max_entries =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-entries" ] ~docv:"N"
+        ~doc:"Evict least-recently-used entries down to $(docv) entries.")
+
+let dry_run =
+  Arg.(
+    value & flag
+    & info [ "dry-run" ]
+        ~doc:"Report what compaction would do without touching the store.")
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"print resident size and counters as JSON")
+    Term.(const (fun d -> run_stats d ()) $ dir)
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "sweep temp files, purge quarantined entries, evict LRU down to \
+          the given budget")
+    Term.(
+      const (fun d b e n -> run_compact d b e n ())
+      $ dir $ max_bytes $ max_entries $ dry_run)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "sweepd-cachectl" ~doc:"maintain a sweepd equivalence cache")
+    [ stats_cmd; compact_cmd ]
+
+let () = exit (Cmd.eval cmd)

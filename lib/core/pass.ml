@@ -31,13 +31,14 @@ type ctx = {
   echo : string -> unit;
 }
 
-let create_ctx ?seed ?(sim_domains = 1) ?(sat_domains = 0) ?timeout
+let create_ctx ?seed ?(sim_domains = 1) ?(sat_domains = 0) ?timeout ?budget
     ?(verify = false) ?(certify = false) ?cache ?(cache_paranoid = false)
     ?(echo = print_string) input =
   let budget =
-    match timeout with
-    | Some s -> Obs.Budget.create ~timeout:s ()
-    | None -> Obs.Budget.unlimited ()
+    match (budget, timeout) with
+    | Some b, _ -> b (* externally owned (a pool lease's); wins over timeout *)
+    | None, Some s -> Obs.Budget.create ~timeout:s ()
+    | None, None -> Obs.Budget.unlimited ()
   in
   {
     seed;
@@ -126,10 +127,12 @@ let sweep_make args =
     Option.map (int_arg "sat-domains") (List.assoc_opt "sat-domains" args)
   in
   fun ctx net ->
-    (* The pipeline budget is shared via its absolute deadline: a sweep
-       that starts with 0.3s left gets exactly those 0.3s, and the
-       engine's own degradation (PR 3) handles mid-pass exhaustion. *)
-    let deadline = Obs.Budget.deadline ctx.budget in
+    (* The whole pipeline budget is handed to the sweep: it honors the
+       shared deadline plus any conflict/propagation caps, charges its
+       SAT work back (so an Obs.Pool lease can reclaim unspent
+       allowance), and its sticky exhaustion is visible to the runner's
+       between-pass checks. Degradation (PR 3) handles mid-pass
+       exhaustion. *)
     (* Per-pass --sat-domains wins over the pipeline-level default. *)
     let sat_domains =
       match sat_domains_arg with Some d -> d | None -> ctx.sat_domains
@@ -138,12 +141,12 @@ let sweep_make args =
       match engine with
       | `Stp ->
         Sweep.Stp_sweep.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
-          ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
+          ~sim_domains:ctx.sim_domains ~sat_domains ~budget:ctx.budget
           ~verify:ctx.verify ~certify:ctx.certify ?cache:ctx.cache
           ~cache_paranoid:ctx.cache_paranoid net
       | `Fraig ->
         Sweep.Fraig.sweep ?seed:ctx.seed ?conflict_limit ?retry_schedule
-          ~sim_domains:ctx.sim_domains ~sat_domains ?deadline
+          ~sim_domains:ctx.sim_domains ~sat_domains ~budget:ctx.budget
           ~verify:ctx.verify ~certify:ctx.certify ?cache:ctx.cache
           ~cache_paranoid:ctx.cache_paranoid net
     in

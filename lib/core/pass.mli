@@ -52,6 +52,7 @@ val create_ctx :
   ?sim_domains:int ->
   ?sat_domains:int ->
   ?timeout:float ->
+  ?budget:Obs.Budget.t ->
   ?verify:bool ->
   ?certify:bool ->
   ?cache:Sweep.Engine.cache_ops ->
@@ -60,8 +61,10 @@ val create_ctx :
   Aig.Network.t ->
   ctx
 (** [timeout] (seconds from now) arms the shared pipeline budget;
-    omitted, the budget is unlimited. [echo] defaults to stdout — pass
-    [ignore] for quiet runs (tests). *)
+    [budget] installs an externally owned one instead (an {!Obs.Pool}
+    lease's budget, in the daemon) and wins over [timeout]; omitted,
+    the budget is unlimited. [echo] defaults to stdout — pass [ignore]
+    for quiet runs (tests). *)
 
 type t = {
   name : string;

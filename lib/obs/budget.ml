@@ -12,6 +12,13 @@ type t = {
   stride : int;
   countdown : int Atomic.t; (* check calls until the next clock read *)
   exhausted : reason option Atomic.t;
+  (* Internal consumption meters fed by {!charge} deltas. They let one
+     budget be shared across callers that each count from zero (the
+     pipeline's several sweep passes, the dispatch pool's per-domain
+     solvers) and let an [Obs.Pool] lease reclaim unspent allowance at
+     release time. *)
+  acc_conflicts : int Atomic.t;
+  acc_propagations : int Atomic.t;
 }
 
 let make ~deadline ~conflicts ~propagations ~stride =
@@ -22,6 +29,8 @@ let make ~deadline ~conflicts ~propagations ~stride =
     stride = max 1 stride;
     countdown = Atomic.make 0; (* first check reads the clock *)
     exhausted = Atomic.make None;
+    acc_conflicts = Atomic.make 0;
+    acc_propagations = Atomic.make 0;
   }
 
 let unlimited () =
@@ -74,6 +83,22 @@ let check ?conflicts ?propagations t =
 
 let check_now ?conflicts ?propagations t =
   check_gen ~force:true ?conflicts ?propagations t
+
+let charge ?(conflicts = 0) ?(propagations = 0) t =
+  let c = Atomic.fetch_and_add t.acc_conflicts conflicts + conflicts in
+  let p = Atomic.fetch_and_add t.acc_propagations propagations + propagations in
+  match Atomic.get t.exhausted with
+  | Some _ as r -> r
+  | None ->
+    let r =
+      if over t.max_conflicts c then Some Conflicts
+      else if over t.max_propagations p then Some Propagations
+      else None
+    in
+    if r <> None then Atomic.set t.exhausted r;
+    r
+
+let consumed t = (Atomic.get t.acc_conflicts, Atomic.get t.acc_propagations)
 
 let reason_to_string = function
   | Deadline -> "deadline"

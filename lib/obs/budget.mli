@@ -68,6 +68,20 @@ val check_now : ?conflicts:int -> ?propagations:int -> t -> reason option
 (** Like {!check} but always reads the clock — for phase boundaries
     where a strided check could overshoot. *)
 
+val charge : ?conflicts:int -> ?propagations:int -> t -> reason option
+(** [charge ~conflicts ~propagations t] adds {e deltas} (work done since
+    the caller's previous charge) to the budget's internal consumption
+    meters and compares the accumulated totals against the caps —
+    unlike {!check}, whose counter arguments are caller-cumulative
+    values. Charging lets one budget be shared by parties that each
+    count from zero: the pipeline's successive sweep passes, or the
+    dispatch pool's per-domain solvers. Sticky like {!check}; a trip
+    here is observed by every later {!check} on any domain. *)
+
+val consumed : t -> int * int
+(** [(conflicts, propagations)] accumulated through {!charge} — what an
+    {!Pool} lease deducts from the shared pool at release time. *)
+
 val exhausted : t -> reason option
 (** The sticky exhaustion state, without performing a new check. *)
 

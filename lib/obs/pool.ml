@@ -1,0 +1,217 @@
+(* Daemon-wide budget pool. See pool.mli for the lease/release
+   contract; the implementation notes here are about accounting.
+
+   All pool state is guarded by one mutex — leases are taken a handful
+   of times per request, never in a hot loop, so contention is
+   irrelevant next to a single SAT query.
+
+   Conservation is the invariant the stress tests assert: for every
+   capped resource,
+
+     remaining + (sum of outstanding deductions) + (sum of consumed)
+       = total
+
+   A lease deducts its whole slice up front (so concurrent leases can
+   never over-commit the pool); release refunds [slice - consumed],
+   clamping consumption to the deduction — a sweep that overshoots its
+   slice (checks are strided) costs the pool at most what was
+   granted. *)
+
+type t = {
+  lock : Mutex.t;
+  wall_total : float option;
+  mutable wall_remaining : float;
+  mutable wall_consumed : float;
+  conflicts_total : int option;
+  mutable conflicts_remaining : int;
+  mutable conflicts_consumed : int;
+  props_total : int option;
+  mutable props_remaining : int;
+  mutable props_consumed : int;
+  min_wall_slice : float;
+  mutable inflight : int;
+  mutable leases : int;
+  mutable starved : int;
+}
+
+type lease = {
+  l_budget : Budget.t;
+  l_wall_deducted : float;
+  l_conflicts_deducted : int;
+  l_props_deducted : int;
+  l_start : float;
+  mutable l_released : bool;
+}
+
+let create ?wall_s ?conflicts ?propagations ?(min_wall_slice = 0.01) () =
+  {
+    lock = Mutex.create ();
+    wall_total = wall_s;
+    wall_remaining = Option.value wall_s ~default:0.0;
+    wall_consumed = 0.0;
+    conflicts_total = conflicts;
+    conflicts_remaining = Option.value conflicts ~default:0;
+    conflicts_consumed = 0;
+    props_total = propagations;
+    props_remaining = Option.value propagations ~default:0;
+    props_consumed = 0;
+    min_wall_slice = Float.max 1e-6 min_wall_slice;
+    inflight = 0;
+    leases = 0;
+    starved = 0;
+  }
+
+let is_limited t =
+  t.wall_total <> None || t.conflicts_total <> None || t.props_total <> None
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* min(request cap, fair share of remaining), where the fair share
+   splits what is left across every in-flight request including this
+   one. An exhausted pool still grants a sliver (wall) or a zero cap
+   (conflicts/propagations): the request is admitted, its budget is
+   born exhausted, and the pipeline degrades it to a proven partial
+   result instead of erroring. *)
+let slice_float ~remaining ~fair_over ~cap ~floor =
+  let fair = remaining /. float_of_int (max 1 fair_over) in
+  let want = match cap with Some c -> Float.min c fair | None -> fair in
+  Float.max floor want
+
+let slice_int ~remaining ~fair_over ~cap =
+  let fair = remaining / max 1 fair_over in
+  let want = match cap with Some c -> min c fair | None -> fair in
+  max 0 want
+
+let lease ?wall_cap ?conflicts_cap ?propagations_cap t =
+  locked t @@ fun () ->
+  t.inflight <- t.inflight + 1;
+  t.leases <- t.leases + 1;
+  let timeout, wall_deducted =
+    match t.wall_total with
+    | None -> (wall_cap, 0.0)
+    | Some _ ->
+      let s =
+        slice_float ~remaining:t.wall_remaining ~fair_over:t.inflight
+          ~cap:wall_cap ~floor:t.min_wall_slice
+      in
+      let d = Float.max 0.0 (Float.min s t.wall_remaining) in
+      t.wall_remaining <- t.wall_remaining -. d;
+      if d < s then t.starved <- t.starved + 1;
+      (Some s, d)
+  in
+  let conflicts, conflicts_deducted =
+    match t.conflicts_total with
+    | None -> (conflicts_cap, 0)
+    | Some _ ->
+      let s =
+        slice_int ~remaining:t.conflicts_remaining ~fair_over:t.inflight
+          ~cap:conflicts_cap
+      in
+      t.conflicts_remaining <- t.conflicts_remaining - s;
+      (Some s, s)
+  in
+  let propagations, props_deducted =
+    match t.props_total with
+    | None -> (propagations_cap, 0)
+    | Some _ ->
+      let s =
+        slice_int ~remaining:t.props_remaining ~fair_over:t.inflight
+          ~cap:propagations_cap
+      in
+      t.props_remaining <- t.props_remaining - s;
+      (Some s, s)
+  in
+  {
+    l_budget = Budget.create ?timeout ?conflicts ?propagations ();
+    l_wall_deducted = wall_deducted;
+    l_conflicts_deducted = conflicts_deducted;
+    l_props_deducted = props_deducted;
+    l_start = Clock.now ();
+    l_released = false;
+  }
+
+let budget l = l.l_budget
+
+let release t l =
+  locked t @@ fun () ->
+  if not l.l_released then begin
+    l.l_released <- true;
+    t.inflight <- t.inflight - 1;
+    let wall_used =
+      Float.min l.l_wall_deducted (Float.max 0.0 (Clock.now () -. l.l_start))
+    in
+    t.wall_remaining <- t.wall_remaining +. (l.l_wall_deducted -. wall_used);
+    t.wall_consumed <- t.wall_consumed +. wall_used;
+    let c, p = Budget.consumed l.l_budget in
+    let c_used = min l.l_conflicts_deducted (max 0 c) in
+    t.conflicts_remaining <-
+      t.conflicts_remaining + (l.l_conflicts_deducted - c_used);
+    t.conflicts_consumed <- t.conflicts_consumed + c_used;
+    let p_used = min l.l_props_deducted (max 0 p) in
+    t.props_remaining <- t.props_remaining + (l.l_props_deducted - p_used);
+    t.props_consumed <- t.props_consumed + p_used
+  end
+
+type stats = {
+  s_wall_total : float option;
+  s_wall_remaining : float;
+  s_wall_consumed : float;
+  s_conflicts_total : int option;
+  s_conflicts_remaining : int;
+  s_conflicts_consumed : int;
+  s_props_total : int option;
+  s_props_remaining : int;
+  s_props_consumed : int;
+  s_inflight : int;
+  s_leases : int;
+  s_starved : int;
+}
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    s_wall_total = t.wall_total;
+    s_wall_remaining = t.wall_remaining;
+    s_wall_consumed = t.wall_consumed;
+    s_conflicts_total = t.conflicts_total;
+    s_conflicts_remaining = t.conflicts_remaining;
+    s_conflicts_consumed = t.conflicts_consumed;
+    s_props_total = t.props_total;
+    s_props_remaining = t.props_remaining;
+    s_props_consumed = t.props_consumed;
+    s_inflight = t.inflight;
+    s_leases = t.leases;
+    s_starved = t.starved;
+  }
+
+let resource_json cap remaining consumed =
+  Json.Obj
+    ([ ("limited", Json.Bool (cap <> None)) ]
+    @ (match cap with None -> [] | Some c -> [ ("total", c) ])
+    @ [ ("remaining", remaining); ("consumed", consumed) ])
+
+let stats_json t =
+  let s = stats t in
+  Json.Obj
+    [
+      ( "wall_s",
+        resource_json
+          (Option.map (fun f -> Json.Float f) s.s_wall_total)
+          (Json.Float s.s_wall_remaining)
+          (Json.Float s.s_wall_consumed) );
+      ( "conflicts",
+        resource_json
+          (Option.map (fun i -> Json.Int i) s.s_conflicts_total)
+          (Json.Int s.s_conflicts_remaining)
+          (Json.Int s.s_conflicts_consumed) );
+      ( "propagations",
+        resource_json
+          (Option.map (fun i -> Json.Int i) s.s_props_total)
+          (Json.Int s.s_props_remaining)
+          (Json.Int s.s_props_consumed) );
+      ("inflight", Json.Int s.s_inflight);
+      ("leases", Json.Int s.s_leases);
+      ("starved_leases", Json.Int s.s_starved);
+    ]

@@ -1,0 +1,87 @@
+(** A daemon-wide budget pool: one shared allowance of wall-clock
+    seconds, SAT conflicts and propagations, leased out in fair-share
+    slices to concurrent requests.
+
+    Without a pool, N concurrent requests each carving their own
+    {!Budget} multiply the process's effective resource ceiling by N.
+    With one, every admitted request {!lease}s a slice of what is
+    actually left — [min(request cap, remaining / inflight)] per
+    resource — runs under a {!Budget} built from that slice, and
+    {!release}s the unspent allowance back when it completes.
+
+    Exhaustion is graceful by construction: a lease taken from an empty
+    pool is still granted, but its budget is born exhausted (a sliver of
+    wall, zero conflicts), so the pipeline running under it degrades to
+    a proven partial result — the same fail-safe discipline a single
+    budgeted sweep has — rather than failing the request. The pool
+    never interrupts in-flight work; it only bounds what each request
+    was ever allowed to spend.
+
+    Accounting is conservative and exact at quiescence: a lease deducts
+    its whole slice up front (concurrent leases cannot over-commit),
+    release refunds [slice - consumed] with consumption clamped to the
+    slice, so [remaining = total - consumed] once every lease is
+    released. Consumption comes from the lease budget's {!Budget.charge}
+    meters (conflicts/propagations) and the lease's wall-clock span.
+
+    Thread safety: all operations are mutex-guarded; the handed-out
+    budgets are themselves domain-safe. *)
+
+type t
+
+val create :
+  ?wall_s:float ->
+  ?conflicts:int ->
+  ?propagations:int ->
+  ?min_wall_slice:float ->
+  unit ->
+  t
+(** Omitted resources are unlimited (leases pass the request's own cap
+    through untouched). [min_wall_slice] (default 0.01 s) is the sliver
+    an exhausted pool still grants so degradation, not failure, is the
+    overload behaviour. *)
+
+val is_limited : t -> bool
+
+type lease
+
+val lease :
+  ?wall_cap:float -> ?conflicts_cap:int -> ?propagations_cap:int -> t -> lease
+(** Admit one request: per capped resource, grant
+    [min(cap, remaining / inflight)] (the fair share counts this
+    request), deduct it from the pool, and build the lease's budget.
+    Caps are the request's own limits; for uncapped pool resources they
+    pass through to the budget unchanged. Never blocks, never fails. *)
+
+val budget : lease -> Budget.t
+(** The budget to run the leased request under. Charge SAT work to it
+    with {!Budget.charge} — that is what {!release} reclaims unspent
+    allowance from. *)
+
+val release : t -> lease -> unit
+(** Return the lease: refunds [slice - consumed] per resource (consumed
+    clamped to the slice) and decrements the in-flight count.
+    Idempotent — a second release of the same lease is a no-op. *)
+
+type stats = {
+  s_wall_total : float option;
+  s_wall_remaining : float;
+  s_wall_consumed : float;
+  s_conflicts_total : int option;
+  s_conflicts_remaining : int;
+  s_conflicts_consumed : int;
+  s_props_total : int option;
+  s_props_remaining : int;
+  s_props_consumed : int;
+  s_inflight : int;
+  s_leases : int;  (** leases ever granted *)
+  s_starved : int;
+      (** leases whose wall sliver exceeded what the pool could cover —
+          grants made from an effectively empty pool *)
+}
+
+val stats : t -> stats
+
+val stats_json : t -> Json.t
+(** The [pool] object of the daemon's [health] response; schema in
+    EXPERIMENTS.md. *)

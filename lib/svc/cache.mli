@@ -1,5 +1,5 @@
-(** Content-addressed, crash-safe disk cache for proven equivalence
-    results.
+(** Content-addressed, crash-safe, size-bounded disk cache for proven
+    equivalence results.
 
     Layout: one file per entry, [dir/<k0k1>/<key>.json] (two-hex-char
     fan-out), where [key] is the {!Sweep.Cone_cert} canonical cone-pair
@@ -25,37 +25,85 @@
     crash, never an unproven hit. The proof-level defenses (certificate
     replay, counterexample re-evaluation) live above, in the engine.
 
-    Fault sites [cache.corrupt_entry] (flips a payload byte before the
-    write) and [cache.torn_write] (truncates the payload, simulating a
-    torn sector) exercise exactly this path.
+    {b Bounding.} [max_bytes] / [max_entries] cap the resident set.
+    Entries are ranked least-recently-used — every hit refreshes the
+    entry's file times ([utimes]), so recency survives restarts — and
+    evicted through the same rename discipline: the victim is renamed
+    to a temp name (atomically leaving the entry namespace) and then
+    removed, so a torn eviction is a crash artifact swept at the next
+    open, and a reader racing an eviction sees a plain miss, never a
+    partial entry. The byte budget is a hard ceiling: a store that
+    lands over budget evicts immediately, inside the same store call.
 
-    Thread safety: counters are mutex-guarded; file operations rely on
-    POSIX atomic rename, so concurrent readers/writers (the daemon's
-    worker domains) need no further coordination. *)
+    Fault sites: [cache.corrupt_entry] (flips a payload byte before the
+    write), [cache.torn_write] (truncates the payload, simulating a
+    torn sector), and [cache.evict_race] (removes the victim under the
+    eviction's feet, simulating a concurrent remover) all force
+    pessimistic outcomes — a miss or a quarantined entry, never a
+    fabricated hit.
+
+    Thread safety: the LRU index and counters are mutex-guarded; file
+    operations rely on POSIX atomic rename, so concurrent
+    readers/writers (the daemon's worker domains) need no further
+    coordination. *)
 
 type t
 
-val open_ : dir:string -> t
-(** Creates [dir] (and parents) if needed and sweeps out temp files
-    left by a previous crash. Raises [Unix.Unix_error] if the directory
-    cannot be created or is not writable. *)
+val open_ : ?max_bytes:int -> ?max_entries:int -> string -> t
+(** [open_ dir] creates [dir] (and parents) if needed, sweeps out temp
+    files left by a previous crash, and rebuilds the LRU index from the
+    resident entries (oldest first, by file mtime). If the resident set
+    already exceeds a given budget, it is evicted down before the cache
+    is returned. Raises [Unix.Unix_error] if the directory cannot be
+    created or is not writable. *)
 
 val dir : t -> string
 
 val find : t -> key:string -> Sweep.Engine.cache_found
 val store : t -> key:string -> Obs.Json.t -> unit
 (** [store] never raises on injected write faults — a failed store is a
-    lost entry, not a failed sweep. *)
+    lost entry, not a failed sweep. A store that lands the cache over
+    its byte or entry budget triggers synchronous LRU eviction. *)
 
 val ops : t -> Sweep.Engine.cache_ops
 (** The record {!Sweep.Engine.config.cache} consumes. *)
 
+(** {1 Maintenance} *)
+
+type compact_stats = {
+  k_tmp : int;  (** stale temp files swept *)
+  k_quarantined : int;  (** [*.quarantined] post-mortem files purged *)
+  k_evicted : int;  (** entries evicted to meet the budget *)
+  k_evicted_bytes : int;
+}
+
+val compact : ?max_bytes:int -> ?max_entries:int -> t -> compact_stats
+(** Garbage-collect the store: sweep stale temp files, purge
+    quarantined post-mortem files, and evict LRU entries until the
+    budget holds. [max_bytes]/[max_entries] override the cache's own
+    budgets for this call (a one-off shrink); omitted, the open-time
+    budgets apply. This is [sweepd-cachectl compact]'s engine. *)
+
+(** {1 Statistics} *)
+
+val bytes : t -> int
+(** Total payload bytes of resident entries. *)
+
+val entries : t -> int
+
 type counters = {
   c_hits : int;  (** entries found and structurally intact *)
-  c_misses : int;  (** no entry on disk *)
+  c_misses : int;  (** no entry on disk (including eviction races) *)
   c_stores : int;  (** entries written (after fault injection) *)
   c_quarantined : int;  (** corrupt/torn/misfiled entries set aside *)
+  c_evictions : int;  (** entries evicted to meet the size budget *)
+  c_evicted_bytes : int;
 }
 
 val counters : t -> counters
+
 val counters_json : t -> Obs.Json.t
+(** Counters plus [bytes], [entries] and the configured
+    [max_bytes]/[max_entries] (present only when bounded) — the
+    [cache] object of the daemon's [health] response; schema in
+    EXPERIMENTS.md. *)

@@ -1,0 +1,219 @@
+(* Retrying client for the sweep service. See client.mli for the
+   contract; the notes here are about retry semantics.
+
+   The one retry-safety invariant: a request is re-sent only when the
+   server provably did not start it. [R_overloaded] is exactly that —
+   admission control answers before a worker reads the first frame —
+   and a refused/absent connect never delivered anything. EOF
+   mid-conversation is the opposite: the request may have run (the
+   [svc.drop_conn] fault closes after processing), so it surfaces as
+   [E_closed] and the caller decides. *)
+
+type error =
+  | E_refused of string
+  | E_overloaded of float
+  | E_closed
+  | E_protocol of string
+  | E_io of string
+
+let error_to_string = function
+  | E_refused m -> "connection refused: " ^ m
+  | E_overloaded retry ->
+    Printf.sprintf "server overloaded (retry_after %.3gs), retries exhausted"
+      retry
+  | E_closed -> "server closed the connection mid-conversation"
+  | E_protocol m -> "protocol error: " ^ m
+  | E_io m -> "i/o error: " ^ m
+
+type policy = {
+  retries : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  retry_budget_s : float;
+  jitter : float;
+}
+
+let default_policy =
+  {
+    retries = 5;
+    base_backoff_s = 0.05;
+    max_backoff_s = 2.0;
+    retry_budget_s = 30.0;
+    jitter = 0.5;
+  }
+
+type t = {
+  path : string;
+  policy : policy;
+  rng : Random.State.t;
+  mutable chans : (in_channel * out_channel) option;
+  mutable retried : int;  (* total backoff-retries performed, for tests *)
+}
+
+let retries_performed t = t.retried
+
+(* Exponential backoff with multiplicative jitter: attempt [i] sleeps
+   [base * 2^i] (capped), scaled by a random factor in
+   [1 - jitter/2, 1 + jitter/2] so a flood of shed clients does not
+   reconnect in lockstep. The server's [retry_after_s] hint acts as a
+   floor. *)
+let backoff_delay t ~attempt ~floor =
+  let base =
+    Float.min t.policy.max_backoff_s
+      (t.policy.base_backoff_s *. Float.pow 2.0 (float_of_int attempt))
+  in
+  let factor =
+    1.0 -. (t.policy.jitter /. 2.0)
+    +. Random.State.float t.rng (Float.max 1e-9 t.policy.jitter)
+  in
+  Float.max floor (base *. factor)
+
+let connect_once path =
+  match Unix.open_connection (Unix.ADDR_UNIX path) with
+  | chans -> Ok chans
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+    Error (E_refused "ECONNREFUSED")
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    Error (E_refused "no such socket")
+  | exception Unix.Unix_error (e, _, _) -> Error (E_io (Unix.error_message e))
+
+let close t =
+  match t.chans with
+  | None -> ()
+  | Some (ic, _) ->
+    (* Closing the in_channel closes the shared fd; shutdown first is
+       best-effort politeness. *)
+    (try Unix.shutdown_connection ic with _ -> ());
+    (try close_in ic with _ -> ());
+    t.chans <- None
+
+let ensure_conn t =
+  match t.chans with
+  | Some chans -> Ok chans
+  | None -> (
+    match connect_once t.path with
+    | Ok chans ->
+      t.chans <- Some chans;
+      Ok chans
+    | Error _ as e -> e)
+
+(* One send/receive on an established connection. Any failure tears the
+   connection down so the next attempt reconnects from scratch. *)
+let roundtrip t msg =
+  match ensure_conn t with
+  | Error _ as e -> e
+  | Ok (ic, oc) ->
+    (* A write dying on EPIPE/ECONNRESET usually means the server hung
+       up right after accept — but admission control writes its
+       R_overloaded verdict *before* closing, so the typed answer may
+       already sit in our receive buffer. Note the failure, read
+       anyway, and only fall back to E_closed if nothing was there. *)
+    let write_ok =
+      match Proto.write_client_msg oc msg with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        false
+      | exception Sys_error _ -> false
+    in
+    let result =
+      match Proto.read_response ic with
+      | Some (Proto.R_overloaded _ as rsp) -> Ok rsp
+      | Some rsp when write_ok -> Ok rsp
+      | Some _ -> Error (E_protocol "response to an undelivered request")
+      | None -> Error E_closed
+      | exception Proto.Parse_error m -> Error (E_protocol m)
+      | exception End_of_file -> Error E_closed
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Error E_closed
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (E_io (Unix.error_message e))
+      | exception Sys_error m ->
+        (* in_channel surfaces socket errors as Sys_error; a reset
+           right after a failed write is the server hanging up on us,
+           not i/o trouble worth a distinct report. *)
+        if write_ok then Error (E_io m) else Error E_closed
+    in
+    (* The server always closes behind an R_overloaded, so tear our
+       side down too; any failure likewise forces the next attempt to
+       reconnect from scratch. *)
+    (match result with
+    | Ok (Proto.R_overloaded _) -> close t
+    | Ok _ when write_ok -> ()
+    | _ -> close t);
+    result
+
+let send t msg =
+  let t0 = Obs.Clock.now () in
+  let within_budget () =
+    Obs.Clock.now () -. t0 < t.policy.retry_budget_s
+  in
+  let rec attempt i =
+    let retryable floor =
+      if i < t.policy.retries && within_budget () then begin
+        close t;
+        t.retried <- t.retried + 1;
+        Unix.sleepf (backoff_delay t ~attempt:i ~floor);
+        attempt (i + 1)
+      end
+      else None
+    in
+    match roundtrip t msg with
+    | Ok (Proto.R_overloaded { retry_after_s; _ }) -> (
+      match retryable retry_after_s with
+      | Some _ as r -> r
+      | None -> Some (Error (E_overloaded retry_after_s)))
+    | Ok rsp -> Some (Ok rsp)
+    | Error (E_refused _ as e) -> (
+      (* The daemon may be restarting or its backlog momentarily full —
+         the same backoff applies, without a server hint. *)
+      match retryable 0.0 with
+      | Some _ as r -> r
+      | None -> Some (Error e))
+    | Error e -> Some (Error e)
+  in
+  match attempt 0 with Some r -> r | None -> Error E_closed
+
+let connect ?(policy = default_policy) path =
+  (* The error mapping above only sees EPIPE as an exception if the
+     process isn't killed by SIGPIPE first; embeddings rarely remember
+     to ignore it themselves, so the library does. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t =
+    {
+      path;
+      policy;
+      rng = Random.State.make_self_init ();
+      chans = None;
+      retried = 0;
+    }
+  in
+  (* Eager first connect so the caller learns about a dead daemon now,
+     not at the first request; refusal here is not retried — "is there
+     a daemon at all?" deserves a fast answer. *)
+  match ensure_conn t with Ok _ -> Ok t | Error e -> Error e
+
+let request t req = send t (Proto.M_run req)
+
+let health ?(id = 0) t =
+  match send t (Proto.M_health { h_id = id }) with
+  | Ok (Proto.R_health { health; _ }) -> Ok health
+  | Ok _ -> Error (E_protocol "expected a health response")
+  | Error _ as e -> e
+
+(* ---- liveness probe ---- *)
+
+let probe path =
+  if not (Sys.file_exists path) then `Absent
+  else
+    match connect_once path with
+    | Ok (ic, _) ->
+      (try Unix.shutdown_connection ic with _ -> ());
+      (try close_in ic with _ -> ());
+      `Live
+    | Error (E_refused "no such socket") -> `Absent
+    | Error (E_refused _) ->
+      (* The file exists but nothing is listening: a daemon that died
+         without cleaning up. *)
+      `Stale
+    | Error _ -> `Stale

@@ -1,0 +1,72 @@
+(** Retrying client library for the sweep service.
+
+    Wraps the {!Proto} framing in a connection handle with typed
+    errors and a bounded, jittered exponential-backoff retry loop.
+    Retries happen only when the server provably did not start the
+    request: an {!Proto.R_overloaded} answer (admission control sheds
+    before a worker reads the first frame) or a refused connect. EOF
+    mid-conversation is never retried — the request may have run — and
+    surfaces as {!E_closed} for the caller to decide.
+
+    The backoff for attempt [i] is [base * 2^i] capped at [max],
+    scaled by a random factor in [1 ± jitter/2] (so a flood of shed
+    clients does not reconnect in lockstep), floored at the server's
+    [retry_after_s] hint. Two bounds stop the loop: [retries] attempts
+    and [retry_budget_s] total wall time, whichever hits first. *)
+
+type error =
+  | E_refused of string  (** connect failed (daemon down, stale socket) *)
+  | E_overloaded of float
+      (** still shed after every retry; the payload is the server's
+          last [retry_after_s] hint *)
+  | E_closed
+      (** the server closed mid-conversation — the request may or may
+          not have run, so the client never retries this itself *)
+  | E_protocol of string  (** malformed frame or unexpected response *)
+  | E_io of string
+
+val error_to_string : error -> string
+
+type policy = {
+  retries : int;  (** max retry attempts (initial try not counted) *)
+  base_backoff_s : float;
+  max_backoff_s : float;
+  retry_budget_s : float;  (** total wall-clock across all retries *)
+  jitter : float;  (** width of the multiplicative jitter band, 0..1 *)
+}
+
+val default_policy : policy
+(** 5 retries, 50 ms base doubling to 2 s cap, 30 s budget, 0.5
+    jitter. *)
+
+type t
+
+val connect : ?policy:policy -> string -> (t, error) result
+(** [connect path] opens a connection to the daemon socket at [path].
+    Refusal here is returned immediately (no retry): "is there a
+    daemon at all?" deserves a fast answer. The handle reconnects
+    lazily after any teardown, so one [t] can outlive many server-side
+    connection closes. *)
+
+val request : t -> Proto.request -> (Proto.response, error) result
+(** Send one run request and await its response, retrying with backoff
+    on {!Proto.R_overloaded} and refused reconnects. [Ok] carries
+    {!Proto.R_ok} or {!Proto.R_error} — a typed failure from the
+    server is a successful conversation. *)
+
+val health : ?id:int -> t -> (Obs.Json.t, error) result
+(** Query the daemon's health object (schema in EXPERIMENTS.md); same
+    retry discipline as {!request}. *)
+
+val close : t -> unit
+
+val retries_performed : t -> int
+(** Backoff-retries this handle has performed, for tests and the CLI's
+    verbose reporting. *)
+
+val probe : string -> [ `Live | `Stale | `Absent ]
+(** Classify a daemon socket path without sending anything: [`Live] — a
+    listener accepted; [`Stale] — the file exists but nothing is
+    listening (a daemon died without cleanup; safe to unlink);
+    [`Absent] — no file. [sweepd] start-up uses this to recover stale
+    sockets and to refuse double starts. *)

@@ -153,11 +153,33 @@ let request_of_json j =
     req_certify = bool_field_opt w j "certify" ~default:false;
   }
 
+(* ---- client messages ---- *)
+
+(* A frame from a client is either a run request (the original
+   protocol, no "op" field — old clients keep working unchanged) or an
+   operational query tagged by "op". *)
+type client_msg = M_run of request | M_health of { h_id : int }
+
+let client_msg_to_json = function
+  | M_run r -> request_to_json r
+  | M_health { h_id } -> J.Obj [ ("id", J.Int h_id); ("op", J.String "health") ]
+
+let client_msg_of_json j =
+  match J.member "op" j with
+  | None | Some J.Null -> M_run (request_of_json j)
+  | Some (J.String "health") ->
+    M_health { h_id = int_field "health request" j "id" }
+  | Some (J.String other) ->
+    fail "request field 'op': unknown operation '%s'" other
+  | Some _ -> fail "request field 'op': expected a string"
+
 (* ---- response ---- *)
 
 type response =
   | R_ok of { rsp_id : int; report : Obs.Json.t }
   | R_error of { rsp_id : int; kind : string; message : string }
+  | R_overloaded of { rsp_id : int; retry_after_s : float }
+  | R_health of { rsp_id : int; health : Obs.Json.t }
 
 let response_to_json = function
   | R_ok { rsp_id; report } ->
@@ -170,6 +192,16 @@ let response_to_json = function
         ("kind", J.String kind);
         ("message", J.String message);
       ]
+  | R_overloaded { rsp_id; retry_after_s } ->
+    J.Obj
+      [
+        ("id", J.Int rsp_id);
+        ("status", J.String "overloaded");
+        ("retry_after_s", J.Float retry_after_s);
+      ]
+  | R_health { rsp_id; health } ->
+    J.Obj
+      [ ("id", J.Int rsp_id); ("status", J.String "health"); ("health", health) ]
 
 let response_of_json j =
   let w = "response" in
@@ -183,6 +215,16 @@ let response_of_json j =
         kind = string_field w j "kind";
         message = string_field w j "message";
       }
+  | "overloaded" ->
+    R_overloaded
+      {
+        rsp_id = id;
+        retry_after_s =
+          (match float_field_opt w j "retry_after_s" with
+          | Some f -> f
+          | None -> fail "%s: missing field 'retry_after_s'" w);
+      }
+  | "health" -> R_health { rsp_id = id; health = field w j "health" }
   | other -> fail "%s field 'status': unknown value '%s'" w other
 
 (* ---- channel helpers ---- *)
@@ -203,4 +245,6 @@ let read_response ic =
 
 let write_response oc r = write_frame oc (J.to_string (response_to_json r))
 let request_of_string s = request_of_json (parse_payload s)
+let client_msg_of_string s = client_msg_of_json (parse_payload s)
+let write_client_msg oc m = write_frame oc (J.to_string (client_msg_to_json m))
 let response_to_string r = J.to_string (response_to_json r)

@@ -32,6 +32,15 @@ type request = {
   req_certify : bool;  (** DRUP-certified solver answers *)
 }
 
+type client_msg =
+  | M_run of request
+      (** a run request — the original protocol, a frame with no ["op"]
+          field, so pre-existing clients need no change *)
+  | M_health of { h_id : int }
+      (** [{"id": N, "op": "health"}] — an operational query answered
+          with {!R_health} without touching the sweep pipeline; cheap
+          enough to serve even when the daemon is shedding load *)
+
 type response =
   | R_ok of { rsp_id : int; report : Obs.Json.t }
       (** the request ran; [report] is the schema-2 run report (pass
@@ -40,6 +49,15 @@ type response =
       (** the request failed in isolation. [kind] is one of
           ["parse_error"] (script/AIGER/frame), ["verification_failed"],
           ["internal"]. The connection — and the daemon — live on. *)
+  | R_overloaded of { rsp_id : int; retry_after_s : float }
+      (** admission control shed this connection: the accept queue is
+          beyond its high-water mark (or the daemon is draining). Sent
+          with [rsp_id = 0] before the client's first frame is read;
+          the connection is then closed. [retry_after_s] is the
+          server's backoff hint — {!Client} honors it. *)
+  | R_health of { rsp_id : int; health : Obs.Json.t }
+      (** answer to {!M_health}; schema documented in EXPERIMENTS.md
+          ("health response") *)
 
 val read_frame : in_channel -> string option
 (** [None] on clean EOF at a frame boundary; {!Parse_error} on a
@@ -72,8 +90,16 @@ val write_request : out_channel -> request -> unit
 val read_response : in_channel -> response option
 val write_response : out_channel -> response -> unit
 
+val client_msg_to_json : client_msg -> Obs.Json.t
+val client_msg_of_json : Obs.Json.t -> client_msg
+val write_client_msg : out_channel -> client_msg -> unit
+
 val request_of_string : string -> request
 (** Decode one frame payload; raises {!Parse_error} on hostile JSON or
     missing/mistyped fields. *)
+
+val client_msg_of_string : string -> client_msg
+(** Decode one frame payload as a {!client_msg}; a payload without an
+    ["op"] field decodes as {!M_run}. *)
 
 val response_to_string : response -> string

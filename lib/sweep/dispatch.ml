@@ -55,6 +55,11 @@ type domain_ctx = {
   solver : Sat.Solver.t;
   env : Sat.Tseitin.env;
   cert : Sat.Drup.t option;
+  (* Cumulative-counter snapshots at the last budget charge: each query
+     charges only its delta, so the shared budget's conflict and
+     propagation caps hold across the whole pool. *)
+  mutable charged_conflicts : int;
+  mutable charged_propagations : int;
   (* Per-domain scratch for single-pattern cone evaluation (the CE
      filter below) — epoch-stamped memo so repeated cone walks under
      the same assignment stay linear. *)
@@ -98,6 +103,8 @@ let create ~domains ~certify ~conflict_limit ~retry_schedule net budget =
           solver;
           env = Sat.Tseitin.create net solver;
           cert;
+          charged_conflicts = 0;
+          charged_propagations = 0;
           eval_val = [||];
           eval_stamp = [||];
           eval_epoch = 0;
@@ -115,6 +122,18 @@ let create ~domains ~certify ~conflict_limit ~retry_schedule net budget =
 let domains t = Array.length t.ctxs
 
 let shutdown t = Sutil.Par.Pool.shutdown t.pool
+
+(* Charge this domain's solver work since its last charge to the shared
+   budget. Any domain's charge can trip the sticky conflict/propagation
+   caps; the existing [Obs.Budget.check] calls in every walk then stop
+   the whole pool. *)
+let charge_budget t dc =
+  let s = Sat.Solver.stats dc.solver in
+  let conflicts = s.Sat.Solver.conflicts - dc.charged_conflicts in
+  let propagations = s.Sat.Solver.propagations - dc.charged_propagations in
+  dc.charged_conflicts <- s.Sat.Solver.conflicts;
+  dc.charged_propagations <- s.Sat.Solver.propagations;
+  ignore (Obs.Budget.charge ~conflicts ~propagations t.budget)
 
 (* Evaluate both cones under a counterexample and report whether it
    tells [nd] and [r]-with-[compl] apart. This is the worker-local
@@ -184,12 +203,14 @@ let solve_task t dc task res =
       then walk rest
       else begin
         let rec sat_attempt limit schedule =
-          match
+          let answer =
             Sat.Tseitin.check_equiv ?conflict_limit:limit ?deadline
               ?certify:dc.cert dc.env
               (L.of_node task.t_node false)
               (L.of_node c.c_rep c.c_compl)
-          with
+          in
+          charge_budget t dc;
+          match answer with
           | Sat.Tseitin.Equivalent ->
             res.r_counts.n_unsat <- res.r_counts.n_unsat + 1;
             if dc.cert <> None then
@@ -266,13 +287,15 @@ let run_cubes t ~conflict_limit queries =
               Sat.Solver.lit_of (Sat.Tseitin.var_of_node dc.env pi) (not v))
             q.q_cube
         in
+        let answer =
+          Sat.Tseitin.check_equiv ?conflict_limit ?deadline ?certify:dc.cert
+            ~assume dc.env
+            (L.of_node q.q_node false)
+            (L.of_node q.q_rep q.q_compl)
+        in
+        charge_budget t dc;
         answers.(i) <-
-          (match
-             Sat.Tseitin.check_equiv ?conflict_limit ?deadline
-               ?certify:dc.cert ~assume dc.env
-               (L.of_node q.q_node false)
-               (L.of_node q.q_rep q.q_compl)
-           with
+          (match answer with
           | Sat.Tseitin.Equivalent -> C_unsat
           | Sat.Tseitin.Counterexample ce -> C_ce ce
           | Sat.Tseitin.Undetermined -> C_undet

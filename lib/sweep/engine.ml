@@ -44,6 +44,12 @@ type config = {
   sat_domains : int;
   sat_wave : int;
   deadline : float option;
+  budget : Obs.Budget.t option;
+  (* An externally owned budget (a pipeline's, or an Obs.Pool lease's)
+     the sweep runs under instead of creating its own from [deadline].
+     Shared and sticky: SAT work is charged to it, so conflict and
+     propagation caps hold across passes and pool accounting sees the
+     sweep's real consumption. *)
   verify : bool;
   certify : bool;
   cache : cache_ops option;
@@ -67,6 +73,7 @@ let fraig_config =
     sat_domains = 0;
     sat_wave = 128;
     deadline = None;
+    budget = None;
     verify = false;
     certify = false;
     cache = None;
@@ -109,7 +116,14 @@ type state = {
   classes : Equiv_classes.t;
   mutable pending_ce : int;
   env : Sat.Tseitin.env;
+  solver : Sat.Solver.t;
   budget : Obs.Budget.t;
+  (* Snapshot of the inline solver's cumulative counters at the last
+     budget charge — the next charge sends only the delta, so a budget
+     shared across passes (or leased from an [Obs.Pool]) accumulates
+     true totals. *)
+  mutable charged_conflicts : int;
+  mutable charged_propagations : int;
   cert : Sat.Drup.t option;
   (* Certified-mode counterexample validation: memoized single-pattern
      evaluation of the fresh network, epoch-stamped so repeated
@@ -136,6 +150,22 @@ let budget_ok st phase =
   | Some reason ->
     note_exhausted st reason phase;
     false
+
+(* Charge the inline solver's conflict/propagation work since the last
+   charge to the shared budget as a delta. This is what makes conflict
+   and propagation caps (an [Obs.Pool] lease's slice) bite mid-sweep:
+   the charge trips the sticky flag, and every later [budget_ok] check
+   degrades the walk. Granularity is one SAT query, so a sweep can
+   overshoot a cap by at most one query's conflict limit. *)
+let charge_solver st phase =
+  let s = Sat.Solver.stats st.solver in
+  let dc = s.Sat.Solver.conflicts - st.charged_conflicts in
+  let dp = s.Sat.Solver.propagations - st.charged_propagations in
+  st.charged_conflicts <- s.Sat.Solver.conflicts;
+  st.charged_propagations <- s.Sat.Solver.propagations;
+  match Obs.Budget.charge ~conflicts:dc ~propagations:dp st.budget with
+  | Some reason -> note_exhausted st reason phase
+  | None -> ()
 
 (* Phase accounting. Wall clock ([Obs.Clock]), never [Sys.time]: CPU
    time sums across domains, so it would bill a parallel resimulation at
@@ -453,6 +483,15 @@ let expand_ce st (pc : Cone_cert.t) small =
 
 let fold_cone_stats st (cs : Cone_cert.stats) =
   let s = cs.Cone_cert.s_solver in
+  (* Cone queries run on a throwaway solver, so these counters are
+     already per-query deltas — charge them to the shared budget
+     directly. *)
+  (match
+     Obs.Budget.charge ~conflicts:s.Sat.Solver.conflicts
+       ~propagations:s.Sat.Solver.propagations st.budget
+   with
+  | Some reason -> note_exhausted st reason "sat"
+  | None -> ());
   st.stats.Stats.sat_decisions <-
     st.stats.Stats.sat_decisions + s.Sat.Solver.decisions;
   st.stats.Stats.sat_conflicts <-
@@ -653,13 +692,15 @@ let try_merge st nd =
              re-queried with each schedule entry in turn (budget
              permitting) before the engine gives the node up. *)
           let rec sat_attempt limit schedule =
-            match
+            let answer =
               timed st `Sat (fun () ->
                   Sat.Tseitin.check_equiv ?conflict_limit:limit
                     ?deadline:(Obs.Budget.deadline st.budget)
                     ?certify:st.cert st.env (L.of_node nd false)
                     (L.of_node r compl))
-            with
+            in
+            charge_solver st "sat";
+            match answer with
             | Sat.Tseitin.Equivalent ->
               st.stats.Stats.sat_unsat <- st.stats.Stats.sat_unsat + 1;
               if st.cert <> None then
@@ -1069,15 +1110,19 @@ let run ?(config = stp_config) old_net =
       ~num_patterns:(32 * max 1 config.initial_words)
   in
   let budget =
-    match config.deadline with
-    | Some d -> Obs.Budget.create ~deadline:d ()
-    | None -> Obs.Budget.unlimited ()
+    match config.budget with
+    | Some b -> b (* externally owned: shared caps, shared stickiness *)
+    | None -> (
+      match config.deadline with
+      | Some d -> Obs.Budget.create ~deadline:d ()
+      | None -> Obs.Budget.unlimited ())
   in
   if config.guided_init then begin
     let t0 = Obs.Clock.now () in
     let outcome =
       Guided_patterns.generate ~max_queries:config.guided_queries
-        ?deadline:config.deadline old_net pats ~seed:(Rng.int64 rng)
+        ?deadline:(Obs.Budget.deadline budget) old_net pats
+        ~seed:(Rng.int64 rng)
     in
     stats.Stats.guided_time <-
       stats.Stats.guided_time +. (Obs.Clock.now () -. t0);
@@ -1129,7 +1174,10 @@ let run ?(config = stp_config) old_net =
       classes = Equiv_classes.create ~num_patterns:(P.num_patterns pats);
       pending_ce = 0;
       env = Sat.Tseitin.create fresh solver;
+      solver;
       budget;
+      charged_conflicts = 0;
+      charged_propagations = 0;
       cert;
       eval_val = [||];
       eval_stamp = [||];

@@ -91,6 +91,16 @@ type config = {
           structurally, and records the event in
           [Stats.budget_exhausted]. The result is still functionally
           equivalent to the input — it just keeps more redundancy. *)
+  budget : Obs.Budget.t option;
+      (** an externally owned budget the sweep runs under instead of
+          building one from [deadline] — a pipeline's shared budget or
+          an {!Obs.Pool} lease's. The engine charges every SAT query's
+          conflicts/propagations to it ({!Obs.Budget.charge}), so caps
+          hold across passes and across the dispatch pool's domains, and
+          a pool can reclaim unspent allowance at release; exhaustion
+          degrades exactly as under [deadline]. Overshoot past a
+          conflict/propagation cap is bounded by one query's conflict
+          limit (charges are per-query). *)
   verify : bool;
       (** post-sweep self-check: cross-simulate input and result on
           fresh random patterns and raise {!Verification_failed} on any

@@ -16,6 +16,7 @@ val sweep :
   ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
+  ?budget:Obs.Budget.t ->
   ?verify:bool ->
   ?certify:bool ->
   ?cache:Engine.cache_ops ->
@@ -33,6 +34,7 @@ val config :
   ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
+  ?budget:Obs.Budget.t ->
   ?verify:bool ->
   ?certify:bool ->
   ?cache:Engine.cache_ops ->

@@ -1,12 +1,13 @@
 let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
-    ?(verify = false) ?(certify = false) ?cache ?(cache_paranoid = false) () =
+    ?budget ?(verify = false) ?(certify = false) ?cache ?(cache_paranoid = false) () =
   let base = Engine.stp_config in
   let deadline =
-    match (deadline, timeout) with
-    | Some d, _ -> Some d
-    | None, Some s -> Some (Obs.Clock.now () +. s)
-    | None, None -> base.Engine.deadline
+    match (deadline, timeout, budget) with
+    | Some d, _, _ -> Some d
+    | None, Some s, _ -> Some (Obs.Clock.now () +. s)
+    | None, None, Some b -> Obs.Budget.deadline b
+    | None, None, None -> base.Engine.deadline
   in
   {
     base with
@@ -22,6 +23,7 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule
     sat_domains = Option.value sat_domains ~default:base.Engine.sat_domains;
     sat_wave = Option.value sat_wave ~default:base.Engine.sat_wave;
     deadline;
+    budget;
     verify;
     certify;
     cache;
@@ -30,11 +32,11 @@ let config ?seed ?initial_words ?conflict_limit ?retry_schedule
 
 let sweep ?seed ?initial_words ?conflict_limit ?retry_schedule
     ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline ?timeout
-    ?verify ?certify ?cache ?cache_paranoid net =
+    ?budget ?verify ?certify ?cache ?cache_paranoid net =
   let cfg =
     config ?seed ?initial_words ?conflict_limit ?retry_schedule
       ?window_max_leaves ?sim_domains ?sat_domains ?sat_wave ?deadline
-      ?timeout ?verify ?certify ?cache ?cache_paranoid ()
+      ?timeout ?budget ?verify ?certify ?cache ?cache_paranoid ()
   in
   if cfg.Engine.verify then Selfcheck.run ~config:cfg net
   else Engine.run ~config:cfg net

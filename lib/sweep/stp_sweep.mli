@@ -6,7 +6,10 @@
     [deadline] (absolute {!Obs.Clock} timestamp) or [timeout] (seconds
     from the call; ignored when [deadline] is given) budget the sweep —
     on exhaustion the engine degrades to structural translation and
-    records [Stats.budget_exhausted]. [retry_schedule] lists escalating
+    records [Stats.budget_exhausted]. [budget] hands the sweep an
+    externally owned {!Obs.Budget} instead (a pipeline's shared budget
+    or an {!Obs.Pool} lease's); its deadline, conflict and propagation
+    caps all apply, and the engine charges its SAT work back to it. [retry_schedule] lists escalating
     conflict limits re-tried on undetermined pairs. [verify] routes the
     sweep through {!Selfcheck.run}, raising
     {!Engine.Verification_failed} unless the result provably matches
@@ -27,6 +30,7 @@ val sweep :
   ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
+  ?budget:Obs.Budget.t ->
   ?verify:bool ->
   ?certify:bool ->
   ?cache:Engine.cache_ops ->
@@ -45,6 +49,7 @@ val config :
   ?sat_wave:int ->
   ?deadline:float ->
   ?timeout:float ->
+  ?budget:Obs.Budget.t ->
   ?verify:bool ->
   ?certify:bool ->
   ?cache:Engine.cache_ops ->

@@ -223,6 +223,118 @@ let test_budget_counters () =
        (List.map Obs.Budget.reason_to_string
           [ Obs.Budget.Deadline; Obs.Budget.Conflicts; Obs.Budget.Propagations ]))
 
+let test_budget_charge () =
+  (* [charge] takes deltas — unlike [check], whose counters are the
+     caller's own cumulative totals — so callers without global
+     counters can meter work in increments. *)
+  let b = Obs.Budget.create ~conflicts:10 ~propagations:1000 () in
+  check "first delta under cap" true (Obs.Budget.charge ~conflicts:4 b = None);
+  check "accumulates" true (Obs.Budget.charge ~conflicts:5 b = None);
+  check_int "consumed so far" 9 (fst (Obs.Budget.consumed b));
+  check "reaching the cap trips" true
+    (Obs.Budget.charge ~conflicts:1 b = Some Obs.Budget.Conflicts);
+  (* Sticky: a zero delta still reports exhausted. *)
+  check "sticky" true (Obs.Budget.charge b = Some Obs.Budget.Conflicts);
+  let c, p = Obs.Budget.consumed b in
+  check_int "conflicts metered" 10 c;
+  check_int "propagations metered" 0 p;
+  (* A zero-cap budget is born exhausted — the shape Pool hands out
+     when the pool is dry: the very first charge trips it. *)
+  let dry = Obs.Budget.create ~conflicts:0 () in
+  check "born exhausted" true
+    (Obs.Budget.charge dry = Some Obs.Budget.Conflicts);
+  let b2 = Obs.Budget.create ~propagations:10 () in
+  check "prop deltas" true (Obs.Budget.charge ~propagations:9 b2 = None);
+  check "prop trip" true
+    (Obs.Budget.charge ~propagations:1 b2 = Some Obs.Budget.Propagations)
+
+(* ---- pool ---- *)
+
+let test_pool_passthrough () =
+  (* An unlimited pool leases the request's own caps through
+     untouched; lease/release still book inflight and lease counts. *)
+  let p = Obs.Pool.create () in
+  check "unlimited pool" false (Obs.Pool.is_limited p);
+  let l = Obs.Pool.lease ~wall_cap:5.0 ~conflicts_cap:7 p in
+  let b = Obs.Pool.budget l in
+  check "request caps pass through" true (Obs.Budget.is_limited b);
+  (match Obs.Budget.remaining_s b with
+  | Some r -> check "wall cap kept" true (r <= 5.0 && r > 4.0)
+  | None -> Alcotest.fail "lease budget must carry the wall cap");
+  Obs.Pool.release p l;
+  let s = Obs.Pool.stats p in
+  check_int "no inflight" 0 s.Obs.Pool.s_inflight;
+  check_int "one lease granted" 1 s.s_leases
+
+let test_pool_fair_share_and_refund () =
+  let p = Obs.Pool.create ~conflicts:100 () in
+  (* A solo request takes min(its cap, the whole pool). *)
+  let l1 = Obs.Pool.lease ~conflicts_cap:60 p in
+  let s = Obs.Pool.stats p in
+  check_int "solo lease takes its cap" 40 s.Obs.Pool.s_conflicts_remaining;
+  (* A second concurrent lease gets a fair share of what is left:
+     min(60, 40 / 2 inflight) = 20. *)
+  let l2 = Obs.Pool.lease ~conflicts_cap:60 p in
+  let s = Obs.Pool.stats p in
+  check_int "fair share deducted" 20 s.s_conflicts_remaining;
+  check_int "two inflight" 2 s.s_inflight;
+  (* l1 used 10 of its 60: release refunds the unspent 50. *)
+  check "charge under lease" true
+    (Obs.Budget.charge ~conflicts:10 (Obs.Pool.budget l1) = None);
+  Obs.Pool.release p l1;
+  let s = Obs.Pool.stats p in
+  check_int "refund returned" 70 s.s_conflicts_remaining;
+  check_int "consumption booked" 10 s.s_conflicts_consumed;
+  (* Idempotent: a second release changes nothing. *)
+  Obs.Pool.release p l1;
+  let s' = Obs.Pool.stats p in
+  check_int "double release is a no-op" 70 s'.s_conflicts_remaining;
+  check_int "inflight after double release" 1 s'.s_inflight;
+  (* l2 overruns its 20-slice; consumption books at the slice, never
+     more, so the books still balance at quiescence. *)
+  ignore (Obs.Budget.charge ~conflicts:500 (Obs.Pool.budget l2));
+  Obs.Pool.release p l2;
+  let s = Obs.Pool.stats p in
+  check_int "overrun clamped to the slice" 30 s.s_conflicts_consumed;
+  check_int "conservation at quiescence" 100
+    (s.s_conflicts_remaining + s.s_conflicts_consumed);
+  check_int "quiescent" 0 s.s_inflight
+
+let test_pool_exhausted_sliver () =
+  (* A dry pool still grants: a sliver of wall and zero conflicts, so
+     the pipeline under it degrades to a proven partial result instead
+     of failing the request. *)
+  let p = Obs.Pool.create ~wall_s:0.0 ~conflicts:0 ~min_wall_slice:0.01 () in
+  let l = Obs.Pool.lease p in
+  let b = Obs.Pool.budget l in
+  check "limited" true (Obs.Budget.is_limited b);
+  check "conflicts born exhausted" true
+    (Obs.Budget.charge b = Some Obs.Budget.Conflicts);
+  let s = Obs.Pool.stats p in
+  check "starved grant counted" true (s.Obs.Pool.s_starved >= 1);
+  Obs.Pool.release p l;
+  let s = Obs.Pool.stats p in
+  check_int "quiescent" 0 s.s_inflight;
+  check "wall books never negative" true (s.s_wall_remaining >= 0.0)
+
+let test_pool_stats_json () =
+  let p = Obs.Pool.create ~conflicts:5 () in
+  let j = Obs.Pool.stats_json p in
+  (match Obs.Json.member "conflicts" j with
+  | Some c ->
+    check "limited flag" true
+      (Obs.Json.member "limited" c = Some (Obs.Json.Bool true));
+    check "total echoed" true
+      (Obs.Json.member "total" c = Some (Obs.Json.Int 5))
+  | None -> Alcotest.fail "stats_json carries no conflicts object");
+  (match Obs.Json.member "wall_s" j with
+  | Some w ->
+    check "unlimited wall flagged" true
+      (Obs.Json.member "limited" w = Some (Obs.Json.Bool false))
+  | None -> Alcotest.fail "stats_json carries no wall_s object");
+  check "inflight present" true
+    (Obs.Json.member "inflight" j = Some (Obs.Json.Int 0))
+
 (* ---- fault injection ---- *)
 
 (* The test sites get their own names; [configure]/[reset] are global,
@@ -392,6 +504,17 @@ let () =
           Alcotest.test_case "deadline" `Quick test_budget_deadline;
           Alcotest.test_case "stride" `Quick test_budget_stride;
           Alcotest.test_case "counter caps" `Quick test_budget_counters;
+          Alcotest.test_case "delta charging" `Quick test_budget_charge;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "unlimited passthrough" `Quick
+            test_pool_passthrough;
+          Alcotest.test_case "fair share + refund + conservation" `Quick
+            test_pool_fair_share_and_refund;
+          Alcotest.test_case "dry pool grants a sliver" `Quick
+            test_pool_exhausted_sliver;
+          Alcotest.test_case "stats_json shape" `Quick test_pool_stats_json;
         ] );
       ( "fault",
         [

@@ -912,7 +912,7 @@ let test_cache_cold_warm () =
       let rng = Rng.create 0xCAC4EDL in
       let base = random_network rng ~pis:8 ~gates:150 ~pos:5 in
       let net = Gen.Redundant.inject ~seed:(Rng.int64 rng) ~fraction:0.5 base in
-      let c = Svc.Cache.open_ ~dir in
+      let c = Svc.Cache.open_ dir in
       let sweep () =
         Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~certify
           ~cache:(Svc.Cache.ops c) net
@@ -952,7 +952,7 @@ let test_cache_fault_matrix () =
       let fired = ref 0 and rejected = ref 0 in
       for seed = 1 to 5 do
         with_cache_dir @@ fun dir ->
-        let c = Svc.Cache.open_ ~dir in
+        let c = Svc.Cache.open_ dir in
         let sweep () =
           Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~cache:(Svc.Cache.ops c) net
         in
@@ -1000,7 +1000,7 @@ let test_cache_paranoid_tamper () =
   let rng = Rng.create 0x7A3BE2L in
   let base = random_network rng ~pis:8 ~gates:120 ~pos:4 in
   let net = Gen.Redundant.inject ~seed:5L ~fraction:0.5 base in
-  let c = Svc.Cache.open_ ~dir in
+  let c = Svc.Cache.open_ dir in
   let _, stc =
     Sweep.Stp_sweep.sweep ~initial_words:1 ~window_max_leaves:4 ~certify:true
       ~cache:(Svc.Cache.ops c) net
@@ -1065,11 +1065,11 @@ let test_cache_crash_recovery () =
   let entry =
     Obs.Json.Obj [ ("v", Obs.Json.Int 1); ("verdict", Obs.Json.String "diff") ]
   in
-  let c = Svc.Cache.open_ ~dir in
+  let c = Svc.Cache.open_ dir in
   with_faults "seed=1,cache.torn_write" (fun () ->
       Svc.Cache.store c ~key entry);
   (* restart *)
-  let c2 = Svc.Cache.open_ ~dir in
+  let c2 = Svc.Cache.open_ dir in
   (match Svc.Cache.find c2 ~key with
   | Sweep.Engine.Cache_corrupt -> ()
   | _ -> Alcotest.fail "torn entry served instead of quarantined");
@@ -1086,7 +1086,7 @@ let test_cache_crash_recovery () =
   (* A temp file is a write that never committed: swept on open_. *)
   let tmp = Filename.concat sub ".tmp.99999.0" in
   Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc "x");
-  let _ = Svc.Cache.open_ ~dir in
+  let _ = Svc.Cache.open_ dir in
   check "stale temp swept on restart" false (Sys.file_exists tmp);
   (* Hostile keys stay inside the cache directory. *)
   (match Svc.Cache.find c2 ~key:"../../escape" with
