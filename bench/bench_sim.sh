@@ -1,0 +1,18 @@
+#!/bin/sh
+# Reproducible simulation-kernel bench run, companion to
+# bench_solver.sh: one command, a table on stdout, a JSON report for
+# the archive. Every simulator PR reruns this and ships the
+# before/after table; the checked-in baseline lives at
+# results/BENCH_sim.json. The harness refuses to time an engine that
+# is not bit-identical to the reference, so a green run doubles as a
+# correctness gate.
+#
+#   ./bench/bench_sim.sh                     # default run -> BENCH_sim.json
+#   ./bench/bench_sim.sh --patterns 8192     # heavier fixture
+#   OUT=results/BENCH_sim.json ./bench/bench_sim.sh   # refresh baseline
+set -eu
+cd "$(dirname "$0")/.."
+OUT="${OUT:-BENCH_sim.json}"
+dune build bin/sim_bench.exe
+dune exec bin/sim_bench.exe -- --json "$OUT" "$@"
+echo "report written to $OUT"

@@ -3,6 +3,8 @@
 
    - table1/*:    the four Table I engines on one mid-size benchmark
    - parallel/*:  word-sharded domain parallelism swept over 1/2/4 domains
+   - kernel/*:    the compiled plan engine — compile vs. execute,
+                  instruction styles, 1/2/4 domains
    - table2/*:    both sweepers on one redundant benchmark
    - cut-limit/*: Algorithm 1's [limit] parameter swept over 2..16
    - config/*:    engine-feature ablation (guided init, window refine)
@@ -83,6 +85,41 @@ let parallel =
       Test.make_indexed ~name:"sweep" ~args:doms (fun d ->
           Staged.stage (fun () ->
               Sweep.Stp_sweep.sweep ~sat_domains:d sweep_net));
+    ]
+
+let kernel =
+  (* The compiled-plan engine on its own: compilation priced separately
+     from execution, and the block executor's word sharding swept over
+     1/2/4 domains. The public simulate_* wrappers compile a fresh plan
+     per call, so exec-* vs. the table1/parallel groups shows the
+     compile overhead the sweep engine amortizes by patching one
+     long-lived plan. Both k-LUT instruction styles run on the same
+     executor, so lut6-stp vs. lut6-bitblast is purely the paper's
+     cascade-vs-bit-blast instruction selection. *)
+  let doms = [ 1; 2; 4 ] in
+  let aig_plan = Sim.Kernel.compile_aig sim_aig in
+  let stp_plan = Sim.Kernel.compile_klut ~style:`Stp sim_lut in
+  let blast_plan = Sim.Kernel.compile_klut ~style:`Bitblast sim_lut in
+  Test.make_grouped ~name:"kernel"
+    [
+      Test.make ~name:"compile-aig"
+        (Staged.stage (fun () -> Sim.Kernel.compile_aig sim_aig));
+      Test.make ~name:"compile-lut6-stp"
+        (Staged.stage (fun () ->
+             (* A private cache so every run compiles for real instead
+                of hitting the process-wide shared cache. *)
+             Sim.Kernel.compile_klut
+               ~cache:(Sim.Kernel.Cache.create ())
+               ~style:`Stp sim_lut));
+      Test.make_indexed ~name:"exec-aig" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Kernel.execute ~domains:d aig_plan sim_pats));
+      Test.make_indexed ~name:"exec-lut6-stp" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Kernel.execute ~domains:d stp_plan sim_pats));
+      Test.make_indexed ~name:"exec-lut6-bitblast" ~args:doms (fun d ->
+          Staged.stage (fun () ->
+              Sim.Kernel.execute ~domains:d blast_plan sim_pats));
     ]
 
 let table2 =
@@ -187,7 +224,7 @@ let incremental =
 let all_tests =
   Test.make_grouped ~name:"stp_sweep"
     [
-      table1; parallel; table2; cut_limit; config_ablation; tfi_bound;
+      table1; parallel; kernel; table2; cut_limit; config_ablation; tfi_bound;
       window_leaves; mode_s; incremental;
     ]
 

@@ -1,98 +1,20 @@
-module A = Aig.Network
-module L = Aig.Lit
-module K = Klut.Network
-module T = Tt.Truth_table
-
-let word_mask = 0xFFFFFFFF
-
-(* Parallel decomposition (shared by every engine in this library): the
-   pattern axis is embarrassingly parallel, so the packed words are split
-   into contiguous [lo, hi) ranges and each range is simulated by its own
-   domain. Every domain walks the whole network in topological order but
-   reads and writes only its word slice of each node's signature, so the
-   slices are disjoint, no synchronization is needed inside the pass, and
-   the result is bit-identical to the sequential engine. Rows are
-   allocated up front (single-domain allocation keeps the shape
-   identical), and the num_patterns tail fix-up runs once at the end. *)
+(* Baseline engines, as thin wrappers over the compiled kernel plan
+   ({!Kernel}): the AIG path compiles to AND kernels, the k-LUT path to
+   matrix passes — the per-bit fanin gather + table lookup an
+   off-the-shelf bitwise simulator does ("extracting individual bits of
+   the LUT and simulating them separately"). Domain sharding, block
+   tiling and tail masking all live in the kernel executor, so these
+   tables are bit-identical to every other engine's for the same
+   function. *)
 
 let simulate_aig ?(domains = 1) net pats =
-  let n = A.num_nodes net in
-  let nw = max 1 (Patterns.num_words pats) in
-  let tbl = Array.make n [||] in
-  tbl.(0) <- Array.make nw 0;
-  A.iter_nodes net (fun nd ->
-      match A.kind net nd with
-      | A.Const -> ()
-      | A.Pi _ | A.And -> tbl.(nd) <- Array.make nw 0);
-  let fill ~lo ~hi =
-    A.iter_nodes net (fun nd ->
-        match A.kind net nd with
-        | A.Const -> ()
-        | A.Pi i ->
-          let row = tbl.(nd) in
-          for w = lo to hi - 1 do
-            Array.unsafe_set row w (Patterns.word pats ~pi:i w)
-          done
-        | A.And ->
-          let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
-          let s0 = tbl.(L.node f0) and s1 = tbl.(L.node f1) in
-          let c0 = L.is_compl f0 and c1 = L.is_compl f1 in
-          let out = tbl.(nd) in
-          for w = lo to hi - 1 do
-            let a = Array.unsafe_get s0 w in
-            let a = if c0 then lnot a land word_mask else a in
-            let b = Array.unsafe_get s1 w in
-            let b = if c1 then lnot b land word_mask else b in
-            Array.unsafe_set out w (a land b)
-          done)
-  in
-  Sutil.Par.for_ranges ~domains nw fill;
-  (* Complemented inputs leak set bits beyond num_patterns; clear them so
-     signature comparison stays meaningful. *)
-  let np = Patterns.num_patterns pats in
-  Array.iter (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s) tbl;
-  tbl
+  Kernel.execute ~domains (Kernel.compile_aig net) pats
 
 let simulate_klut ?(domains = 1) net pats =
-  let n = K.num_nodes net in
-  let np = Patterns.num_patterns pats in
-  let nw = max 1 (Patterns.num_words pats) in
-  let tbl = Array.make n [||] in
-  tbl.(0) <- Array.make nw 0;
-  K.iter_nodes net (fun nd ->
-      if K.is_pi net nd || K.is_lut net nd then tbl.(nd) <- Array.make nw 0);
-  let fill ~lo ~hi =
-    (* Patterns living in words [lo, hi). *)
-    let p_lo = lo * 32 and p_hi = min np (hi * 32) in
-    K.iter_nodes net (fun nd ->
-        if K.is_pi net nd then begin
-          let row = tbl.(nd) and pi = K.pi_index net nd in
-          for w = lo to hi - 1 do
-            Array.unsafe_set row w (Patterns.word pats ~pi w)
-          done
-        end
-        else if K.is_lut net nd then begin
-          let fanins = K.fanins net nd in
-          let f = K.func net nd in
-          let k = Array.length fanins in
-          let out = tbl.(nd) in
-          let inputs = Array.map (fun fi -> tbl.(fi)) fanins in
-          (* Per-pattern bit extraction and table lookup — what an
-             off-the-shelf bitwise simulator does with a k-LUT. *)
-          for p = p_lo to p_hi - 1 do
-            let w = p lsr 5 and off = p land 31 in
-            let idx = ref 0 in
-            for j = k - 1 downto 0 do
-              idx := (!idx lsl 1) lor ((inputs.(j).(w) lsr off) land 1)
-            done;
-            if T.get f !idx then out.(w) <- out.(w) lor (1 lsl off)
-          done
-        end)
-  in
-  Sutil.Par.for_ranges ~domains nw fill;
-  tbl
+  Kernel.execute ~domains (Kernel.compile_klut ~style:`Bitblast net) pats
 
 let po_signature tbl ~num_patterns ~lit =
+  let module L = Aig.Lit in
   let s = tbl.(L.node lit) in
   if L.is_compl lit then Signature.complement_of ~num_patterns s
   else Array.copy s

@@ -10,6 +10,10 @@
     pulls one bit out of each fanin signature, forms the LUT index and
     looks the value up — Table I's "Mockturtle [T_L]" column.
 
+    Both engines are thin wrappers over the compiled kernel plan
+    ({!Kernel}): the AIG path compiles to AND kernels, the k-LUT path to
+    matrix passes, executed block-tiled by the shared executor.
+
     Both engines accept [?domains]: with [n > 1] the packed pattern words
     are split into [n] contiguous ranges and each range is simulated in
     its own domain (each domain writes a disjoint word slice of every

@@ -1,50 +1,18 @@
-module A = Aig.Network
-module L = Aig.Lit
-
-let word_mask = 0xFFFFFFFF
+(* Incremental simulation as kernel plan patches: the network is
+   compiled once ({!Kernel.compile_aig}) and pattern appends re-execute
+   the whole plan over only the stale trailing words — starting at the
+   word containing the first new pattern, whose old tail bits were
+   masked off and are now live. *)
 
 type t = {
-  net : A.t;
+  plan : Kernel.t;
   pats : Patterns.t;
-  mutable sigs : int array array; (* per node; capacity >= needed words *)
-  mutable valid_words : int; (* signature words currently up to date *)
-  mutable valid_np : int; (* patterns covered by those words *)
+  mutable sigs : int array array; (* per node; exactly the needed words *)
+  mutable valid_np : int; (* patterns covered by the current rows *)
   mutable recomputed : int;
 }
 
 let words_for np = max 1 ((np + 31) / 32)
-
-(* Compute signature words [from_w .. to_w] of every node in place.
-   Node-major (words inner) so fanin rows stay cache-resident. *)
-let compute_range t from_w to_w =
-  A.iter_nodes t.net (fun nd ->
-      match A.kind t.net nd with
-      | A.Const ->
-        for w = from_w to to_w do
-          t.sigs.(nd).(w) <- 0
-        done
-      | A.Pi i ->
-        for w = from_w to to_w do
-          t.sigs.(nd).(w) <- Patterns.word t.pats ~pi:i w
-        done
-      | A.And ->
-        let f0 = A.fanin0 t.net nd and f1 = A.fanin1 t.net nd in
-        let s0 = t.sigs.(L.node f0) and s1 = t.sigs.(L.node f1) in
-        let m0 = if L.is_compl f0 then word_mask else 0 in
-        let m1 = if L.is_compl f1 then word_mask else 0 in
-        let row = t.sigs.(nd) in
-        for w = from_w to to_w do
-          Array.unsafe_set row w
-            ((Array.unsafe_get s0 w lxor m0) land (Array.unsafe_get s1 w lxor m1))
-        done);
-  t.recomputed <- t.recomputed + (A.num_nodes t.net * (to_w - from_w + 1));
-  (* Mask the tail bits of the final word. *)
-  let np = Patterns.num_patterns t.pats in
-  if to_w = words_for np - 1 && np land 31 <> 0 then begin
-    let mask = (1 lsl (np land 31)) - 1 in
-    A.iter_nodes t.net (fun nd ->
-        t.sigs.(nd).(to_w) <- t.sigs.(nd).(to_w) land mask)
-  end
 
 (* Arrays are kept at exactly the needed length so [signatures] is
    directly comparable with the full simulators' tables; growth happens
@@ -60,22 +28,15 @@ let ensure_capacity t need =
         t.sigs
 
 let create net pats =
-  let nw = words_for (Patterns.num_patterns pats) in
-  let t =
-    {
-      net;
-      pats;
-      sigs = Array.init (A.num_nodes net) (fun _ -> Array.make nw 0);
-      valid_words = 0;
-      valid_np = 0;
-      recomputed = 0;
-    }
-  in
-  compute_range t 0 (nw - 1);
-  t.recomputed <- 0;
-  t.valid_words <- nw;
-  t.valid_np <- Patterns.num_patterns pats;
-  t
+  let plan = Kernel.compile_aig net in
+  let np = Patterns.num_patterns pats in
+  let nw = words_for np in
+  let sigs = Kernel.alloc_table plan nw in
+  Kernel.run plan pats sigs ~inst_lo:0
+    ~inst_hi:(Kernel.num_instructions plan)
+    ~lo:0 ~hi:nw;
+  Array.iter (fun s -> Signature.num_patterns_mask np s) sigs;
+  { plan; pats; sigs; valid_np = np; recomputed = 0 }
 
 let num_patterns t = Patterns.num_patterns t.pats
 
@@ -86,11 +47,14 @@ let refresh t =
   if np <> t.valid_np then begin
     let nw = words_for np in
     ensure_capacity t nw;
-    (* Recompute from the word containing the first new pattern: its old
-       tail bits were masked off and are now live. *)
+    (* Recompute from the word containing the first new pattern. *)
     let from_w = if t.valid_np = 0 then 0 else t.valid_np lsr 5 in
-    compute_range t from_w (nw - 1);
-    t.valid_words <- nw;
+    Kernel.run t.plan t.pats t.sigs ~inst_lo:0
+      ~inst_hi:(Kernel.num_instructions t.plan)
+      ~lo:from_w ~hi:nw;
+    t.recomputed <-
+      t.recomputed + (Kernel.num_instructions t.plan * (nw - from_w));
+    Array.iter (fun s -> Signature.num_patterns_mask np s) t.sigs;
     t.valid_np <- np
   end
 

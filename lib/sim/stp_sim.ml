@@ -1,226 +1,30 @@
-module A = Aig.Network
-module L = Aig.Lit
-module K = Klut.Network
 module T = Tt.Truth_table
 
-let word_mask = 0xFFFFFFFF
+(* The STP engine, as thin wrappers over the compiled kernel plan
+   ({!Kernel}): narrow LUTs (k <= 8) run as compiled selection cascades
+   ({!Stp.Cascade}), wide LUTs (cut-composed cones) as matrix passes.
+   The cascade compilation cache is the kernel's bounded one; by default
+   the process-wide shared instance, so repeated simulations — across
+   passes, and across daemon requests — reuse each other's cascades. *)
 
-(* One matrix pass for a LUT node over one 32-pattern block: gather the
-   fanin bits into column indices and select the matrix columns. The
-   matrix is the packed truth table [ttw]. Used for wide LUTs where the
-   compiled selection cascade below would blow up. *)
-let matrix_pass_word ttw (inputs : int array array) k w =
-  let acc = ref 0 in
-  let bit = ref 0 in
-  while !bit < 32 do
-    let idx = ref 0 in
-    for j = k - 1 downto 0 do
-      idx :=
-        (!idx lsl 1)
-        lor ((Array.unsafe_get (Array.unsafe_get inputs j) w lsr !bit) land 1)
-    done;
-    let i = !idx in
-    acc :=
-      !acc
-      lor (((Array.unsafe_get ttw (i lsr 5) lsr (i land 31)) land 1) lsl !bit);
-    incr bit
-  done;
-  !acc
-
-(* The fast path: the STP of a logic matrix with a Boolean factor is a
-   column-half selection (Logic_matrix.stp_bvec); applied word-parallel
-   it reads [out = (x & M_hi) | (~x & M_lo)]. Compiling the cascade of
-   selections once per LUT — sharing repeated sub-matrices — turns node
-   simulation into a handful of word operations per 32 patterns. Slot 0
-   holds constant 0, slot 1 constant 1; instruction i computes slot
-   (i + 2) from a fanin word and two earlier slots. *)
-type compiled = {
-  sel_var : int array; (* fanin position whose word selects *)
-  sel_hi : int array; (* slot of the var=1 cofactor matrix *)
-  sel_lo : int array;
-  root : int; (* slot holding the node's column selection *)
-}
-
-let compile_matrix tt =
-  let memo = Hashtbl.create 16 in
-  let sel_var = ref [] and sel_hi = ref [] and sel_lo = ref [] in
-  let count = ref 2 in
-  let rec slot_of tt k =
-    if T.is_const0 tt then 0
-    else if T.is_const1 tt then 1
-    else
-      match Hashtbl.find_opt memo tt with
-      | Some s -> s
-      | None ->
-        (* Top factor = most significant remaining variable. *)
-        let v = k - 1 in
-        let hi = slot_of (drop_top (T.cofactor tt v true) v) v in
-        let lo = slot_of (drop_top (T.cofactor tt v false) v) v in
-        let s = !count in
-        incr count;
-        sel_var := v :: !sel_var;
-        sel_hi := hi :: !sel_hi;
-        sel_lo := lo :: !sel_lo;
-        Hashtbl.replace memo tt s;
-        s
-  and drop_top tt v =
-    (* The cofactor no longer depends on variable v; re-express it over
-       v variables so memoization hits across widths. *)
-    T.of_words v
-      (let words = T.to_words tt in
-       let bits = 1 lsl v in
-       if bits >= 32 then Array.sub words 0 (bits / 32)
-       else [| words.(0) land ((1 lsl bits) - 1) |])
-  in
-  let root = slot_of tt (T.num_vars tt) in
-  {
-    sel_var = Array.of_list (List.rev !sel_var);
-    sel_hi = Array.of_list (List.rev !sel_hi);
-    sel_lo = Array.of_list (List.rev !sel_lo);
-    root;
-  }
-
-(* k-LUT networks reuse a small set of functions (a 6-LUT mapping of a
-   big adder is mostly a handful of carry/sum shapes), so the selection
-   cascade is compiled once per distinct truth table and shared across
-   nodes — and, when the caller passes the cache around, across repeated
-   simulations of the same network. *)
 module Compile_cache = struct
-  type t = {
-    tbl : (T.t, compiled) Hashtbl.t;
-    mutable hits : int;
-    mutable misses : int;
-  }
+  type t = Kernel.Cache.t
 
-  let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
-  let hits c = c.hits
-  let misses c = c.misses
-
-  let get c tt =
-    match Hashtbl.find_opt c.tbl tt with
-    | Some comp ->
-      c.hits <- c.hits + 1;
-      comp
-    | None ->
-      let comp = compile_matrix tt in
-      c.misses <- c.misses + 1;
-      Hashtbl.replace c.tbl tt comp;
-      comp
+  let create ?max_entries () = Kernel.Cache.create ?max_entries ()
+  let hits = Kernel.Cache.hits
+  let misses = Kernel.Cache.misses
+  let evictions = Kernel.Cache.evictions
+  let length = Kernel.Cache.length
 end
 
-let run_compiled c (inputs : int array array) ~lo ~hi out =
-  let n = Array.length c.sel_var in
-  if c.root = 0 then Array.fill out lo (hi - lo) 0
-  else if c.root = 1 then Array.fill out lo (hi - lo) word_mask
-  else begin
-    let slots = Array.make (n + 2) 0 in
-    slots.(1) <- word_mask;
-    for w = lo to hi - 1 do
-      for i = 0 to n - 1 do
-        let x =
-          Array.unsafe_get (Array.unsafe_get inputs (Array.unsafe_get c.sel_var i)) w
-        in
-        Array.unsafe_set slots (i + 2)
-          ((x land Array.unsafe_get slots (Array.unsafe_get c.sel_hi i))
-           lor (lnot x land Array.unsafe_get slots (Array.unsafe_get c.sel_lo i)));
-      done;
-      Array.unsafe_set out w (Array.unsafe_get slots c.root land word_mask)
-    done
-  end
-
-(* What a LUT node executes per word range. Planned sequentially (the
-   compile cache is a plain Hashtbl) so the parallel fill phase touches
-   only immutable plans and disjoint signature slices. *)
-type plan = Narrow of compiled | Wide of int array
-
 let simulate_klut ?(domains = 1) ?cache net pats =
-  let n = K.num_nodes net in
-  let nw = max 1 (Patterns.num_words pats) in
-  let cache =
-    match cache with Some c -> c | None -> Compile_cache.create ()
-  in
-  let tbl = Array.make n [||] in
-  tbl.(0) <- Array.make nw 0;
-  let plans = Array.make n None in
-  K.iter_nodes net (fun nd ->
-      if K.is_pi net nd then tbl.(nd) <- Array.make nw 0
-      else if K.is_lut net nd then begin
-        tbl.(nd) <- Array.make nw 0;
-        let k = Array.length (K.fanins net nd) in
-        plans.(nd) <-
-          Some
-            (if k <= 8 then Narrow (Compile_cache.get cache (K.func net nd))
-             else
-               (* Wide LUT (cut-composed cones): column-index gather. *)
-               Wide (T.to_words (K.func net nd)))
-      end);
-  let fill ~lo ~hi =
-    K.iter_nodes net (fun nd ->
-        if K.is_pi net nd then begin
-          let row = tbl.(nd) and pi = K.pi_index net nd in
-          for w = lo to hi - 1 do
-            Array.unsafe_set row w (Patterns.word pats ~pi w)
-          done
-        end
-        else
-          match plans.(nd) with
-          | None -> ()
-          | Some plan ->
-            let inputs = Array.map (fun f -> tbl.(f)) (K.fanins net nd) in
-            let out = tbl.(nd) in
-            (match plan with
-            | Narrow c -> run_compiled c inputs ~lo ~hi out
-            | Wide ttw ->
-              let k = Array.length inputs in
-              for w = lo to hi - 1 do
-                Array.unsafe_set out w (matrix_pass_word ttw inputs k w)
-              done))
-  in
-  Sutil.Par.for_ranges ~domains nw fill;
-  let np = Patterns.num_patterns pats in
-  Array.iter
-    (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s)
-    tbl;
-  tbl
+  Kernel.execute ~domains (Kernel.compile_klut ?cache ~style:`Stp net) pats
 
 let simulate_aig ?(domains = 1) net pats =
   (* The 2-input structural matrix of an AND with complement flags folded
      in reduces to word logic; this engine matches the bitwise one and
      exists so Table I's T_A column can be measured for "STP" too. *)
-  let n = A.num_nodes net in
-  let nw = max 1 (Patterns.num_words pats) in
-  let tbl = Array.make n [||] in
-  tbl.(0) <- Array.make nw 0;
-  A.iter_nodes net (fun nd ->
-      match A.kind net nd with
-      | A.Const -> ()
-      | A.Pi _ | A.And -> tbl.(nd) <- Array.make nw 0);
-  let fill ~lo ~hi =
-    A.iter_nodes net (fun nd ->
-        match A.kind net nd with
-        | A.Const -> ()
-        | A.Pi i ->
-          let row = tbl.(nd) in
-          for w = lo to hi - 1 do
-            Array.unsafe_set row w (Patterns.word pats ~pi:i w)
-          done
-        | A.And ->
-          let f0 = A.fanin0 net nd and f1 = A.fanin1 net nd in
-          let s0 = tbl.(L.node f0) and s1 = tbl.(L.node f1) in
-          let m0 = if L.is_compl f0 then word_mask else 0 in
-          let m1 = if L.is_compl f1 then word_mask else 0 in
-          let out = tbl.(nd) in
-          for w = lo to hi - 1 do
-            Array.unsafe_set out w
-              ((Array.unsafe_get s0 w lxor m0) land (Array.unsafe_get s1 w lxor m1))
-          done)
-  in
-  Sutil.Par.for_ranges ~domains nw fill;
-  let np = Patterns.num_patterns pats in
-  Array.iter
-    (fun s -> if Array.length s > 0 then Signature.num_patterns_mask np s)
-    tbl;
-  tbl
+  Kernel.execute ~domains (Kernel.compile_aig net) pats
 
 let floor_log2 n =
   let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in

@@ -6,29 +6,39 @@
     column indices and the matrix columns are selected directly. No
     per-pattern Boolean evaluation, no bit-by-bit LUT decomposition.
 
+    Both entry points are thin wrappers over the compiled kernel plan
+    ({!Kernel}): narrow LUTs (k <= 8) execute as compiled selection
+    cascades ({!Stp.Cascade}), wide LUTs as matrix passes, ANDs as word
+    kernels. The tables are bit-identical to the {!Bitwise} engines'.
+
     [simulate_specified] is Algorithm 1's mode [s]: the network is first
     restructured by the circuit-cut algorithm (multi-fanout-free regions
     collapse into single k-LUTs whose matrices are composed by STP), then
     only the cut roots are simulated.
 
     [?domains] (default 1) shards the packed pattern words into
-    contiguous ranges simulated in independent OCaml domains; matrices
-    are compiled sequentially first, so the parallel tables are
-    bit-identical to the sequential ones. *)
+    contiguous ranges simulated in independent OCaml domains; plans are
+    compiled sequentially first, so the parallel tables are bit-identical
+    to the sequential ones. *)
 
-(** Compiled selection-cascade matrices, memoized by truth table. One
-    cache is created per simulation by default; pass your own to share
-    compilations across repeated simulations of the same network. *)
+(** Compiled selection-cascade matrices, memoized by truth table — an
+    alias of the kernel's bounded {!Kernel.Cache}. By default
+    simulations share the process-wide instance ({!Kernel.Cache.shared});
+    pass your own to isolate or to observe hit/miss counts. *)
 module Compile_cache : sig
-  type t
+  type t = Kernel.Cache.t
 
-  val create : unit -> t
+  val create : ?max_entries:int -> unit -> t
+  (** FIFO-bounded at [max_entries] (default 4096) resident tables. *)
 
   val hits : t -> int
   (** LUT nodes whose matrix was found already compiled. *)
 
   val misses : t -> int
   (** Distinct truth tables actually compiled. *)
+
+  val evictions : t -> int
+  val length : t -> int
 end
 
 val simulate_klut :

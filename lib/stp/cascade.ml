@@ -1,0 +1,49 @@
+module T = Tt.Truth_table
+
+type t = {
+  sel_var : int array;
+  sel_hi : int array;
+  sel_lo : int array;
+  root : int;
+}
+
+let length c = Array.length c.sel_var
+
+let compile tt =
+  let memo = Hashtbl.create 16 in
+  let sel_var = ref [] and sel_hi = ref [] and sel_lo = ref [] in
+  let count = ref 2 in
+  let rec slot_of tt k =
+    if T.is_const0 tt then 0
+    else if T.is_const1 tt then 1
+    else
+      match Hashtbl.find_opt memo tt with
+      | Some s -> s
+      | None ->
+        (* Top factor = most significant remaining variable. *)
+        let v = k - 1 in
+        let hi = slot_of (drop_top (T.cofactor tt v true) v) v in
+        let lo = slot_of (drop_top (T.cofactor tt v false) v) v in
+        let s = !count in
+        incr count;
+        sel_var := v :: !sel_var;
+        sel_hi := hi :: !sel_hi;
+        sel_lo := lo :: !sel_lo;
+        Hashtbl.replace memo tt s;
+        s
+  and drop_top tt v =
+    (* The cofactor no longer depends on variable v; re-express it over
+       v variables so memoization hits across widths. *)
+    T.of_words v
+      (let words = T.to_words tt in
+       let bits = 1 lsl v in
+       if bits >= 32 then Array.sub words 0 (bits / 32)
+       else [| words.(0) land ((1 lsl bits) - 1) |])
+  in
+  let root = slot_of tt (T.num_vars tt) in
+  {
+    sel_var = Array.of_list (List.rev !sel_var);
+    sel_hi = Array.of_list (List.rev !sel_hi);
+    sel_lo = Array.of_list (List.rev !sel_lo);
+    root;
+  }

@@ -167,10 +167,24 @@ let health_json st =
     @ (match st.cfg.pool with
       | Some p -> [ ("pool", Obs.Pool.stats_json p) ]
       | None -> [ ("pool", J.Null) ])
+    @ (match st.cfg.cache with
+      | Some c -> [ ("cache", Cache.counters_json c) ]
+      | None -> [ ("cache", J.Null) ])
     @
-    match st.cfg.cache with
-    | Some c -> [ ("cache", Cache.counters_json c) ]
-    | None -> [ ("cache", J.Null) ])
+    (* The process-wide kernel compile cache: simulation plans compiled
+       while serving requests share cascades through it, so hits here
+       mean a request reused another request's compilations. *)
+    let k = Sim.Kernel.Cache.shared () in
+    [
+      ( "sim_compile_cache",
+        J.Obj
+          [
+            ("hits", J.Int (Sim.Kernel.Cache.hits k));
+            ("misses", J.Int (Sim.Kernel.Cache.misses k));
+            ("evictions", J.Int (Sim.Kernel.Cache.evictions k));
+            ("entries", J.Int (Sim.Kernel.Cache.length k));
+          ] );
+    ])
 
 (* ---- connection loop ---- *)
 

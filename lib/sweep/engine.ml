@@ -96,6 +96,12 @@ type state = {
   fresh : A.t;
   rng : Rng.t;
   pats : P.t;
+  plan : Sim.Kernel.t;
+  (* the fresh network compiled into the kernel instruction arena,
+     extended in place as nodes are added — signature maintenance is
+     plan patching: run the appended instruction suffix for new nodes,
+     re-run the whole plan over only the stale trailing words after a
+     counter-example batch *)
   mutable sigs : int array array; (* fresh-node id -> signature *)
   mutable sig_count : int; (* fresh nodes with a computed signature *)
   mutable sim_np : int;
@@ -177,12 +183,12 @@ let timed st phase f =
   let dt = Obs.Clock.now () -. t0 in
   (match phase with
   | `Sim -> st.stats.Stats.sim_time <- st.stats.Stats.sim_time +. dt
+  | `Plan_compile ->
+    st.stats.Stats.plan_compile_time <- st.stats.Stats.plan_compile_time +. dt
   | `Resim -> st.stats.Stats.resim_time <- st.stats.Stats.resim_time +. dt
   | `Window -> st.stats.Stats.window_time <- st.stats.Stats.window_time +. dt
   | `Sat -> st.stats.Stats.sat_time <- st.stats.Stats.sat_time +. dt);
   r
-
-let word_mask = 0xFFFFFFFF
 
 let ensure_sig_capacity st n =
   if n >= Array.length st.sigs then begin
@@ -288,24 +294,6 @@ let rec window_tt st nd =
     st.window_tts.(nd) <- Some tt;
     tt
 
-(* Signature of one fresh node from its fanins (word AND with polarity),
-   over the pattern prefix the current signatures cover. *)
-let compute_node_sig st nd =
-  let nw = max 1 ((st.sim_np + 31) / 32) in
-  match A.kind st.fresh nd with
-  | A.Const -> Array.make nw 0
-  | A.Pi i -> Array.init nw (fun w -> P.word st.pats ~pi:i w)
-  | A.And ->
-    let f0 = A.fanin0 st.fresh nd and f1 = A.fanin1 st.fresh nd in
-    let s0 = st.sigs.(L.node f0) and s1 = st.sigs.(L.node f1) in
-    let m0 = if L.is_compl f0 then word_mask else 0 in
-    let m1 = if L.is_compl f1 then word_mask else 0 in
-    let out =
-      Array.init nw (fun w -> (s0.(w) lxor m0) land (s1.(w) lxor m1))
-    in
-    Sg.num_patterns_mask st.sim_np out;
-    out
-
 (* Parallel simulation pays off only when there are enough pattern words
    to shard; below the configured threshold the sequential path wins. *)
 let sim_domains st =
@@ -313,57 +301,75 @@ let sim_domains st =
   then st.cfg.sim_domains
   else 1
 
-(* Register every fresh node created since the last registration. This
-   incremental signature computation is the engine's "initial
-   simulation" work, so it counts into sim_time. *)
+(* Register every fresh node created since the last registration: extend
+   the kernel plan with instructions for the new nodes, then execute
+   only that instruction suffix over the pattern prefix the current
+   signatures cover ([sim_np] — it lags the pattern set while
+   counter-examples await a batch resim). The execution is the engine's
+   "initial simulation" work (sim_time); the compile part is accounted
+   separately so plan cost stays visible. *)
 let register_new_nodes st =
   let n = A.num_nodes st.fresh in
-  if n > st.sig_count then
+  if n > st.sig_count then begin
+    timed st `Plan_compile (fun () -> Sim.Kernel.extend_aig st.plan st.fresh);
     timed st `Sim (fun () ->
         ensure_sig_capacity st (n - 1);
-        let domains = sim_domains st in
+        let nw = max 1 ((st.sim_np + 31) / 32) in
+        for nd = st.sig_count to n - 1 do
+          st.sigs.(nd) <- Array.make nw 0
+        done;
         (* Bulk registrations (the initial pass over the PIs, or any
-           large append) go through the sharded full-network simulator;
-           it computes the same per-node words as [compute_node_sig] as
-           long as the signatures are current w.r.t. the pattern set.
-           Steady-state single-node appends keep the incremental path. *)
-        if domains > 1 && n - st.sig_count > 64 && st.sim_np = P.num_patterns st.pats
-        then begin
-          let tbl = Sim.Bitwise.simulate_aig ~domains st.fresh st.pats in
-          for nd = st.sig_count to n - 1 do
-            st.sigs.(nd) <- tbl.(nd);
-            st.supports.(nd) <- node_support st nd;
-            Equiv_classes.add st.classes nd st.sigs.(nd)
-          done
-        end
-        else
-          for nd = st.sig_count to n - 1 do
-            st.sigs.(nd) <- compute_node_sig st nd;
-            st.supports.(nd) <- node_support st nd;
-            Equiv_classes.add st.classes nd st.sigs.(nd)
-          done;
+           large append) are worth sharding across domains; steady-state
+           single-node appends run the suffix sequentially. Sharding
+           splits the word range per plan execution, so the rows are
+           bit-identical either way. *)
+        let domains = if n - st.sig_count > 64 then sim_domains st else 1 in
+        Sim.Kernel.run_sharded ~domains st.plan st.pats st.sigs
+          ~inst_lo:st.sig_count ~inst_hi:n ~lo:0 ~hi:nw;
+        for nd = st.sig_count to n - 1 do
+          Sg.num_patterns_mask st.sim_np st.sigs.(nd);
+          st.supports.(nd) <- node_support st nd;
+          Equiv_classes.add st.classes nd st.sigs.(nd)
+        done;
         st.sig_count <- n)
+  end
 
-(* Full resimulation after a batch of counter-examples: refresh all
-   signatures and rebuild the candidate classes. *)
+(* Resimulation after a batch of counter-examples, as a plan patch: the
+   pattern set is append-only, so every signature word before the one
+   containing the first new pattern is already final — re-execute the
+   whole plan over only the stale trailing words, then rebuild the
+   candidate classes. *)
 let resimulate st =
   st.stats.Stats.resimulations <- st.stats.Stats.resimulations + 1;
   Obs.Trace.emitf "resim #%d: %d nodes, %d patterns"
     st.stats.Stats.resimulations (A.num_nodes st.fresh)
     (P.num_patterns st.pats);
+  (* Any nodes added since the last registration first get rows over the
+     covered prefix (no-op in the steady state). *)
+  register_new_nodes st;
+  let n = A.num_nodes st.fresh in
   timed st `Resim (fun () ->
-      let tbl = Sim.Bitwise.simulate_aig ~domains:(sim_domains st) st.fresh st.pats in
-      ensure_sig_capacity st (A.num_nodes st.fresh - 1);
-      Array.blit tbl 0 st.sigs 0 (Array.length tbl);
-      for nd = st.sig_count to A.num_nodes st.fresh - 1 do
-        st.supports.(nd) <- node_support st nd
+      let np = P.num_patterns st.pats in
+      let nw = max 1 ((np + 31) / 32) in
+      let from_w = if st.sim_np = 0 then 0 else st.sim_np lsr 5 in
+      for nd = 0 to n - 1 do
+        let old = st.sigs.(nd) in
+        if Array.length old <> nw then begin
+          let fresh = Array.make nw 0 in
+          Array.blit old 0 fresh 0 (min nw (Array.length old));
+          st.sigs.(nd) <- fresh
+        end
+      done;
+      Sim.Kernel.run_sharded ~domains:(sim_domains st) st.plan st.pats st.sigs
+        ~inst_lo:0 ~inst_hi:n ~lo:from_w ~hi:nw;
+      for nd = 0 to n - 1 do
+        Sg.num_patterns_mask np st.sigs.(nd)
       done);
   st.sim_np <- P.num_patterns st.pats;
   Equiv_classes.clear st.classes ~num_patterns:st.sim_np;
-  for nd = 0 to A.num_nodes st.fresh - 1 do
+  for nd = 0 to n - 1 do
     Equiv_classes.add st.classes nd st.sigs.(nd)
   done;
-  st.sig_count <- A.num_nodes st.fresh;
   st.pending_ce <- 0
 
 let note_counterexample st ce =
@@ -1166,6 +1172,7 @@ let run ?(config = stp_config) old_net =
       fresh;
       rng;
       pats;
+      plan = Sim.Kernel.compile_aig ~hint:(A.num_nodes old_net) fresh;
       sigs = Array.make (max 16 (A.num_nodes old_net)) [||];
       supports = Array.make (max 16 (A.num_nodes old_net)) None;
       window_tts = Array.make (max 16 (A.num_nodes old_net)) None;

@@ -13,6 +13,7 @@ type t = {
   mutable initial_patterns : int;
   mutable resimulations : int;
   mutable sim_time : float;
+  mutable plan_compile_time : float;
   mutable guided_time : float;
   mutable resim_time : float;
   mutable window_time : float;
@@ -48,6 +49,7 @@ let create () =
     initial_patterns = 0;
     resimulations = 0;
     sim_time = 0.;
+    plan_compile_time = 0.;
     guided_time = 0.;
     resim_time = 0.;
     window_time = 0.;
@@ -72,11 +74,13 @@ let create () =
 let total_sat_calls t = t.sat_sat + t.sat_unsat + t.sat_undet
 
 let simulation_time t =
-  t.sim_time +. t.guided_time +. t.resim_time +. t.window_time
+  t.sim_time +. t.plan_compile_time +. t.guided_time +. t.resim_time
+  +. t.window_time
 
 let phase_times t =
   [
     ("sim", t.sim_time);
+    ("plan_compile", t.plan_compile_time);
     ("guided", t.guided_time);
     ("resim", t.resim_time);
     ("window", t.window_time);
@@ -134,11 +138,13 @@ let to_json t =
 let pp ppf t =
   Format.fprintf ppf
     "sat=%d unsat=%d undet=%d retries=%d merges=%d const=%d win_merge=%d \
-     win_split=%d ce=%d sim=%.3fs guided=%.3fs resim=%.3fs window=%.3fs \
-     sat_t=%.3fs total=%.3fs decisions=%d conflicts=%d props=%d learned=%d"
+     win_split=%d ce=%d sim=%.3fs plan=%.3fs guided=%.3fs resim=%.3fs \
+     window=%.3fs sat_t=%.3fs total=%.3fs decisions=%d conflicts=%d props=%d \
+     learned=%d"
     t.sat_sat t.sat_unsat t.sat_undet t.sat_retries t.merges t.const_merges
-    t.window_merges t.window_splits t.ce_patterns t.sim_time t.guided_time
-    t.resim_time t.window_time t.sat_time t.total_time t.sat_decisions
+    t.window_merges t.window_splits t.ce_patterns t.sim_time
+    t.plan_compile_time t.guided_time t.resim_time t.window_time t.sat_time
+    t.total_time t.sat_decisions
     t.sat_conflicts t.sat_propagations t.sat_learned;
   if t.certified_unsat + t.certified_models + t.certificate_rejected > 0 then
     Format.fprintf ppf " cert_unsat=%d cert_models=%d cert_rejected=%d"

@@ -537,6 +537,147 @@ let test_compile_cache () =
   check "cached result identical" true (t1 = t2);
   check "matches bitwise" true (t1 = Sim.Bitwise.simulate_klut net pats)
 
+(* ---- kernel plans ---- *)
+
+(* The kernel is the single engine behind every simulator, so its tests
+   compare plans against the naive per-pattern reference directly —
+   comparing against the thin wrappers would be circular. *)
+
+let arb_kernel_case =
+  QCheck.make
+    ~print:(fun (s, d, np) ->
+      Printf.sprintf "seed=%Ld domains=%d patterns=%d" s d np)
+    QCheck.Gen.(
+      let* s = ui64 in
+      let* d = oneofl [ 1; 2; 4 ] in
+      let* np = int_range 1 200 in
+      return (s, d, np))
+
+let prop_kernel_aig_vs_eval (seed, domains, np) =
+  let rng = Rng.create seed in
+  let net = random_aig rng ~pis:6 ~gates:50 ~pos:3 in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:np in
+  let tbl = Sim.Kernel.execute ~domains (Sim.Kernel.compile_aig net) pats in
+  let ok = ref true in
+  for p = 0 to np - 1 do
+    let v = eval_aig net (P.pattern pats p) in
+    A.iter_nodes net (fun nd -> if Sg.get tbl.(nd) p <> v.(nd) then ok := false)
+  done;
+  (* And the tail words past [np] stay masked to zero regardless of the
+     shard count. *)
+  A.iter_nodes net (fun nd ->
+      let masked = Array.copy tbl.(nd) in
+      Sg.num_patterns_mask np masked;
+      if masked <> tbl.(nd) then ok := false);
+  !ok
+
+let eval_klut net inputs =
+  let v = Array.make (K.num_nodes net) false in
+  K.iter_nodes net (fun nd ->
+      if K.is_pi net nd then v.(nd) <- inputs.(K.pi_index net nd)
+      else if K.is_lut net nd then
+        v.(nd) <-
+          T.eval (K.func net nd) (Array.map (fun f -> v.(f)) (K.fanins net nd)));
+  v
+
+let prop_kernel_klut_styles (seed, domains, np) =
+  let rng = Rng.create seed in
+  let net = random_klut rng ~pis:6 ~luts:40 in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:np in
+  let stp =
+    Sim.Kernel.execute ~domains (Sim.Kernel.compile_klut ~style:`Stp net) pats
+  in
+  let blast =
+    Sim.Kernel.execute ~domains
+      (Sim.Kernel.compile_klut ~style:`Bitblast net)
+      pats
+  in
+  let ok = ref (stp = blast) in
+  for p = 0 to np - 1 do
+    let v = eval_klut net (P.pattern pats p) in
+    K.iter_nodes net (fun nd -> if Sg.get stp.(nd) p <> v.(nd) then ok := false)
+  done;
+  !ok
+
+(* Growing a plan in place (the sweep engine's append path) must agree
+   with recompiling the grown network from scratch. *)
+let prop_plan_patch (seed, domains, np) =
+  let rng = Rng.create seed in
+  let net = random_aig rng ~pis:6 ~gates:30 ~pos:2 in
+  let plan = Sim.Kernel.compile_aig net in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:6 ~num_patterns:np in
+  let tbl = Sim.Kernel.execute ~domains plan pats in
+  let n0 = A.num_nodes net in
+  (* Grow the same network append-only, as SAT sweeping does. *)
+  let pick () =
+    let nd = Rng.int rng n0 in
+    L.of_node nd (Rng.bool rng)
+  in
+  for _ = 1 to 20 do
+    ignore (A.add_and net (pick ()) (pick ()))
+  done;
+  Sim.Kernel.extend_aig plan net;
+  let n = A.num_nodes net in
+  let nw = P.num_words pats in
+  let ext =
+    Array.init n (fun nd -> if nd < n0 then tbl.(nd) else Array.make nw 0)
+  in
+  Sim.Kernel.run_sharded ~domains plan pats ext ~inst_lo:n0 ~inst_hi:n ~lo:0
+    ~hi:nw;
+  for nd = n0 to n - 1 do
+    Sg.num_patterns_mask np ext.(nd)
+  done;
+  let scratch = Sim.Kernel.execute ~domains (Sim.Kernel.compile_aig net) pats in
+  Sim.Kernel.num_instructions plan = n && ext = scratch
+
+(* Random interleavings of pattern appends and refreshes: after every
+   refresh the incremental table equals a from-scratch simulation. *)
+let arb_incremental_case =
+  QCheck.make
+    ~print:(fun (s, steps) ->
+      Printf.sprintf "seed=%Ld steps=[%s]" s
+        (String.concat ";" (List.map string_of_int steps)))
+    QCheck.Gen.(
+      let* s = ui64 in
+      let* steps = list_size (int_range 1 6) (int_range 0 40) in
+      return (s, steps))
+
+let prop_incremental_sequences (seed, steps) =
+  let rng = Rng.create seed in
+  let net = random_aig rng ~pis:5 ~gates:40 ~pos:2 in
+  let pats = P.random ~seed:(Rng.int64 rng) ~num_pis:5 ~num_patterns:33 in
+  let inc = Sim.Incremental.create net pats in
+  List.for_all
+    (fun appends ->
+      for _ = 1 to appends do
+        Sim.Incremental.add_pattern inc (Array.init 5 (fun _ -> Rng.bool rng))
+      done;
+      Sim.Incremental.refresh inc;
+      Sim.Incremental.signatures inc = Sim.Bitwise.simulate_aig net pats)
+    steps
+
+let test_kernel_cache_bound () =
+  let net = K.create () in
+  let pis = Array.init 4 (fun _ -> K.add_pi net) in
+  (* Five distinct 2-input functions through a 2-entry cache. *)
+  let fns = [ "0111"; "0110"; "0001"; "1110"; "1001" ] in
+  let prev = ref pis.(0) in
+  List.iter
+    (fun bin ->
+      prev := K.add_lut net [| !prev; pis.(1) |] (T.of_bin bin))
+    fns;
+  ignore (K.add_po net !prev false);
+  let cache = Sim.Kernel.Cache.create ~max_entries:2 () in
+  let pats = P.random ~seed:17L ~num_pis:4 ~num_patterns:50 in
+  let plan = Sim.Kernel.compile_klut ~cache ~style:`Stp net in
+  let tbl = Sim.Kernel.execute plan pats in
+  check_int "misses" 5 (Sim.Kernel.Cache.misses cache);
+  check_int "evictions" 3 (Sim.Kernel.Cache.evictions cache);
+  check "bounded" true (Sim.Kernel.Cache.length cache <= 2);
+  (* Eviction only forgets compilations, never changes results. *)
+  check "results unaffected" true
+    (tbl = Sim.Bitwise.simulate_klut net pats)
+
 (* ---- signatures ---- *)
 
 let test_signature_helpers () =
@@ -648,6 +789,18 @@ let () =
           Alcotest.test_case "range splitting" `Quick test_par_split;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "compile cache" `Quick test_compile_cache;
+        ] );
+      ( "kernel",
+        [
+          qcheck_case ~name:"aig plan = naive eval" ~count:40 arb_kernel_case
+            prop_kernel_aig_vs_eval;
+          qcheck_case ~name:"klut styles = naive eval" ~count:40
+            arb_kernel_case prop_kernel_klut_styles;
+          qcheck_case ~name:"plan patch = scratch recompile" ~count:40
+            arb_kernel_case prop_plan_patch;
+          qcheck_case ~name:"incremental sequences" ~count:30
+            arb_incremental_case prop_incremental_sequences;
+          Alcotest.test_case "cache bound" `Quick test_kernel_cache_bound;
         ] );
       ("activity", [ Alcotest.test_case "stats" `Quick test_activity ]);
       ( "signature",

@@ -238,7 +238,8 @@ let check_phase_accounting label st =
   check (label ^ ": simulation_time consistent") true
     (Float.abs
        (simulation_time st
-       -. (st.sim_time +. st.guided_time +. st.resim_time +. st.window_time))
+       -. (st.sim_time +. st.plan_compile_time +. st.guided_time
+          +. st.resim_time +. st.window_time))
     < eps)
 
 (* The JSON report must survive a print/parse cycle and carry the full
@@ -259,7 +260,7 @@ let check_report_roundtrip label st =
     (fun k ->
       if not (List.mem_assoc k phases) then
         Alcotest.failf "%s: phase %s missing from report" label k)
-    [ "sim"; "guided"; "resim"; "window"; "sat"; "total" ];
+    [ "sim"; "plan_compile"; "guided"; "resim"; "window"; "sat"; "total" ];
   let solver =
     match Obs.Json.member "sat_solver" j with
     | Some (Obs.Json.Obj kvs) -> kvs
